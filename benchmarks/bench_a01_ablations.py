@@ -1,0 +1,107 @@
+"""Ablations: why the paper's design choices matter.
+
+A1 — window overlap (Section 5.3's "two naive extremes"): identical windows
+pile all straight edges onto r dimensions, disjoint windows admit only
+(n+r)/r copies and still congest; the nested overlapping windows give
+congestion 2 with all n copies.
+
+A2 — moment labeling (Theorems 1/2): with a constant special-cycle label,
+neighboring columns project the *same* cycle, the middle edges collide, and
+the 3-step schedule is no longer feasible — the moments are exactly what
+makes the projections edge-disjoint.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core import embed_cycle_load1
+from repro.core.ccc_multicopy import (
+    ccc_multicopy_embedding,
+    ccc_multicopy_naive,
+    theorem3_claim,
+)
+from repro.routing.schedule import measured_multipath_cost, multipath_packet_schedule
+
+
+def test_a01_window_ablation(benchmark):
+    rows = []
+    for n in (4, 8):
+        paper = ccc_multicopy_embedding(n)
+        ident = ccc_multicopy_naive(n, "identical")
+        disj = ccc_multicopy_naive(n, "disjoint")
+        for mc in (paper, ident, disj):
+            mc.verify()
+        rows.append((n, "paper (overlapping)", paper.k, paper.edge_congestion))
+        rows.append((n, "identical windows", ident.k, ident.edge_congestion))
+        rows.append((n, "disjoint windows", disj.k, disj.edge_congestion))
+        assert paper.edge_congestion == theorem3_claim(n)["edge_congestion"]
+        r = n.bit_length() - 1
+        # the paper's lower bound for the naive schemes: congestion >= n/r
+        assert ident.edge_congestion >= n // r
+        # disjoint admits far fewer copies
+        assert disj.k < paper.k
+        if n // r > 2:  # the blowup appears once n/r exceeds Theorem 3's 2
+            assert ident.edge_congestion > paper.edge_congestion
+            assert disj.edge_congestion > paper.edge_congestion
+    print_table(
+        "A1: window-choice ablation (Theorem 3)",
+        rows,
+        ["n", "scheme", "copies", "edge congestion"],
+    )
+
+    benchmark(lambda: ccc_multicopy_naive(4, "identical"))
+
+
+def test_a02_moment_labeling_ablation(benchmark):
+    rows = []
+    for n in (8, 10):
+        good = embed_cycle_load1(n, labeling="moment")
+        bad = embed_cycle_load1(n, labeling="constant")
+        good.verify()
+        bad.verify()  # still a valid embedding per edge...
+        sched = multipath_packet_schedule(good, extra_direct_at=3)
+        sched.verify()
+        with pytest.raises(AssertionError):
+            # ...but the 3-step schedule collides without the moments
+            multipath_packet_schedule(bad, extra_direct_at=3).verify()
+        good_cost = measured_multipath_cost(good)
+        bad_cost = measured_multipath_cost(bad)
+        rows.append((n, good.congestion, bad.congestion, good_cost, bad_cost))
+        assert bad.congestion > good.congestion
+        assert bad_cost > good_cost
+    print_table(
+        "A2: moment-labeling ablation (Theorem 1; 'constant' uses cycle 0 "
+        "everywhere)",
+        rows,
+        ["n", "moment congestion", "constant congestion",
+         "moment measured cost", "constant measured cost"],
+    )
+
+    benchmark(lambda: embed_cycle_load1(8, labeling="constant"))
+
+
+def test_a03_theorem2_batched_remark(benchmark):
+    """The paper's batched remark, measured honestly.
+
+    The remark claims 2k batches with rotating doubled cycles cost
+    3(2k)+1 instead of 4(2k).  A verifier-backed pipeline search settles at
+    period 4 (= the naive cost): every batch's first hops cover all
+    detour-class links, so the 4th-step stragglers always collide with the
+    next batch regardless of which cycle is doubled.  Recorded as a
+    reproduction finding in EXPERIMENTS.md.
+    """
+    from repro.core.cycle_multipath import theorem2_batched_schedule
+
+    rows = []
+    for n in (6, 7):
+        sched = theorem2_batched_schedule(n)
+        k = n // 4
+        rows.append((n, 2 * k, 3 * 2 * k + 1, 4 * 2 * k, sched.makespan))
+        assert sched.makespan <= 4 * 2 * k
+    print_table(
+        "A3: Theorem 2 batched remark (remark claim vs verified pipeline)",
+        rows,
+        ["n", "batches", "remark claim", "naive", "measured (verified)"],
+    )
+
+    benchmark(lambda: theorem2_batched_schedule(6))

@@ -1,0 +1,48 @@
+"""Section 9's open questions, quantified.
+
+The paper closes with: "Are there embeddings which use all links even when
+communication proceeds along one grid axis at a time?"  Our Corollary 1
+embedding inherits the cross-product structure, so a one-axis phase can only
+touch its own dimension field — utilization is capped at 1/k.  This bench
+measures that gap, making the open problem concrete.
+"""
+
+from conftest import print_table
+
+from repro.core import embed_grid_multipath
+from repro.routing.schedule import PacketSchedule, ScheduledPacket
+
+
+def _axis_phase_schedule(emb, axis: int) -> PacketSchedule:
+    packets = []
+    for (u, v), paths in emb.edge_paths.items():
+        changed = next(i for i in range(len(u)) if u[i] != v[i])
+        if changed != axis:
+            continue
+        for path, st in zip(paths, emb.step_of[(u, v)]):
+            packets.append(ScheduledPacket(tuple(path), tuple(st)))
+    return PacketSchedule(emb.host, packets)
+
+
+def test_a04_single_axis_utilization(benchmark):
+    rows = []
+    for dims in [(16, 16), (16, 16, 16)]:
+        emb = embed_grid_multipath(dims, torus=True)
+        k = len(dims)
+        full = None
+        for axis in range(k):
+            sched = _axis_phase_schedule(emb, axis)
+            sched.verify()
+            busy = sched.busy_link_fraction()
+            rows.append((f"{dims}", axis, f"{busy:.3f}", f"{1 / k:.3f}"))
+            # the cross-product structure caps one-axis phases at 1/k
+            assert busy <= 1 / k + 1e-9
+    print_table(
+        "A4: Section 9 open question — link utilization when one axis "
+        "communicates at a time (cap 1/k under cross products)",
+        rows,
+        ["grid", "axis", "busy fraction", "1/k cap"],
+    )
+
+    emb = embed_grid_multipath((16, 16), torus=True)
+    benchmark(lambda: _axis_phase_schedule(emb, 0))

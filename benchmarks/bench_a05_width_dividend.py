@@ -1,0 +1,58 @@
+"""A5: what the width buys beyond throughput — adaptive routing and matmul.
+
+Two extension experiments quantifying the value of the paper's machinery in
+settings the paper only gestures at:
+
+* adaptive wormhole placement over Theorem 1's bundles (pick the
+  least-loaded of the w paths per message) vs oblivious single-path;
+* Cannon's matrix-multiply shifts overlapped on two edge-disjoint torus
+  copies (Section 8.1's Johnsson–Ho citation) vs a single copy.
+"""
+
+from conftest import print_table
+
+from repro.apps.matmul import cannon_communication_steps
+from repro.core import embed_cycle_load1
+from repro.routing.adaptive import adaptive_wormhole_experiment
+
+
+def test_a05_adaptive_wormhole(benchmark):
+    emb = embed_cycle_load1(8)
+    rows = []
+    for messages in (64, 256, 1024):
+        res = adaptive_wormhole_experiment(emb, messages, flits=16, seed=1)
+        rows.append(
+            (messages, res["oblivious"], res["adaptive"],
+             f"{res['oblivious'] / res['adaptive']:.2f}")
+        )
+        assert res["adaptive"] < res["oblivious"]
+    # the dividend grows with load
+    speedups = [float(r[-1]) for r in rows]
+    assert speedups == sorted(speedups)
+    print_table(
+        "A5: adaptive least-loaded path choice over width-5 bundles (Q_8, "
+        "16-flit worms)",
+        rows,
+        ["messages", "oblivious", "adaptive", "speedup"],
+    )
+
+    benchmark(
+        lambda: adaptive_wormhole_experiment(emb, 128, flits=8, seed=1)
+    )
+
+
+def test_a05_cannon_shift_overlap(benchmark):
+    rows = []
+    for P, blk in ((16, 8), (16, 32), (64, 8)):
+        res = cannon_communication_steps(P, blk)
+        rows.append(
+            (P, blk, res["overlapped_steps"], res["single_copy_steps"])
+        )
+        assert res["overlapped_steps"] * 2 == res["single_copy_steps"]
+    print_table(
+        "A5: Cannon shifts on two edge-disjoint torus copies vs one",
+        rows,
+        ["P", "block packets", "two copies", "one copy"],
+    )
+
+    benchmark(lambda: cannon_communication_steps(16, 8))

@@ -1,0 +1,69 @@
+"""E1 (Section 2, Figure 1): the classical gray-code cycle baseline.
+
+Claim: with the gray-code embedding, m packets per node need m steps (one
+outgoing link per node), and no strategy confined to those links can beat
+m/2 (dimension-0 saturation).
+"""
+
+from conftest import print_table
+
+from repro.core import graycode_cycle_embedding
+from repro.routing.schedule import (
+    p_packet_cost_singlepath,
+    singlepath_cost_lower_bound,
+)
+
+
+def test_e01_graycode_m_packet_cost(benchmark):
+    emb = graycode_cycle_embedding(8)
+    emb.verify(max_load=1)
+
+    rows = []
+    for m in (2, 8, 32, 128):
+        measured = p_packet_cost_singlepath(emb, m)
+        rows.append((m, m, measured, -(-m // 2)))
+        assert measured == m  # exactly m: each node owns one outgoing link
+        assert singlepath_cost_lower_bound(emb, m) == m
+    print_table(
+        "E1: gray-code cycle, m packets per node (Q_8)",
+        rows,
+        ["m", "paper cost", "measured", "lower bound m/2"],
+    )
+
+    benchmark(lambda: p_packet_cost_singlepath(emb, 32))
+
+
+def test_e01_dimension_zero_saturation():
+    # the counting argument: m * 2^(n-1) packets must cross dimension 0,
+    # which has only 2^n directed edges
+    emb = graycode_cycle_embedding(6)
+    dim0_uses = sum(
+        1
+        for path in emb.edge_paths.values()
+        for a, b in zip(path, path[1:])
+        if emb.host.dimension_of(a, b) == 0
+    )
+    assert dim0_uses == 2**5  # half of all cycle edges cross dimension 0
+
+
+def test_e01_dimension_spread(benchmark):
+    """Section 2's fix, quantified: the gray code piles half its edges onto
+    dimension 0; Theorem 2's spread is perfectly uniform."""
+    from repro.analysis import dimension_usage
+    from repro.core import embed_cycle_load2
+
+    gray = dimension_usage(graycode_cycle_embedding(8))
+    thm2 = dimension_usage(embed_cycle_load2(8))
+    rows = [
+        (d, gray[d], thm2[d]) for d in range(8)
+    ]
+    print_table(
+        "E1: image edges per dimension, gray code vs Theorem 2 (Q_8)",
+        rows,
+        ["dimension", "gray code", "Theorem 2"],
+    )
+    assert gray[0] == 2 ** 7  # half the cycle
+    assert len(set(thm2.values())) == 1  # "uses all dimensions uniformly"
+
+    emb = graycode_cycle_embedding(8)
+    benchmark(lambda: dimension_usage(emb))

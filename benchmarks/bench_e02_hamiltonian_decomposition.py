@@ -1,0 +1,50 @@
+"""E2 (Lemma 1 / Section 3.1): Hamiltonian decompositions of hypercubes.
+
+Claim: Q_{2k} splits into k undirected (2k directed) edge-disjoint
+Hamiltonian cycles; Q_{2k+1} into k cycles plus a perfect matching — each
+with dilation 1 and congestion 1 as cycle embeddings.
+"""
+
+from conftest import print_table
+
+from repro.core import cycle_multicopy_embedding
+from repro.hypercube.hamiltonian import _CACHE, hamiltonian_decomposition
+
+
+def test_e02_lemma1_decompositions(benchmark):
+    rows = []
+    for n in range(2, 11):
+        dec = hamiltonian_decomposition(n)  # verified internally
+        claimed = n // 2
+        rows.append(
+            (n, claimed, len(dec.cycles), "yes" if n % 2 else "no",
+             "yes" if dec.matching else "no")
+        )
+        assert len(dec.cycles) == claimed
+    print_table(
+        "E2: Lemma 1 decompositions",
+        rows,
+        ["n", "claimed cycles", "measured", "odd n", "matching"],
+    )
+
+    def rebuild():
+        _CACHE.pop(8, None)
+        hamiltonian_decomposition(8)
+
+    benchmark(rebuild)
+
+
+def test_e02_directed_copies_congestion():
+    rows = []
+    for n in (4, 6, 8):
+        mc = cycle_multicopy_embedding(n)
+        mc.verify()
+        rows.append((n, n, mc.k, 1, mc.dilation, 1, mc.edge_congestion))
+        assert mc.dilation == 1
+        assert mc.edge_congestion == 1
+    print_table(
+        "E2: directed cycle copies (even n)",
+        rows,
+        ["n", "claimed copies", "measured", "claimed dil", "measured dil",
+         "claimed cong", "measured cong"],
+    )

@@ -1,0 +1,41 @@
+"""E3 (Theorem 1): load-1 multiple-path cycle embedding.
+
+Claim: the 2^n-node directed cycle embeds in Q_n with width floor(n/2) and
+floor(n/2)-packet cost 3 (in fact (2k+2)-packet cost 3 with the doubled
+direct edge).  Width matches the claim exactly when 2k is a power of two
+(see the module note in repro.core.cycle_multipath); for other n the widest
+certified cost-3 variant is built and reported.
+"""
+
+from conftest import print_table
+
+from repro.core import embed_cycle_load1, theorem1_claim
+from repro.routing.schedule import multipath_packet_schedule
+
+
+def test_e03_theorem1(benchmark):
+    rows = []
+    for n in range(4, 13):
+        emb = embed_cycle_load1(n)
+        emb.verify()
+        sched = multipath_packet_schedule(emb, extra_direct_at=3)
+        sched.verify()
+        claim = theorem1_claim(n)
+        two_k = 2 * emb.info["k"]
+        pow2 = two_k & (two_k - 1) == 0
+        rows.append(
+            (n, claim["width"], emb.width, claim["cost"], sched.makespan,
+             emb.info["packets_per_edge"], "yes" if pow2 else "no")
+        )
+        assert sched.makespan == 3
+        assert emb.load == 1
+        if pow2:
+            assert emb.width >= claim["width"]
+    print_table(
+        "E3: Theorem 1 (2^n-cycle, load 1)",
+        rows,
+        ["n", "claimed w", "measured w", "claimed cost", "measured cost",
+         "packets/edge", "2k pow2"],
+    )
+
+    benchmark(lambda: embed_cycle_load1(10))

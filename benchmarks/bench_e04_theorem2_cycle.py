@@ -1,0 +1,41 @@
+"""E4 (Theorem 2): load-2 cycle embeddings that fully use the links.
+
+Claim (per n mod 4): width floor(n/2) cost 3 for n = 0,1 (mod 4); for
+n = 2,3 (mod 4) either width floor(n/2)-1 cost 3 or width floor(n/2)
+cost 4.  For n = 0 (mod 4), all hypercube links are busy in all 3 steps.
+"""
+
+from conftest import print_table
+
+from repro.core import embed_cycle_load2, theorem2_claim
+from repro.routing.schedule import multipath_packet_schedule
+
+
+def test_e04_theorem2_all_cases(benchmark):
+    rows = []
+    for n in range(4, 12):
+        for prefer_width in ([False] if n % 4 in (0, 1) else [False, True]):
+            emb = embed_cycle_load2(n, prefer_width=prefer_width)
+            emb.verify()
+            sched = multipath_packet_schedule(emb)
+            sched.verify()
+            claim = theorem2_claim(n, prefer_width)
+            busy = sched.busy_link_fraction()
+            rows.append(
+                (n, n % 4, "wide" if prefer_width else "cost3",
+                 claim["width"], emb.width, claim["cost"], sched.makespan,
+                 f"{busy:.2f}")
+            )
+            assert emb.width == claim["width"]
+            assert sched.makespan == claim["cost"]
+            assert emb.load == 2
+            if n % 4 == 0:
+                assert busy == 1.0  # every link busy every step
+    print_table(
+        "E4: Theorem 2 (2^(n+1)-cycle, load 2)",
+        rows,
+        ["n", "n%4", "variant", "claimed w", "measured w",
+         "claimed cost", "measured cost", "link busy frac"],
+    )
+
+    benchmark(lambda: embed_cycle_load2(8))

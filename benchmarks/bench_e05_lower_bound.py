@@ -1,0 +1,52 @@
+"""E5 (Lemma 3): lower bounds on width and cost.
+
+Claims: (i) any width-w embedding with w > 2 has dilation (hence cost) at
+least 3 — certified by an exhaustive path census showing adjacent nodes have
+exactly one path of length < 3; (ii) no cost-3 embedding of the
+2^(n+1)-cycle has width above floor(n/2) — Theorem 2's constructions meet
+the cap exactly for n = 0, 1 (mod 4).
+"""
+
+from conftest import print_table
+
+from repro.core import (
+    count_short_paths,
+    max_width_for_cost3,
+    min_dilation_for_width,
+    theorem2_claim,
+    verify_no_two_hop_paths,
+)
+
+
+def test_e05_dilation_bound(benchmark):
+    rows = []
+    for n in (2, 3, 4, 5):
+        ok = verify_no_two_hop_paths(n)
+        census = count_short_paths(n, 0, 1, 3)
+        rows.append((n, "yes" if ok else "NO", census.get(1, 0), census.get(2, 0),
+                     census.get(3, 0)))
+        assert ok
+    print_table(
+        "E5: path census between adjacent nodes (certifies dilation >= 3 for w > 2)",
+        rows,
+        ["n", "no 2-hop paths", "#len-1", "#len-2", "#len-3"],
+    )
+    for w in (3, 5, 9):
+        assert min_dilation_for_width(w) == 3
+
+    benchmark(lambda: verify_no_two_hop_paths(5))
+
+
+def test_e05_width_cap_met_with_equality():
+    rows = []
+    for n in (4, 5, 8, 9, 12, 13, 16):
+        cap = max_width_for_cost3(n)
+        achieved = theorem2_claim(n)["width"] if n % 4 in (0, 1) else None
+        rows.append((n, cap, achieved if achieved is not None else "-"))
+        if n % 4 in (0, 1):
+            assert achieved == cap  # optimal: construction meets the bound
+    print_table(
+        "E5: cost-3 width cap vs Theorem 2 (optimal for n = 0,1 mod 4)",
+        rows,
+        ["n", "Lemma 3 cap", "Theorem 2 width"],
+    )

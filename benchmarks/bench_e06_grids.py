@@ -1,0 +1,62 @@
+"""E6 (Corollaries 1-2): multiple-path grid embeddings.
+
+Claims: the k-axis grid with power-of-two side L embeds with width
+floor(log L / 2), cost 3 (per direction) and expansion at most k+1; unequal
+sides square first (contraction substitute: dilation 1, load O(1)) and keep
+O(1) cost.
+"""
+
+from conftest import print_table
+
+from repro.core import corollary1_claim, embed_grid_multipath
+from repro.routing.schedule import multipath_packet_schedule
+
+
+def test_e06_equal_sides(benchmark):
+    rows = []
+    for dims, torus in [
+        ((16, 16), True),
+        ((32, 32), True),
+        ((16, 16, 16), True),
+        ((64, 64), True),
+    ]:
+        emb = embed_grid_multipath(dims, torus=torus)
+        emb.verify()
+        sched = multipath_packet_schedule(emb)
+        sched.verify()
+        claim = corollary1_claim(len(dims), dims[0])
+        rows.append(
+            (f"{dims}", claim["width"], emb.info["width"], 3,
+             sched.makespan, claim["expansion_upper"],
+             f"{emb.info['expansion']:.2f}")
+        )
+        assert emb.info["width"] >= claim["width"]
+        assert sched.makespan == 6  # 3 per direction, bidirectional
+        assert emb.info["expansion"] <= claim["expansion_upper"]
+    print_table(
+        "E6: Corollary 1 (equal power-of-two sides; cost is per direction,"
+        " makespan covers both)",
+        rows,
+        ["grid", "claimed w", "measured w", "claimed cost/dir",
+         "measured both dirs", "expansion cap", "measured exp"],
+    )
+
+    benchmark(lambda: embed_grid_multipath((32, 32), torus=True))
+
+
+def test_e06_unequal_sides_corollary2():
+    rows = []
+    for dims in [(5, 9), (3, 20), (7, 3, 5), (13, 16)]:
+        emb = embed_grid_multipath(dims)
+        emb.verify()
+        sched = multipath_packet_schedule(emb)
+        sched.verify()
+        rows.append(
+            (f"{dims}", emb.info["load"], emb.info["width"], sched.makespan)
+        )
+        assert emb.info["load"] <= 2 ** len(dims) + 1  # O(1) for fixed k
+    print_table(
+        "E6: Corollary 2 (unequal sides, contraction squaring)",
+        rows,
+        ["grid", "load", "width", "measured steps"],
+    )

@@ -1,0 +1,80 @@
+"""E7 (Theorem 3 + Lemma 4): CCC embeddings.
+
+Claims: a single n-level CCC embeds in Q_{n + ceil(log n)} with dilation 1
+(n even) / 2 (n odd); n copies embed simultaneously with edge-congestion 2
+(cross edges contribute at most 1; only dimension-1 links carry 2 straight
+edges).
+"""
+
+from collections import Counter
+
+from conftest import print_table
+
+from repro.core import ccc_multicopy_embedding, ccc_single_embedding, theorem3_claim
+
+
+def test_e07_lemma4_single_copy(benchmark):
+    rows = []
+    for n in range(2, 9):
+        emb = ccc_single_embedding(n)
+        emb.verify(max_load=1)
+        claimed = 1 if n % 2 == 0 else 2
+        rows.append((n, emb.host.n, claimed, emb.dilation, emb.congestion))
+        assert emb.dilation == claimed
+    print_table(
+        "E7a: Lemma 4 single CCC copy",
+        rows,
+        ["n", "host dim", "claimed dilation", "measured", "congestion"],
+    )
+
+    benchmark(lambda: ccc_single_embedding(6))
+
+
+def test_e07_theorem3_multicopy(benchmark):
+    rows = []
+    for n in (2, 4, 8):
+        mc = ccc_multicopy_embedding(n)
+        mc.verify()
+        claim = theorem3_claim(n)
+
+        cross = Counter()
+        for copy in mc.copies:
+            for (u, v), path in copy.edge_paths.items():
+                if u[0] == v[0]:
+                    for a, b in zip(path, path[1:]):
+                        cross[copy.host.edge_id(a, b)] += 1
+        rows.append(
+            (n, claim["copies"], mc.k, claim["dilation"], mc.dilation,
+             claim["edge_congestion"], mc.edge_congestion,
+             max(cross.values()))
+        )
+        assert mc.k == claim["copies"]
+        assert mc.dilation == claim["dilation"]
+        assert mc.edge_congestion <= claim["edge_congestion"]
+        assert max(cross.values()) == 1  # Lemma 7
+    print_table(
+        "E7b: Theorem 3 n-copy CCC",
+        rows,
+        ["n", "claimed copies", "measured", "claimed dil", "measured dil",
+         "claimed cong", "measured cong", "cross-edge cong (Lemma 7: 1)"],
+    )
+
+    benchmark(lambda: ccc_multicopy_embedding(4))
+
+
+def test_e07_section54_undirected(benchmark):
+    """Section 5.4: the undirected CCC's extra straight edges add at most 2
+    to the congestion, 'increasing the total congestion to four'."""
+    rows = []
+    for n in (2, 4, 8):
+        mc = ccc_multicopy_embedding(n, undirected=True)
+        mc.verify()
+        rows.append((n, 4, mc.edge_congestion))
+        assert mc.edge_congestion <= 4
+    print_table(
+        "E7c: Section 5.4 undirected CCC copies",
+        rows,
+        ["n", "claimed congestion", "measured"],
+    )
+
+    benchmark(lambda: ccc_multicopy_embedding(4, undirected=True))

@@ -1,0 +1,61 @@
+"""E9 (Theorem 5 + Section 6.2): multiple-path tree embeddings.
+
+Claims: the (2^{2n}-1)-vertex complete binary tree embeds in Q_{2n}
+(n = m + log m) with width n, O(1) load and O(1) n-packet cost; arbitrary
+bounded-degree trees lose only an O(log) factor.
+"""
+
+from conftest import print_table
+
+from repro.core import arbitrary_tree_embedding, theorem5_embedding
+from repro.networks.tree import random_binary_tree
+from repro.routing.schedule import measured_multipath_cost
+
+
+def test_e09_theorem5(benchmark):
+    rows = []
+    for m in (2, 4):
+        emb = theorem5_embedding(m)
+        emb.verify()
+        n = emb.info["n"]
+        widths = [len(ps) for ps in emb.edge_paths.values() if len(ps[0]) > 1]
+        cost = measured_multipath_cost(emb)
+        rows.append(
+            (m, n, emb.host.n, emb.guest.num_vertices, n, min(widths),
+             emb.info["load"], emb.dilation, cost)
+        )
+        assert min(widths) == n
+        assert emb.info["load"] <= 4  # O(1)
+    print_table(
+        "E9a: Theorem 5 complete binary trees",
+        rows,
+        ["m", "n", "host dim", "tree size", "claimed w", "measured w",
+         "load", "dilation", "measured cost"],
+    )
+
+    benchmark(lambda: theorem5_embedding(2))
+
+
+def test_e09_arbitrary_trees(benchmark):
+    rows = []
+    for size, m in ((50, 2), (500, 4), (2000, 4)):
+        tree = random_binary_tree(size, seed=11)
+        emb = arbitrary_tree_embedding(tree, m)
+        emb.verify()
+        n = emb.info["n"]
+        widths = [len(ps) for ps in emb.edge_paths.values() if len(ps[0]) > 1]
+        rows.append(
+            (size, n, min(widths), emb.load, emb.dilation,
+             emb.info["cbt_dilation"])
+        )
+        # claim: width Theta(n), cost O(log n) factors
+        assert min(widths) >= n // 2
+    print_table(
+        "E9b: Section 6.2 arbitrary trees (O(log) factors measured)",
+        rows,
+        ["tree size", "n", "measured w", "load", "host dilation",
+         "CBT-route dilation"],
+    )
+
+    tree = random_binary_tree(50, seed=11)
+    benchmark(lambda: arbitrary_tree_embedding(tree, 2))

@@ -1,0 +1,61 @@
+"""E10 (Sections 2 & 8.3): grid relaxation mapping comparison.
+
+Claims: blocking minimizes total communication (O(M*N) values vs O(M^2));
+the multiple-path embedding then delivers a block boundary in
+Theta(M / (N log N)) steps instead of the gray code's Theta(M/N); the
+blocked large-copy approach trades log N more traffic for cheaper links.
+"""
+
+from conftest import print_table
+
+from repro.apps.broadcast import cycle_neighbor_exchange
+from repro.apps.relaxation import GridRelaxation, relaxation_strategy_comparison
+
+
+def test_e10_strategy_comparison(benchmark):
+    rows = []
+    for M, N in ((256, 8), (256, 16), (1024, 16)):
+        table = relaxation_strategy_comparison(M, N)
+        for name, data in table.items():
+            rows.append(
+                (f"M={M},N={N}", name, data["total_values"],
+                 int(data["per_processor"]), data["steps"])
+            )
+        blocked = table["blocked_multipath"]
+        points = table["large_copy_points"]
+        # blocking reduces total communication by Theta(M/N)
+        assert blocked["total_values"] * (M // (4 * N)) <= points["total_values"]
+    print_table(
+        "E10: Section 8.3 mapping comparison (per relaxation phase)",
+        rows,
+        ["config", "strategy", "total values", "per processor", "steps"],
+    )
+
+    benchmark(lambda: relaxation_strategy_comparison(256, 16))
+
+
+def test_e10_cycle_exchange_speedup(benchmark):
+    # the Section 2 speedup claim in its purest form, at growing n
+    rows = []
+    for n in (4, 8, 12):
+        res = cycle_neighbor_exchange(n, m=60)
+        speedup = res["graycode"] / res["multipath"]
+        rows.append(
+            (n, res["graycode"], res["multipath"], f"{speedup:.2f}",
+             res["width"])
+        )
+        assert res["multipath"] < res["graycode"]
+        assert res["multipath"] >= res["lower_bound"] // res["width"]
+    print_table(
+        "E10: m=60 packets per cycle node: gray vs Theorem 1 (speedup ~ (a+2)/3)",
+        rows,
+        ["n", "gray steps", "multipath steps", "speedup", "width"],
+    )
+
+    benchmark(lambda: cycle_neighbor_exchange(8, 60))
+
+
+def test_e10_numerics_converge():
+    relax = GridRelaxation(64)
+    assert relax.run(200) < relax.values.max()
+    assert 0.0 < relax.values[1:, :].max() < 1.0

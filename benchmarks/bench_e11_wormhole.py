@@ -1,0 +1,110 @@
+"""E11 (Section 7): bit-serial message routing.
+
+Claims: store-and-forward of whole M-packet messages completes a random
+permutation in Theta(n * M); splitting each message into n pieces routed on
+the n CCC copies reduces this to O(M); wormhole/cut-through over the
+multiple paths removes queueing.
+"""
+
+from conftest import print_table
+
+from repro.routing.permutation import (
+    permutation_baseline_time,
+    permutation_multicopy_time,
+    random_permutation,
+)
+
+
+def test_e11_split_message_speedup(benchmark):
+    rows = []
+    for n in (2, 4, 8):
+        host_dim = n + (n.bit_length() - 1)
+        perm = random_permutation(1 << host_dim, seed=7)
+        M = 64
+        base = permutation_baseline_time(host_dim, perm, M)
+        multi = permutation_multicopy_time(n, perm, M)
+        rows.append(
+            (n, host_dim, M, base, multi, f"{base / multi:.2f}")
+        )
+        if n >= 4:
+            assert multi < base  # the split wins and the gap grows with n
+    speedups = [float(r[-1]) for r in rows]
+    assert speedups == sorted(speedups)  # Theta(n) growth shape
+    print_table(
+        "E11: M-packet permutation, message store-and-forward vs n CCC pieces",
+        rows,
+        ["n (copies)", "host dim", "M", "baseline steps", "split steps",
+         "speedup"],
+    )
+
+    perm = random_permutation(64, seed=7)
+    benchmark(lambda: permutation_multicopy_time(4, perm, 64))
+
+
+def test_e11_baseline_scales_with_message_length():
+    # Theta(n*M): doubling M doubles the baseline
+    perm = random_permutation(64, seed=5)
+    t1 = permutation_baseline_time(6, perm, 32)
+    t2 = permutation_baseline_time(6, perm, 64)
+    assert 1.8 <= t2 / t1 <= 2.2
+
+    m1 = permutation_multicopy_time(4, perm, 32)
+    m2 = permutation_multicopy_time(4, perm, 64)
+    assert 1.8 <= m2 / m1 <= 2.2  # O(M): also linear, smaller slope
+    assert m2 / 64 < t2 / 64
+
+
+def test_e11_wormhole_mode(benchmark):
+    perm = random_permutation(64, seed=9)
+    rows = []
+    for M in (16, 64):
+        base = permutation_baseline_time(6, perm, M, mode="wormhole")
+        multi = permutation_multicopy_time(4, perm, M, mode="wormhole")
+        rows.append((M, base, multi))
+    print_table(
+        "E11: flit-level wormhole variant (cut-through pieces)",
+        rows,
+        ["M", "single worm", "n pieces"],
+    )
+    benchmark(
+        lambda: permutation_baseline_time(6, perm, 32, mode="wormhole")
+    )
+
+
+def test_e11_x_two_phase_routing(benchmark):
+    """Section 7's closing alternative: route directly over X(butterfly).
+
+    Messages take a row-butterfly phase then a column-butterfly phase, with
+    the n pieces of each message on the width-n parallel tracks of every X
+    edge — 'the need to queue messages can be eliminated'.
+    """
+    from repro.routing.x_routing import XRouter, x_permutation_time
+    from repro.routing.permutation import (
+        permutation_baseline_time,
+        random_permutation,
+    )
+
+    rows = []
+    for m in (2, 4):
+        router = XRouter(m)
+        host_dim = router.host.n
+        perm = random_permutation(1 << host_dim, seed=11)
+        M = 64
+        base = permutation_baseline_time(host_dim, perm, M)
+        xr = x_permutation_time(m, perm, M, router=router)
+        rows.append((m, host_dim, M, base, xr, f"{base / xr:.2f}"))
+        if m >= 4:
+            # at m = 2 (Q_6) the two-phase route overhead roughly breaks
+            # even; the win appears from m = 4 on and grows with n
+            assert xr < base
+    speedups = [float(r[-1]) for r in rows]
+    assert speedups == sorted(speedups)  # widens with n
+    print_table(
+        "E11: two-phase routing over X(butterfly) vs single-path baseline",
+        rows,
+        ["m", "host dim", "M", "baseline", "X router", "speedup"],
+    )
+
+    router = XRouter(2)
+    perm = random_permutation(64, seed=11)
+    benchmark(lambda: x_permutation_time(2, perm, 64, router=router))

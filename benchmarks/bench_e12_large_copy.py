@@ -1,0 +1,95 @@
+"""E12 (Corollary 3, Lemma 9, Section 8): large-copy embeddings and the
+three-way comparison of embedding styles.
+
+Claims: the n*2^n-node cycle/CCC embed with dilation 1, congestion 1 (FFT &
+butterfly congestion <= 2); large copies need no forwarding but time-slice n
+processes per node, whereas multiple-path embeddings keep load 1 at
+dilation-3 prices — Section 8.2's trade-off table.
+"""
+
+from conftest import print_table
+
+from repro.core import (
+    embed_cycle_load1,
+    large_butterfly_embedding,
+    large_ccc_embedding,
+    large_cycle_embedding,
+    large_fft_embedding,
+)
+
+
+def test_e12_large_copy_claims(benchmark):
+    rows = []
+    cases = [
+        ("cycle", large_cycle_embedding(6), 1),
+        ("CCC", large_ccc_embedding(5), 1),
+        ("butterfly", large_butterfly_embedding(5), 2),
+        ("FFT", large_fft_embedding(5), 2),
+    ]
+    for name, emb, claimed_cong in cases:
+        emb.verify()
+        rows.append(
+            (name, emb.guest.num_vertices, emb.host.n, emb.load, 1,
+             emb.dilation, claimed_cong, emb.congestion)
+        )
+        assert emb.dilation == 1
+        assert emb.congestion <= claimed_cong
+    print_table(
+        "E12: large-copy embeddings (Corollary 3, Lemma 9)",
+        rows,
+        ["guest", "|V|", "host dim", "load", "claimed dil", "measured dil",
+         "claimed cong", "measured cong"],
+    )
+
+    benchmark(lambda: large_cycle_embedding(8))
+
+
+def test_e12_style_comparison():
+    # Section 8.2: the structural trade-off between the styles on Q_6
+    n = 6
+    large = large_cycle_embedding(n)
+    multi = embed_cycle_load1(n)
+    rows = [
+        ("large-copy", large.guest.num_vertices, large.load, large.dilation,
+         "none (dilation 1)"),
+        ("multiple-path", multi.guest.num_vertices, multi.load,
+         multi.dilation, "forwards via 3-hop paths"),
+    ]
+    print_table(
+        "E12: embedding-style comparison (Section 8.2) on Q_6",
+        rows,
+        ["style", "guest size", "load", "dilation", "forwarding"],
+    )
+    assert large.load == n and multi.load == 1
+    assert large.dilation == 1 and multi.dilation == 3
+
+
+def test_e12_grid_and_tree_multicopies(benchmark):
+    """Section 8.1's remaining multicopy list: grids and trees."""
+    from repro.core.grid_multicopy import grid_multicopy_embedding
+    from repro.core.tree_multicopy import cbt_multicopy_embedding
+
+    rows = []
+    for dims in [(16, 16), (16, 16, 16)]:
+        mc = grid_multicopy_embedding(dims)
+        mc.verify()
+        rows.append(
+            (f"torus {dims}", mc.k, mc.dilation, mc.edge_congestion,
+             mc.copy_load_allowed)
+        )
+        assert mc.edge_congestion == 1 and mc.dilation == 1
+    for m in (2, 4):
+        mc = cbt_multicopy_embedding(m)
+        mc.verify()
+        rows.append(
+            (f"CBT (m={m})", mc.k, mc.dilation, mc.edge_congestion,
+             mc.copy_load_allowed)
+        )
+        assert mc.edge_congestion <= 8  # O(1)
+    print_table(
+        "E12: Section 8.1 grid/tree multiple-copy embeddings",
+        rows,
+        ["guest", "copies", "dilation", "total congestion", "per-copy load"],
+    )
+
+    benchmark(lambda: grid_multicopy_embedding((16, 16)))

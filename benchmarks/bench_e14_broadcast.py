@@ -1,0 +1,48 @@
+"""E14 (Section 1, extension): one-to-all broadcast of large messages.
+
+The paper cites Ho–Johnsson [14] / Stout–Wagar [26] for multiple-copy
+spanning-tree broadcast.  We reproduce the throughput comparison with the
+paper's own Lemma 1 substrate: pipelining n message pieces around the n
+edge-disjoint Hamiltonian cycles gives per-link bandwidth M/n instead of
+the binomial tree's M — a Theta(n) win once M exceeds ~2^n.
+"""
+
+from conftest import print_table
+
+from repro.apps.one_to_all import (
+    binomial_broadcast_time,
+    broadcast_comparison,
+    hamiltonian_broadcast_time,
+)
+
+
+def test_e14_broadcast_crossover(benchmark):
+    rows = []
+    for n in (4, 6, 8):
+        for m, tree, cycles in broadcast_comparison(n, (8, 512, 2048)):
+            rows.append((n, m, tree, cycles,
+                         "cycles" if cycles < tree else "tree"))
+    print_table(
+        "E14: one-to-all broadcast, binomial tree vs n Hamiltonian cycles",
+        rows,
+        ["n", "M", "tree steps", "cycles steps", "winner"],
+    )
+    # large messages: the cycle pipeline wins by ~ (n-1)x
+    for n in (4, 6, 8):
+        big = 4 * (1 << n) * n
+        tree = binomial_broadcast_time(n, big)
+        cyc = hamiltonian_broadcast_time(n, big)
+        assert cyc < tree
+        assert tree / cyc > n / 2  # Theta(n) throughput gap
+    # small messages: the low-latency tree wins
+    assert binomial_broadcast_time(8, 4) < hamiltonian_broadcast_time(8, 4)
+
+    benchmark(lambda: hamiltonian_broadcast_time(6, 512))
+
+
+def test_e14_closed_forms():
+    # tree: ~ M + n (pipelined); cycles: ~ 2^n + M/n
+    n, M = 6, 600
+    assert binomial_broadcast_time(n, M) == M + n - 1  # pipelined tree
+    expected = (1 << n) - 1 + (-(-M // n) - 1)
+    assert abs(hamiltonian_broadcast_time(n, M) - expected) <= n

@@ -1,0 +1,43 @@
+"""E15 (Section 1, Stout–Wagar theme): all-to-all personalized communication.
+
+Single-port dimension exchange costs n * 2^{n-1}; in the paper's model
+(every node drives all n links per step) e-cube spreads the 2^n * (2^n - 1)
+packets perfectly evenly (2^{n-1} per directed link) and completes within a
+small factor of the bandwidth bound — the Theta(n) all-links dividend.
+"""
+
+from conftest import print_table
+
+from repro.apps.total_exchange import (
+    ecube_link_load,
+    total_exchange_comparison,
+)
+
+
+def test_e15_total_exchange(benchmark):
+    rows = []
+    for n in (4, 6, 8):
+        row = total_exchange_comparison(n)
+        rows.append(
+            (n, row["single_port"], row["all_port"], row["bandwidth_bound"],
+             f"{row['single_port'] / row['all_port']:.2f}")
+        )
+        assert row["single_port"] == n * 2 ** (n - 1)
+        assert row["all_port"] >= row["bandwidth_bound"]
+        assert row["all_port"] <= 2 * row["bandwidth_bound"] + 2 * n
+    speedups = [float(r[-1]) for r in rows]
+    assert speedups == sorted(speedups)  # Theta(n) growth
+    print_table(
+        "E15: all-to-all personalized exchange",
+        rows,
+        ["n", "single-port steps", "all-port measured",
+         "bandwidth bound 2^(n-1)", "speedup"],
+    )
+
+    benchmark(lambda: total_exchange_comparison(6))
+
+
+def test_e15_ecube_load_perfectly_uniform():
+    for n in (3, 4, 5, 6):
+        hist = ecube_link_load(n)
+        assert hist == {1 << (n - 1): n * (1 << n)}

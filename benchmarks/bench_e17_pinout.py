@@ -1,0 +1,52 @@
+"""E17 (Section 1): the constant-pinout comparison.
+
+"One might suspect that a network designed for one particular communication
+pattern would outperform a more general interconnection using narrower
+channels.  Our multiple-path embedding results show that this need not be
+true; the narrow hypercube can simulate the wide grid with O(1) slowdown
+[while retaining] the flexibility to service low diameter patterns."
+
+With W pins per node the hypercube's channels are W/n wide vs the torus's
+W/4.  A torus edge's effective bandwidth on the embedded hypercube is
+``width x W/n`` — Corollary 1's width ⌊log L / 2⌋ ~ n/4 puts it within a
+small constant of W/4, while the hypercube's diameter stays n versus the
+torus's Theta(sqrt(N)).
+"""
+
+from conftest import print_table
+
+from repro.analysis import pinout_comparison
+from repro.core import embed_grid_multipath
+
+
+def test_e17_pinout_tradeoff(benchmark):
+    rows = []
+    W = 64
+    for n, dims in ((8, (16, 16)), (10, (32, 32)), (12, (64, 64))):
+        emb = embed_grid_multipath(dims, torus=True)
+        emb.verify()
+        width = emb.info["width"]
+        table = pinout_comparison(n, channel_pins=W)
+        cube_channel = table["hypercube"]["channel_width"]
+        torus_channel = table["torus"]["channel_width"]
+        effective = width * cube_channel
+        slowdown = torus_channel / effective
+        rows.append(
+            (n, f"{dims}", f"{cube_channel:.1f}", f"{torus_channel:.1f}",
+             width, f"{effective:.1f}", f"{slowdown:.2f}",
+             table["hypercube"]["diameter"], table["torus"]["diameter"])
+        )
+        # O(1) slowdown: the width bundle recovers the wide channel within
+        # a small constant factor
+        assert slowdown <= 4.0
+        # and the hypercube keeps its exponentially smaller diameter
+        assert table["hypercube"]["diameter"] < table["torus"]["diameter"] or n <= 8
+    print_table(
+        "E17: constant pinout (W = 64 pins/node): narrow hypercube vs wide "
+        "torus",
+        rows,
+        ["n", "grid", "cube chan", "torus chan", "width",
+         "effective chan", "slowdown", "cube diam", "torus diam"],
+    )
+
+    benchmark(lambda: pinout_comparison(10))

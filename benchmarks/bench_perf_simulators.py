@@ -1,0 +1,66 @@
+"""Performance: reference vs vectorized simulator (hpc-parallel hygiene).
+
+Not a paper experiment — this bench keeps the two simulator engines honest
+against each other (same semantics class, comparable makespans) and records
+where the numpy engine pays off, per the profile-first guidance.
+"""
+
+from conftest import print_table
+
+from repro.hypercube.graph import Hypercube
+from repro.routing.fast_simulator import FastStoreForward
+from repro.routing.permutation import dimension_order_path, random_permutation
+from repro.routing.simulator import StoreForwardSimulator
+
+
+def _workload(n: int, reps: int):
+    perm = random_permutation(1 << n, seed=1)
+    paths = [dimension_order_path(n, u, v) for u, v in enumerate(perm) if u != v]
+    return [(p, r + 1) for p in paths for r in range(reps)]
+
+
+def test_perf_reference_engine(benchmark):
+    work = _workload(10, 4)
+
+    def run():
+        sim = StoreForwardSimulator(Hypercube(10))
+        for path, rel in work:
+            sim.inject(path, release_step=rel)
+        return sim.run()
+
+    makespan = benchmark(run)
+    assert makespan > 0
+
+
+def test_perf_vectorized_engine(benchmark):
+    work = _workload(10, 4)
+
+    def run():
+        sim = FastStoreForward(Hypercube(10))
+        for path, rel in work:
+            sim.inject(path, release_step=rel)
+        return sim.run()
+
+    makespan = benchmark(run)
+    assert makespan > 0
+
+
+def test_engines_agree_within_envelope():
+    rows = []
+    for n, reps in ((8, 4), (10, 4), (12, 4)):
+        work = _workload(n, reps)
+        ref = StoreForwardSimulator(Hypercube(n))
+        fast = FastStoreForward(Hypercube(n))
+        for path, rel in work:
+            ref.inject(path, release_step=rel)
+            fast.inject(path, release_step=rel)
+        a, b = ref.run(), fast.run()
+        rows.append((n, len(work), a, b))
+        # FIFO vs static-priority arbitration: same congestion+dilation
+        # envelope, so makespans stay within a small factor
+        assert 0.5 <= b / a <= 2.0
+    print_table(
+        "perf: FIFO reference vs vectorized static-priority engine",
+        rows,
+        ["n", "packets", "reference makespan", "vectorized makespan"],
+    )

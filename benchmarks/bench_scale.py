@@ -1,0 +1,58 @@
+"""Scale check: the next power-of-two regime (n = 16, 17; 65k-node hosts).
+
+n = 16, 17 are the first sizes beyond the unit-test range where 2k = 8 is a
+power of two again, so Theorems 1 and 2 owe their *exact* claims: width
+floor(n/2) (+1 for Theorem 1's direct edge), cost 3, and 100% link busy for
+n = 16.  Construction plus full schedule verification runs in seconds.
+"""
+
+from conftest import print_table
+
+from repro.core import (
+    embed_cycle_load1,
+    embed_cycle_load2,
+    theorem1_claim,
+    theorem2_claim,
+)
+from repro.routing.schedule import multipath_packet_schedule
+
+
+def test_scale_theorem1_n16(benchmark):
+    rows = []
+    for n in (16, 17):
+        emb = embed_cycle_load1(n)
+        emb.verify()
+        sched = multipath_packet_schedule(emb, extra_direct_at=3)
+        sched.verify()
+        claim = theorem1_claim(n)
+        rows.append((n, 1 << n, claim["width"], emb.width, sched.makespan))
+        assert emb.width >= claim["width"]
+        assert sched.makespan == 3
+    print_table(
+        "scale: Theorem 1 at 2^16-node hosts (full power-of-two width)",
+        rows,
+        ["n", "nodes", "claimed w", "measured w", "cost"],
+    )
+
+    benchmark(lambda: embed_cycle_load1(14))
+
+
+def test_scale_theorem2_n16(benchmark):
+    emb = embed_cycle_load2(16)
+    emb.verify()
+    sched = multipath_packet_schedule(emb)
+    sched.verify()
+    claim = theorem2_claim(16)
+    busy = sched.busy_link_fraction()
+    print_table(
+        "scale: Theorem 2 at n=16 (131072 guest vertices)",
+        [(16, claim["width"], emb.width, claim["cost"], sched.makespan,
+          f"{busy:.2f}")],
+        ["n", "claimed w", "measured w", "claimed cost", "measured cost",
+         "link busy"],
+    )
+    assert emb.width == claim["width"] == 8
+    assert sched.makespan == 3
+    assert busy == 1.0
+
+    benchmark(lambda: embed_cycle_load2(12))

@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benches (E1-E13).
+
+Every bench prints a paper-claim vs. measured table (visible with
+``pytest benchmarks/ --benchmark-only -s``) and asserts the claim's *shape*
+(who wins, by what factor class) rather than exact constants, per the
+reproduction policy in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows, headers) -> None:
+    print(f"\n== {title} ==")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

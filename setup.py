@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires bdist_wheel on this interpreter; with no network
+access we fall back to `python setup.py develop`, which needs this file.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — Routing Multiple Paths in Hypercubes (Greenberg & Bhatt, SPAA 1990).
+
+A complete executable reproduction: multiple-path, multiple-copy and
+large-copy embeddings of cycles, grids, trees, CCCs and butterflies in
+hypercubes, with every claimed invariant verified mechanically and every
+claimed cost measured on a link-bound simulator.
+
+Subpackages:
+
+* :mod:`repro.hypercube` — the host substrate (``Q_n``, gray codes,
+  moments, Hamiltonian decompositions);
+* :mod:`repro.networks`  — guest graphs;
+* :mod:`repro.core`      — the paper's embeddings (Theorems 1–5, the
+  corollaries and lemmas);
+* :mod:`repro.routing`   — schedules and simulators (the cost model);
+* :mod:`repro.fault`     — GF(256), Rabin IDA, link-fault experiments;
+* :mod:`repro.apps`      — the motivating applications (Sections 2, 8.3);
+* :mod:`repro.analysis`  — reports, comparisons, and the paper's figures.
+
+Quickstart::
+
+    from repro import embed_cycle_load1
+    emb = embed_cycle_load1(8)
+    emb.verify()
+"""
+
+from repro.core import (
+    Embedding,
+    MultiCopyEmbedding,
+    MultiPathEmbedding,
+    ccc_multicopy_embedding,
+    ccc_single_embedding,
+    cycle_multicopy_embedding,
+    embed_cycle_load1,
+    embed_cycle_load2,
+    embed_grid_multipath,
+    graycode_cycle_embedding,
+    induced_cross_product_embedding,
+    large_cycle_embedding,
+    theorem5_embedding,
+)
+from repro.hypercube import Hypercube
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Embedding",
+    "MultiCopyEmbedding",
+    "MultiPathEmbedding",
+    "Hypercube",
+    "ccc_multicopy_embedding",
+    "ccc_single_embedding",
+    "cycle_multicopy_embedding",
+    "embed_cycle_load1",
+    "embed_cycle_load2",
+    "embed_grid_multipath",
+    "graycode_cycle_embedding",
+    "induced_cross_product_embedding",
+    "large_cycle_embedding",
+    "theorem5_embedding",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Analysis and reporting utilities.
+
+* :mod:`repro.analysis.report` — structured metric reports and comparisons
+  of embeddings (the Section 8.2 trade-off, quantified);
+* :mod:`repro.analysis.figures` — runnable reproductions of the paper's
+  Figures 1–4 as ASCII diagrams built from the real constructions.
+"""
+
+from repro.analysis.report import (
+    EmbeddingReport,
+    compare_embeddings,
+    congestion_histogram,
+    dimension_usage,
+    link_utilization,
+    report,
+)
+from repro.analysis.dot import embedding_to_dot
+from repro.analysis.figures import figure1, figure2, figure3, figure4
+from repro.analysis.graph_metrics import guest_metrics, hypercube_metrics, pinout_comparison
+from repro.analysis.validate import ClaimResult, validate_claims
+from repro.analysis.sweep import (
+    broadcast_crossover_sweep,
+    cycle_speedup_sweep,
+    fault_tolerance_sweep,
+    format_rows,
+    utilization_sweep,
+)
+
+__all__ = [
+    "EmbeddingReport",
+    "compare_embeddings",
+    "congestion_histogram",
+    "dimension_usage",
+    "link_utilization",
+    "report",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "embedding_to_dot",
+    "broadcast_crossover_sweep",
+    "cycle_speedup_sweep",
+    "fault_tolerance_sweep",
+    "format_rows",
+    "utilization_sweep",
+    "ClaimResult",
+    "validate_claims",
+    "guest_metrics",
+    "hypercube_metrics",
+    "pinout_comparison",
+]

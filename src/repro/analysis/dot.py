@@ -1,0 +1,66 @@
+"""Graphviz DOT export for embeddings (inspection/debugging aid).
+
+Renders the host hypercube with the embedding's traffic painted on: edge
+color encodes congestion, and an optional guest edge's path bundle is
+highlighted — handy for eyeballing why a construction behaves the way it
+does (``dot -Tsvg`` or any Graphviz viewer renders the output).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.core.embedding import Embedding, MultiPathEmbedding
+
+__all__ = ["embedding_to_dot"]
+
+_PALETTE = ["gray80", "black", "blue", "orange", "red", "purple"]
+
+
+def embedding_to_dot(
+    emb: Union[Embedding, MultiPathEmbedding],
+    highlight_edge: Optional[Tuple] = None,
+) -> str:
+    """Render the embedding as a Graphviz digraph string.
+
+    Host nodes are labeled with their binary address; used links are colored
+    by congestion (gray = idle through the palette to purple = 5+).  With
+    ``highlight_edge`` (a guest edge), that edge's path(s) are drawn bold
+    red with per-path style annotations.
+    """
+    host = emb.host
+    counts = emb.edge_congestion_counts()
+    lines = [
+        "digraph embedding {",
+        f'  label="{emb.name or "embedding"} in Q_{host.n}";',
+        "  node [shape=circle, fontsize=10];",
+    ]
+    for v in range(host.num_nodes):
+        lines.append(f'  n{v} [label="{v:0{host.n}b}"];')
+
+    highlight_ids = set()
+    if highlight_edge is not None:
+        if highlight_edge not in emb.edge_paths:
+            raise KeyError(f"guest edge {highlight_edge!r} not in embedding")
+        paths = emb.edge_paths[highlight_edge]
+        if not isinstance(paths[0], tuple):
+            paths = (paths,)
+        for path in paths:
+            for a, b in zip(path, path[1:]):
+                highlight_ids.add(host.edge_id(a, b))
+
+    for u in range(host.num_nodes):
+        for d in range(host.n):
+            v = u ^ (1 << d)
+            eid = u * host.n + d
+            c = counts.get(eid, 0)
+            if eid in highlight_ids:
+                style = 'color=red, penwidth=3'
+            elif c == 0:
+                style = 'color=gray90, style=dotted'
+            else:
+                color = _PALETTE[min(c, len(_PALETTE) - 1)]
+                style = f'color={color}'
+            lines.append(f"  n{u} -> n{v} [{style}];")
+    lines.append("}")
+    return "\n".join(lines)

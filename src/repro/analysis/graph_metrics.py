@@ -1,0 +1,82 @@
+"""Structural metrics of guests and hosts (the constant-pinout discussion).
+
+Section 1 compares networks under a constant pinout: N nodes as a hypercube
+(many narrow channels) versus a grid (few wide ones), arguing the narrow
+hypercube can simulate the wide grid at O(1) slowdown while retaining its
+low diameter.  These helpers compute the quantities that comparison turns
+on — diameter, average distance, bisection width — for the graphs in this
+package (via networkx for the generic cases, closed forms for ``Q_n``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict
+
+from repro.hypercube.graph import Hypercube
+from repro.networks.base import GuestGraph
+
+__all__ = [
+    "hypercube_metrics",
+    "guest_metrics",
+    "pinout_comparison",
+]
+
+
+def hypercube_metrics(n: int) -> Dict[str, float]:
+    """Closed-form structural metrics of ``Q_n``."""
+    return {
+        "nodes": 1 << n,
+        "directed_links": n * (1 << n),
+        "degree": n,
+        "diameter": n,
+        "avg_distance": n / 2,
+        "bisection_links": 1 << (n - 1) if n else 0,
+    }
+
+
+def guest_metrics(guest: GuestGraph) -> Dict[str, float]:
+    """Measured metrics of a guest graph (undirected view, networkx)."""
+    import networkx as nx
+
+    g = guest.to_networkx().to_undirected()
+    lengths = dict(nx.all_pairs_shortest_path_length(g))
+    dists = [
+        d for src, row in lengths.items() for t, d in row.items() if t != src
+    ]
+    return {
+        "nodes": g.number_of_nodes(),
+        "links": g.number_of_edges(),
+        "degree": max(dict(g.degree).values()),
+        "diameter": max(dists) if dists else 0,
+        "avg_distance": sum(dists) / len(dists) if dists else 0.0,
+    }
+
+
+def pinout_comparison(n: int, channel_pins: int = 64) -> Dict[str, Dict[str, float]]:
+    """Section 1's constant-pinout trade-off, quantified for ``2^n`` nodes.
+
+    With ``W = channel_pins`` pins per node: the hypercube splits them over
+    ``n`` channels of width ``W/n``; the 2-D torus keeps 4 channels of width
+    ``W/4``.  Rows report channel width, diameter, and the product
+    (diameter x transfer slowdown) that the multiple-path results equalize.
+    """
+    if n % 2:
+        raise ValueError("need even n for a square torus of equal size")
+    side = 1 << (n // 2)
+    cube_width = channel_pins / n
+    grid_width = channel_pins / 4
+    return {
+        "hypercube": {
+            "channels": n,
+            "channel_width": cube_width,
+            "diameter": n,
+            "wide_message_slowdown": grid_width / cube_width,
+        },
+        "torus": {
+            "channels": 4,
+            "channel_width": grid_width,
+            "diameter": 2 * (side // 2),
+            "wide_message_slowdown": 1.0,
+        },
+    }

@@ -1,0 +1,186 @@
+"""Structured metric reports for embeddings.
+
+Quantifies the Section 8.2 trade-off discussion: load (time-slicing),
+dilation (forwarding), congestion, width (parallel throughput), expansion,
+and link utilization, for any of the three embedding styles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
+
+__all__ = [
+    "EmbeddingReport",
+    "report",
+    "compare_embeddings",
+    "congestion_histogram",
+    "dimension_usage",
+    "link_utilization",
+]
+
+AnyEmbedding = Union[Embedding, MultiPathEmbedding, MultiCopyEmbedding]
+
+
+@dataclass
+class EmbeddingReport:
+    """A snapshot of every standard metric of an embedding."""
+
+    name: str
+    style: str
+    guest_vertices: int
+    host_dim: int
+    load: int
+    dilation: int
+    congestion: int
+    width: Optional[int] = None
+    copies: Optional[int] = None
+    expansion: Optional[float] = None
+    links_used: int = 0
+    links_total: int = 0
+
+    @property
+    def link_utilization(self) -> float:
+        return self.links_used / self.links_total if self.links_total else 0.0
+
+    def rows(self) -> List[tuple]:
+        out = [
+            ("style", self.style),
+            ("guest vertices", self.guest_vertices),
+            ("host", f"Q_{self.host_dim}"),
+            ("load", self.load),
+            ("dilation", self.dilation),
+            ("congestion", self.congestion),
+        ]
+        if self.width is not None:
+            out.append(("width", self.width))
+        if self.copies is not None:
+            out.append(("copies", self.copies))
+        if self.expansion is not None:
+            out.append(("expansion", round(self.expansion, 3)))
+        out.append(("links used", f"{self.links_used}/{self.links_total} "
+                                  f"({self.link_utilization:.0%})"))
+        return out
+
+    def __str__(self) -> str:
+        body = "\n".join(f"  {k:<16}{v}" for k, v in self.rows())
+        return f"EmbeddingReport({self.name})\n{body}"
+
+
+def _links_used(emb: AnyEmbedding) -> int:
+    if isinstance(emb, MultiCopyEmbedding):
+        used = set()
+        for copy in emb.copies:
+            used.update(copy.edge_congestion_counts())
+        return len(used)
+    return len(emb.edge_congestion_counts())
+
+
+def report(emb: AnyEmbedding, name: str = "") -> EmbeddingReport:
+    """Build an :class:`EmbeddingReport` for any embedding style."""
+    name = name or getattr(emb, "name", "") or type(emb).__name__
+    if isinstance(emb, MultiCopyEmbedding):
+        return EmbeddingReport(
+            name=name,
+            style="multiple-copy",
+            guest_vertices=emb.guest.num_vertices,
+            host_dim=emb.host.n,
+            load=emb.node_load,
+            dilation=emb.dilation,
+            congestion=emb.edge_congestion,
+            copies=emb.k,
+            links_used=_links_used(emb),
+            links_total=emb.host.num_edges,
+        )
+    if isinstance(emb, MultiPathEmbedding):
+        return EmbeddingReport(
+            name=name,
+            style="multiple-path",
+            guest_vertices=emb.guest.num_vertices,
+            host_dim=emb.host.n,
+            load=emb.load,
+            dilation=emb.dilation,
+            congestion=emb.congestion,
+            width=emb.width,
+            expansion=emb.expansion,
+            links_used=_links_used(emb),
+            links_total=emb.host.num_edges,
+        )
+    return EmbeddingReport(
+        name=name,
+        style="single-path",
+        guest_vertices=emb.guest.num_vertices,
+        host_dim=emb.host.n,
+        load=emb.load,
+        dilation=emb.dilation,
+        congestion=emb.congestion,
+        expansion=emb.expansion,
+        links_used=_links_used(emb),
+        links_total=emb.host.num_edges,
+    )
+
+
+def compare_embeddings(embeddings: Dict[str, AnyEmbedding]) -> str:
+    """Render a side-by-side comparison table (Section 8.2 style)."""
+    reports = {name: report(e, name) for name, e in embeddings.items()}
+    metrics = ["style", "load", "dilation", "congestion", "width", "copies",
+               "links used"]
+    lines = []
+    name_w = max(len(n) for n in reports)
+    header = "metric".ljust(14) + "  ".join(n.ljust(max(name_w, 14)) for n in reports)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for metric in metrics:
+        row = [metric.ljust(14)]
+        for rep in reports.values():
+            value = dict(rep.rows()).get(
+                metric if metric != "links used" else "links used", "-"
+            )
+            row.append(str(value).ljust(max(name_w, 14)))
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def congestion_histogram(emb: AnyEmbedding) -> Dict[int, int]:
+    """Histogram: congestion value -> number of directed host links.
+
+    Links carrying nothing are reported under key 0.
+    """
+    if isinstance(emb, MultiCopyEmbedding):
+        counts: Counter = Counter()
+        for copy in emb.copies:
+            counts.update(copy.edge_congestion_counts())
+    else:
+        counts = emb.edge_congestion_counts()
+    hist = Counter(counts.values())
+    hist[0] = emb.host.num_edges - len(counts)
+    return dict(sorted(hist.items()))
+
+
+def link_utilization(emb: AnyEmbedding) -> float:
+    """Fraction of directed host links carrying at least one image edge."""
+    return _links_used(emb) / emb.host.num_edges
+
+
+def dimension_usage(emb: AnyEmbedding) -> Dict[int, int]:
+    """Image-edge count per hypercube dimension.
+
+    Quantifies Section 2's bottleneck story: the gray-code cycle piles half
+    its edges onto dimension 0, while Theorem 1's moment-spread detours use
+    all dimensions nearly uniformly (see bench E1/E3).
+    """
+    host = emb.host
+    if isinstance(emb, MultiCopyEmbedding):
+        counts = Counter()
+        for copy in emb.copies:
+            for eid, c in copy.edge_congestion_counts().items():
+                counts[eid] += c
+    else:
+        counts = emb.edge_congestion_counts()
+    by_dim: Dict[int, int] = {d: 0 for d in range(host.n)}
+    for eid, c in counts.items():
+        by_dim[eid % host.n] += c
+    return by_dim

@@ -1,0 +1,129 @@
+"""Parameter sweeps: the paper's scaling claims as measured series.
+
+Each sweep returns a list of row dicts (one per parameter value) so callers
+can print tables, assert shapes, or feed plotting tools.  These are the
+"series" behind the Theta(n) statements: speedup vs n, utilization vs
+n mod 4, delivery vs fault rate, and broadcast crossover vs message size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+__all__ = [
+    "cycle_speedup_sweep",
+    "utilization_sweep",
+    "fault_tolerance_sweep",
+    "broadcast_crossover_sweep",
+    "format_rows",
+]
+
+Row = Dict[str, object]
+
+
+def cycle_speedup_sweep(ns: Iterable[int], m: int = 60) -> List[Row]:
+    """Section 2's headline series: gray vs Theorem 1 speedup as n grows."""
+    from repro.apps.broadcast import cycle_neighbor_exchange
+
+    rows: List[Row] = []
+    for n in ns:
+        res = cycle_neighbor_exchange(n, m)
+        rows.append(
+            {
+                "n": n,
+                "m": m,
+                "gray_steps": res["graycode"],
+                "multipath_steps": res["multipath"],
+                "speedup": round(res["graycode"] / res["multipath"], 3),
+                "width": res["width"],
+            }
+        )
+    return rows
+
+
+def utilization_sweep(ns: Iterable[int]) -> List[Row]:
+    """Theorem 2's link-busy fraction per n (1.0 exactly when n % 4 == 0)."""
+    from repro.core.cycle_multipath import embed_cycle_load2
+    from repro.routing.schedule import multipath_packet_schedule
+
+    rows: List[Row] = []
+    for n in ns:
+        emb = embed_cycle_load2(n)
+        sched = multipath_packet_schedule(emb)
+        sched.verify()
+        rows.append(
+            {
+                "n": n,
+                "n_mod_4": n % 4,
+                "width": emb.width,
+                "cost": sched.makespan,
+                "busy_fraction": round(sched.busy_link_fraction(), 4),
+            }
+        )
+    return rows
+
+
+def fault_tolerance_sweep(
+    n: int, probs: Iterable[float], trials: int = 3
+) -> List[Row]:
+    """Delivery rate vs link fault probability (multipath+IDA vs single)."""
+    from repro.core import embed_cycle_load1, graycode_cycle_embedding
+    from repro.fault import FaultyLinkModel, multipath_delivery_experiment
+
+    emb = embed_cycle_load1(n)
+    gray = graycode_cycle_embedding(n)
+    rows: List[Row] = []
+    for prob in probs:
+        multi = single = 0.0
+        for seed in range(trials):
+            faults = FaultyLinkModel.random(emb.host, prob, seed=seed)
+            multi += multipath_delivery_experiment(emb, faults).delivery_rate
+            ok = sum(faults.path_alive(p) for p in gray.edge_paths.values())
+            single += ok / gray.guest.num_edges
+        rows.append(
+            {
+                "fault_prob": prob,
+                "multipath_ida": round(multi / trials, 4),
+                "single_path": round(single / trials, 4),
+            }
+        )
+    return rows
+
+
+def broadcast_crossover_sweep(n: int, packet_counts: Iterable[int]) -> List[Row]:
+    """E14's series: binomial tree vs Hamiltonian-cycle pipelines vs M."""
+    from repro.apps.one_to_all import (
+        binomial_broadcast_time,
+        hamiltonian_broadcast_time,
+    )
+
+    rows: List[Row] = []
+    for m in packet_counts:
+        tree = binomial_broadcast_time(n, m)
+        cyc = hamiltonian_broadcast_time(n, m)
+        rows.append(
+            {
+                "M": m,
+                "tree_steps": tree,
+                "cycle_steps": cyc,
+                "winner": "cycles" if cyc < tree else "tree",
+            }
+        )
+    return rows
+
+
+def format_rows(rows: List[Row]) -> str:
+    """Render a row-dict series as an aligned text table."""
+    if not rows:
+        return "(empty sweep)"
+    headers = list(rows[0])
+    widths = [
+        max(len(str(h)), max(len(str(r[h])) for r in rows)) for h in headers
+    ]
+    out = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    out.append("-" * len(out[0]))
+    for r in rows:
+        out.append(
+            "  ".join(str(r[h]).ljust(w) for h, w in zip(headers, widths))
+        )
+    return "\n".join(out)

@@ -1,0 +1,151 @@
+"""One-call validation: re-certify every theorem claim programmatically.
+
+``validate_claims()`` rebuilds each paper construction at a representative
+size and checks its claim the same way the benches do — useful as a smoke
+test after environment changes (``python -m repro validate``) and as the
+programmatic answer to "does this install actually reproduce the paper?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["ClaimResult", "validate_claims"]
+
+
+@dataclass
+class ClaimResult:
+    claim: str
+    ok: bool
+    detail: str = ""
+
+
+def _checks() -> List[tuple]:
+    def lemma1():
+        from repro.hypercube.hamiltonian import hamiltonian_decomposition
+
+        dec = hamiltonian_decomposition(8)
+        return len(dec.cycles) == 4, f"{len(dec.cycles)} cycles"
+
+    def theorem1():
+        from repro.core import embed_cycle_load1
+        from repro.routing.schedule import multipath_packet_schedule
+
+        emb = embed_cycle_load1(8)
+        emb.verify()
+        sched = multipath_packet_schedule(emb, extra_direct_at=3)
+        sched.verify()
+        return (
+            emb.width >= 4 and sched.makespan == 3,
+            f"width {emb.width}, cost {sched.makespan}",
+        )
+
+    def theorem2():
+        from repro.core import embed_cycle_load2
+        from repro.routing.schedule import multipath_packet_schedule
+
+        emb = embed_cycle_load2(8)
+        emb.verify()
+        sched = multipath_packet_schedule(emb)
+        sched.verify()
+        busy = sched.busy_link_fraction()
+        return (
+            emb.width == 4 and sched.makespan == 3 and busy == 1.0,
+            f"width {emb.width}, cost {sched.makespan}, busy {busy:.2f}",
+        )
+
+    def lemma3():
+        from repro.core import max_width_for_cost3, verify_no_two_hop_paths
+
+        return (
+            verify_no_two_hop_paths(4) and max_width_for_cost3(8) == 4,
+            "path census + counting bound",
+        )
+
+    def corollary1():
+        from repro.core import embed_grid_multipath
+        from repro.routing.schedule import multipath_packet_schedule
+
+        emb = embed_grid_multipath((16, 16), torus=True)
+        emb.verify()
+        sched = multipath_packet_schedule(emb)
+        sched.verify()
+        return sched.makespan == 6, f"bidirectional phase {sched.makespan}"
+
+    def theorem3():
+        from repro.core import ccc_multicopy_embedding
+
+        mc = ccc_multicopy_embedding(4)
+        mc.verify()
+        return (
+            mc.k == 4 and mc.dilation == 1 and mc.edge_congestion == 2,
+            f"{mc.k} copies, congestion {mc.edge_congestion}",
+        )
+
+    def theorem4():
+        from repro.core import (
+            cycle_multicopy_embedding,
+            induced_cross_product_embedding,
+        )
+        from repro.routing.schedule import measured_multipath_cost
+
+        x = induced_cross_product_embedding(cycle_multicopy_embedding(4))
+        x.verify()
+        cost = measured_multipath_cost(x)
+        return x.width == 4 and cost == 3, f"width {x.width}, cost {cost}"
+
+    def theorem5():
+        from repro.core import theorem5_embedding
+
+        emb = theorem5_embedding(2)
+        emb.verify()
+        widths = [
+            len(ps) for ps in emb.edge_paths.values() if len(ps[0]) > 1
+        ]
+        return (
+            min(widths) == 3 and emb.info["load"] <= 4,
+            f"width {min(widths)}, load {emb.info['load']}",
+        )
+
+    def corollary3():
+        from repro.core import large_cycle_embedding
+
+        emb = large_cycle_embedding(6)
+        emb.verify()
+        return (
+            emb.dilation == 1 and emb.congestion == 1,
+            "dilation 1, congestion 1",
+        )
+
+    def ida():
+        from repro.fault.ida import disperse, reconstruct
+
+        msg = b"routing multiple paths"
+        pieces = disperse(msg, 5, 3)
+        return reconstruct(pieces[2:], 5, 3) == msg, "5 pieces, any 3 rebuild"
+
+    return [
+        ("Lemma 1 (Hamiltonian decomposition)", lemma1),
+        ("Theorem 1 (load-1 cycle, cost 3)", theorem1),
+        ("Theorem 2 (load-2 cycle, full links)", theorem2),
+        ("Lemma 3 (lower bounds)", lemma3),
+        ("Corollary 1 (grids)", corollary1),
+        ("Theorem 3 (CCC copies)", theorem3),
+        ("Theorem 4 (general transform)", theorem4),
+        ("Theorem 5 (binary trees)", theorem5),
+        ("Corollary 3 (large cycle)", corollary3),
+        ("Section 1 (IDA)", ida),
+    ]
+
+
+def validate_claims() -> List[ClaimResult]:
+    """Run every claim check; returns one :class:`ClaimResult` per claim."""
+    results = []
+    for name, check in _checks():
+        try:
+            ok, detail = check()
+            results.append(ClaimResult(name, bool(ok), detail))
+        except Exception as err:  # noqa: BLE001 - report, don't crash
+            results.append(ClaimResult(name, False, f"error: {err}"))
+    return results

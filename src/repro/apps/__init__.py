@@ -1,0 +1,34 @@
+"""Applications from the paper's motivating sections.
+
+* :mod:`repro.apps.broadcast` — the Section 2 illustration: every cycle node
+  ships ``m`` packets to its successor, classical gray code vs Theorem 1;
+* :mod:`repro.apps.relaxation` — Sections 2 & 8.3: grid relaxation on a
+  hypercube, comparing the large-copy, blocked multiple-path, and blocked
+  large-copy mappings.
+"""
+
+from repro.apps.bitonic import bitonic_communication_steps, bitonic_sort
+from repro.apps.broadcast import cycle_neighbor_exchange
+from repro.apps.one_to_all import (
+    binomial_broadcast_time,
+    broadcast_comparison,
+    hamiltonian_broadcast_time,
+)
+from repro.apps.matmul import cannon_communication_steps, cannon_matmul
+from repro.apps.relaxation import (
+    GridRelaxation,
+    relaxation_strategy_comparison,
+)
+
+__all__ = [
+    "bitonic_communication_steps",
+    "bitonic_sort",
+    "cycle_neighbor_exchange",
+    "binomial_broadcast_time",
+    "broadcast_comparison",
+    "hamiltonian_broadcast_time",
+    "cannon_communication_steps",
+    "cannon_matmul",
+    "GridRelaxation",
+    "relaxation_strategy_comparison",
+]

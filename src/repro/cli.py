@@ -1,0 +1,273 @@
+"""Command-line interface: build, verify and report on embeddings.
+
+Usage examples::
+
+    python -m repro figures --n 8
+    python -m repro embed cycle --n 8
+    python -m repro embed cycle2 --n 10 --wide
+    python -m repro embed grid --dims 16x16 --torus
+    python -m repro embed ccc --n 4
+    python -m repro embed tree --m 2
+    python -m repro compare --n 6
+    python -m repro broadcast --n 6 --packets 512
+    python -m repro faults --n 8 --prob 0.05
+    python -m repro sweep utilization --n 10
+    python -m repro save cycle emb.json --n 8 && python -m repro load emb.json
+    python -m repro validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Routing Multiple Paths in Hypercubes (Greenberg & "
+        "Bhatt, SPAA 1990) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figures", help="print the paper's Figures 1-4")
+    fig.add_argument("--n", type=int, default=8, help="hypercube dimension")
+
+    emb = sub.add_parser("embed", help="build, verify and report an embedding")
+    emb.add_argument(
+        "kind", choices=["cycle", "cycle2", "grid", "ccc", "tree", "large-cycle"]
+    )
+    emb.add_argument("--n", type=int, default=8, help="hypercube dimension")
+    emb.add_argument("--m", type=int, default=2, help="butterfly levels (tree)")
+    emb.add_argument("--dims", type=str, default="16x16", help="grid sides, AxBxC")
+    emb.add_argument("--torus", action="store_true", help="wraparound grid")
+    emb.add_argument("--wide", action="store_true", help="Theorem 2 width variant")
+
+    cmp_ = sub.add_parser("compare", help="compare the three embedding styles")
+    cmp_.add_argument("--n", type=int, default=6, help="hypercube dimension (even)")
+
+    bc = sub.add_parser("broadcast", help="one-to-all broadcast comparison")
+    bc.add_argument("--n", type=int, default=6)
+    bc.add_argument("--packets", type=int, default=512)
+
+    flt = sub.add_parser("faults", help="fault-tolerant delivery experiment")
+    flt.add_argument("--n", type=int, default=8)
+    flt.add_argument("--prob", type=float, default=0.05)
+    flt.add_argument("--seed", type=int, default=0)
+
+    swp = sub.add_parser("sweep", help="run one of the measured series")
+    swp.add_argument(
+        "series",
+        choices=["speedup", "utilization", "faults", "broadcast"],
+    )
+    swp.add_argument("--n", type=int, default=8)
+
+    sav = sub.add_parser("save", help="build an embedding and write JSON")
+    sav.add_argument("kind", choices=["cycle", "cycle2", "grid"])
+    sav.add_argument("path", help="output file")
+    sav.add_argument("--n", type=int, default=8)
+    sav.add_argument("--dims", type=str, default="16x16")
+    sav.add_argument("--torus", action="store_true")
+
+    lod = sub.add_parser("load", help="load, re-verify and report a JSON embedding")
+    lod.add_argument("path", help="input file")
+
+    sub.add_parser("validate", help="re-certify every theorem claim")
+
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    from repro.analysis import figure1, figure2, figure3, figure4
+
+    print(figure1(min(args.n, 4)))
+    print()
+    print(figure2(args.n if args.n % 4 else args.n + 3))
+    print()
+    print(figure3(4))
+    print()
+    print(figure4(max(args.n, 8)))
+    return 0
+
+
+def _cmd_embed(args) -> int:
+    from repro.analysis import report
+
+    if args.kind == "cycle":
+        from repro.core import embed_cycle_load1
+
+        emb = embed_cycle_load1(args.n)
+    elif args.kind == "cycle2":
+        from repro.core import embed_cycle_load2
+
+        emb = embed_cycle_load2(args.n, prefer_width=args.wide)
+    elif args.kind == "grid":
+        from repro.core import embed_grid_multipath
+
+        dims = tuple(int(x) for x in args.dims.lower().split("x"))
+        emb = embed_grid_multipath(dims, torus=args.torus)
+    elif args.kind == "ccc":
+        from repro.core import ccc_multicopy_embedding
+
+        emb = ccc_multicopy_embedding(args.n)
+    elif args.kind == "tree":
+        from repro.core import theorem5_embedding
+
+        emb = theorem5_embedding(args.m)
+    else:  # large-cycle
+        from repro.core import large_cycle_embedding
+
+        emb = large_cycle_embedding(args.n)
+    emb.verify()
+    print("verified OK")
+    print(report(emb))
+    info = getattr(emb, "info", None)
+    if info and "claim" in info:
+        print(f"  paper claim     {info['claim']}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis import compare_embeddings
+    from repro.core import (
+        cycle_multicopy_embedding,
+        embed_cycle_load1,
+        graycode_cycle_embedding,
+        large_cycle_embedding,
+    )
+
+    n = args.n
+    if n % 2:
+        print("compare needs even n (Lemma 1's directed form)", file=sys.stderr)
+        return 2
+    print(
+        compare_embeddings(
+            {
+                "graycode": graycode_cycle_embedding(n),
+                "multipath": embed_cycle_load1(n) if n >= 4 else
+                graycode_cycle_embedding(n),
+                "multicopy": cycle_multicopy_embedding(n),
+                "large-copy": large_cycle_embedding(n),
+            }
+        )
+    )
+    return 0
+
+
+def _cmd_broadcast(args) -> int:
+    from repro.apps.one_to_all import broadcast_comparison
+
+    print(f"one-to-all broadcast on Q_{args.n}")
+    print(f"{'M':>8} {'binomial tree':>14} {'n Ham. cycles':>14}")
+    for m, tree, cyc in broadcast_comparison(
+        args.n, (args.packets // 4 or 1, args.packets, args.packets * 4)
+    ):
+        print(f"{m:>8} {tree:>14} {cyc:>14}")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.core import embed_cycle_load1
+    from repro.fault import FaultyLinkModel, multipath_delivery_experiment
+
+    emb = embed_cycle_load1(args.n)
+    faults = FaultyLinkModel.random(emb.host, args.prob, seed=args.seed)
+    rep = multipath_delivery_experiment(emb, faults)
+    print(
+        f"Q_{args.n}, link fault probability {args.prob}: "
+        f"{rep.delivered}/{rep.total_edges} edges delivered "
+        f"({rep.delivery_rate:.1%}) via IDA over the disjoint paths"
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis import (
+        broadcast_crossover_sweep,
+        cycle_speedup_sweep,
+        fault_tolerance_sweep,
+        format_rows,
+        utilization_sweep,
+    )
+
+    n = args.n
+    if args.series == "speedup":
+        rows = cycle_speedup_sweep(range(4, n + 1, 2))
+    elif args.series == "utilization":
+        rows = utilization_sweep(range(4, n + 2))
+    elif args.series == "faults":
+        rows = fault_tolerance_sweep(n, [0.01, 0.02, 0.05, 0.1])
+    else:
+        rows = broadcast_crossover_sweep(n, (8, 64, 512, 4096))
+    print(format_rows(rows))
+    return 0
+
+
+def _cmd_save(args) -> int:
+    from repro.core.serialize import to_json
+
+    if args.kind == "cycle":
+        from repro.core import embed_cycle_load1
+
+        emb = embed_cycle_load1(args.n)
+    elif args.kind == "cycle2":
+        from repro.core import embed_cycle_load2
+
+        emb = embed_cycle_load2(args.n)
+    else:
+        from repro.core import embed_grid_multipath
+
+        dims = tuple(int(x) for x in args.dims.lower().split("x"))
+        emb = embed_grid_multipath(dims, torus=args.torus)
+    with open(args.path, "w") as fp:
+        fp.write(to_json(emb))
+    print(f"wrote {args.path}")
+    return 0
+
+
+def _cmd_load(args) -> int:
+    from repro.analysis import report
+    from repro.core.serialize import from_json
+
+    with open(args.path) as fp:
+        emb = from_json(fp.read())  # verified on load
+    print("verified OK")
+    print(report(emb))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.analysis import validate_claims
+
+    results = validate_claims()
+    width = max(len(r.claim) for r in results)
+    ok = True
+    for r in results:
+        mark = "PASS" if r.ok else "FAIL"
+        print(f"  {r.claim.ljust(width)}  {mark}  {r.detail}")
+        ok &= r.ok
+    print(f"{sum(r.ok for r in results)}/{len(results)} claims verified")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "embed": _cmd_embed,
+        "compare": _cmd_compare,
+        "broadcast": _cmd_broadcast,
+        "faults": _cmd_faults,
+        "sweep": _cmd_sweep,
+        "save": _cmd_save,
+        "load": _cmd_load,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""The paper's contribution: multiple-path / multiple-copy / large-copy embeddings.
+
+Public entry points:
+
+* :mod:`repro.core.embedding` — embedding data model, metrics, verification;
+* :mod:`repro.core.cycle_multicopy` — gray-code baseline and Lemma 1 copies;
+* :mod:`repro.core.cycle_multipath` — Theorems 1 and 2;
+* :mod:`repro.core.grid_multipath` — Corollaries 1 and 2;
+* :mod:`repro.core.ccc_multicopy` — Theorem 3 (and Lemma 4);
+* :mod:`repro.core.butterfly_multicopy` — butterfly copies via CCC (§5.4);
+* :mod:`repro.core.cross_product` — Theorem 4 (the general technique);
+* :mod:`repro.core.tree_multipath` — Theorem 5 and Section 6.2;
+* :mod:`repro.core.large_copy` — Corollary 3 and Lemma 9;
+* :mod:`repro.core.bounds` — Lemma 3 lower bounds.
+"""
+
+from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
+from repro.core.cycle_multicopy import (
+    cycle_multicopy_embedding,
+    graycode_cycle_embedding,
+)
+from repro.core.cycle_multipath import (
+    embed_cycle_load1,
+    embed_cycle_load2,
+    theorem1_claim,
+    theorem2_claim,
+)
+from repro.core.grid_multipath import embed_grid_multipath, corollary1_claim
+from repro.core.ccc_multicopy import (
+    ccc_multicopy_embedding,
+    ccc_single_embedding,
+    theorem3_claim,
+)
+from repro.core.butterfly_multicopy import butterfly_multicopy_embedding
+from repro.core.butterfly_multipath import butterfly_multipath_embedding
+from repro.core.cross_product import induced_cross_product_embedding, theorem4_claim
+from repro.core.grid_multicopy import grid_multicopy_embedding
+from repro.core.tree_multicopy import cbt_multicopy_embedding
+from repro.core.tree_multipath import (
+    arbitrary_tree_embedding,
+    cbt_to_butterfly_map,
+    theorem5_embedding,
+    tree_to_cbt_map,
+)
+from repro.core.large_copy import (
+    large_butterfly_embedding,
+    large_ccc_embedding,
+    large_cycle_embedding,
+    large_fft_embedding,
+)
+from repro.core.bounds import (
+    count_short_paths,
+    max_width_for_cost3,
+    min_dilation_for_width,
+    verify_no_two_hop_paths,
+)
+
+__all__ = [
+    "Embedding",
+    "MultiCopyEmbedding",
+    "MultiPathEmbedding",
+    "cycle_multicopy_embedding",
+    "graycode_cycle_embedding",
+    "embed_cycle_load1",
+    "embed_cycle_load2",
+    "theorem1_claim",
+    "theorem2_claim",
+    "embed_grid_multipath",
+    "corollary1_claim",
+    "ccc_multicopy_embedding",
+    "ccc_single_embedding",
+    "theorem3_claim",
+    "butterfly_multicopy_embedding",
+    "butterfly_multipath_embedding",
+    "induced_cross_product_embedding",
+    "grid_multicopy_embedding",
+    "cbt_multicopy_embedding",
+    "theorem4_claim",
+    "arbitrary_tree_embedding",
+    "cbt_to_butterfly_map",
+    "theorem5_embedding",
+    "tree_to_cbt_map",
+    "large_butterfly_embedding",
+    "large_ccc_embedding",
+    "large_cycle_embedding",
+    "large_fft_embedding",
+    "count_short_paths",
+    "max_width_for_cost3",
+    "min_dilation_for_width",
+    "verify_no_two_hop_paths",
+]

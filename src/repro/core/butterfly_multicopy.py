@@ -1,0 +1,79 @@
+"""Multiple-copy embeddings of butterflies (corollary to Theorem 3, §5.4).
+
+"It is easy to show that FFTs and Butterflies can be embedded in CCCs with
+dilation 2 and congestion 2.  Thus they also have efficient multiple-copy
+embeddings into the hypercube."  This module composes the butterfly->CCC
+embedding with Theorem 3's n CCC copies:
+
+* a forward straight butterfly edge rides the CCC straight edge;
+* a forward cross edge ``(l, c) -> (l+1, c ^ 2^l)`` rides the CCC cross edge
+  at level ``l`` followed by the straight edge up;
+* reverse edges (for the undirected butterfly Theorem 5 needs) ride the
+  reversed straight edges of the undirected CCC (Section 5.4's extension,
+  which adds at most 2 to the congestion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.ccc_multicopy import ccc_multicopy_embedding
+from repro.core.embedding import Embedding, MultiCopyEmbedding
+from repro.networks.butterfly import Butterfly
+
+__all__ = ["butterfly_multicopy_embedding"]
+
+
+def butterfly_multicopy_embedding(
+    m: int, undirected: bool = False
+) -> MultiCopyEmbedding:
+    """Embed ``m`` copies of the m-level butterfly in ``Q_{m + log m}``.
+
+    Requires ``m`` a power of two (inherited from Theorem 3).  With
+    ``undirected=True`` each copy carries both orientations of every
+    butterfly edge; reverse straight CCC edges are then also used, raising
+    the per-copy congestion (the paper's Section 5.4 bound: at most doubled).
+    """
+    ccc_mc = ccc_multicopy_embedding(m)
+    guest = Butterfly(m, undirected=undirected)
+    copies = [
+        _compose_butterfly_on_ccc(guest, copy) for copy in ccc_mc.copies
+    ]
+    kind = "undirected-" if undirected else ""
+    return MultiCopyEmbedding(
+        ccc_mc.host, guest, copies, name=f"{kind}butterfly-multicopy-{m}"
+    )
+
+
+def _compose_butterfly_on_ccc(guest: Butterfly, ccc_copy: Embedding) -> Embedding:
+    """One butterfly copy: identity on vertices, CCC routes for edges."""
+    m = guest.n
+    vmap = ccc_copy.vertex_map  # CCC vertex (level, column) -> host node
+    vertex_map = {v: vmap[v] for v in guest.vertices()}
+    edge_paths: Dict[Tuple, Tuple[int, ...]] = {}
+
+    def host_path(ccc_route: List[Tuple[int, int]]) -> Tuple[int, ...]:
+        return tuple(vmap[x] for x in ccc_route)
+
+    for level in range(m):
+        nxt = (level + 1) % m
+        bit = 1 << level
+        for c in range(guest.num_columns):
+            u, v = (level, c), (nxt, c)
+            edge_paths[(u, v)] = host_path([u, v])  # straight = CCC straight
+            w = (nxt, c ^ bit)
+            # cross: CCC cross at `level`, then straight up
+            edge_paths[(u, w)] = host_path([u, (level, c ^ bit), w])
+            if guest.undirected:
+                # reverse straight = reversed CCC straight edge
+                edge_paths[(v, u)] = host_path([v, u])
+                # reverse cross: straight down (reversed), then CCC cross
+                edge_paths[(w, u)] = host_path([w, (level, c ^ bit), u])
+    emb = Embedding(
+        ccc_copy.host,
+        guest,
+        vertex_map,
+        edge_paths,
+        name=f"butterfly-on-{ccc_copy.name}",
+    )
+    return emb

@@ -1,0 +1,66 @@
+"""Cycle embeddings: the classical gray-code baseline and Lemma 1 copies.
+
+* :func:`graycode_cycle_embedding` — Figure 1's classical binary reflected
+  gray code embedding of the directed cycle (dilation 1, congestion 1, but
+  it leaves ``n - 1`` of the ``n`` outgoing links of every node idle, which
+  is the inefficiency the paper attacks);
+* :func:`cycle_multicopy_embedding` — Lemma 1: ``n`` (n even) or ``n - 1``
+  (n odd) copies of the ``2**n``-node directed cycle with dilation 1 and
+  congestion 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.embedding import Embedding, MultiCopyEmbedding
+from repro.hypercube.graph import Hypercube
+from repro.hypercube.graycode import gray_node_sequence
+from repro.hypercube.hamiltonian import directed_hamiltonian_decomposition
+from repro.networks.cycle import DirectedCycle
+
+__all__ = ["graycode_cycle_embedding", "cycle_multicopy_embedding"]
+
+
+def _cycle_embedding_from_nodes(host: Hypercube, nodes, name: str) -> Embedding:
+    length = len(nodes)
+    guest = DirectedCycle(length)
+    vertex_map = {i: nodes[i] for i in range(length)}
+    edge_paths = {
+        (i, (i + 1) % length): (nodes[i], nodes[(i + 1) % length])
+        for i in range(length)
+    }
+    return Embedding(host, guest, vertex_map, edge_paths, name=name)
+
+
+def graycode_cycle_embedding(n: int) -> Embedding:
+    """The classical gray-code embedding of the ``2**n``-cycle in ``Q_n``.
+
+    Every directed cycle edge maps to a single hypercube link (dilation 1,
+    congestion 1).  Section 2 of the paper shows its ``m``-packet cost is
+    ``m`` per node sequentially — and at least ``m/2`` for *any* strategy
+    confined to these single paths, because dimension 0 carries ``m*2^{n-1}``
+    packets over ``2^n`` directed edges.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    host = Hypercube(n)
+    return _cycle_embedding_from_nodes(
+        host, gray_node_sequence(n), name=f"graycode-cycle-Q{n}"
+    )
+
+
+def cycle_multicopy_embedding(n: int) -> MultiCopyEmbedding:
+    """Lemma 1: edge-disjoint directed Hamiltonian cycles as a k-copy embedding.
+
+    For even ``n`` this yields ``n`` copies; for odd ``n``, ``n - 1`` copies
+    (the perfect matching cannot be oriented into a cycle).  Dilation 1 and
+    total edge-congestion 1 — every directed hypercube edge carries at most
+    one cycle edge across *all* copies.
+    """
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    host = Hypercube(n)
+    copies = [
+        _cycle_embedding_from_nodes(host, cyc, name=f"lemma1-copy{i}-Q{n}")
+        for i, cyc in enumerate(directed_hamiltonian_decomposition(n))
+    ]
+    return MultiCopyEmbedding(host, copies[0].guest, copies, name=f"lemma1-Q{n}")

@@ -1,0 +1,297 @@
+"""Embedding data model, metrics, and verification (paper Section 3).
+
+Three embedding styles, matching the paper's definitions:
+
+* :class:`Embedding` — a (possibly many-to-one) vertex map plus one host
+  path per guest edge.  Metrics: load, dilation, congestion, expansion.
+* :class:`MultiPathEmbedding` — a one-to-one vertex map plus ``w``
+  *edge-disjoint* host paths per guest edge (a *width-w* embedding).  The
+  congestion of a host edge counts the guest edges one of whose image paths
+  uses it.
+* :class:`MultiCopyEmbedding` — ``k`` independent one-to-one embeddings of
+  the same guest.  The *edge-congestion* sums congestion over all copies.
+
+All verification is against the *directed* hypercube host: a host path is a
+sequence of directed host edges, and "edge-disjoint" means no two paths of
+the same guest edge share a directed host edge.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.hypercube.graph import Hypercube
+from repro.networks.base import GuestGraph
+
+__all__ = ["Embedding", "MultiPathEmbedding", "MultiCopyEmbedding"]
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+HostPath = Tuple[int, ...]
+
+
+def _path_edge_ids(host: Hypercube, path: Sequence[int]) -> List[int]:
+    """Directed host edge ids along a path (raises on non-edges)."""
+    return [host.edge_id(a, b) for a, b in zip(path, path[1:])]
+
+
+@dataclass
+class Embedding:
+    """A classical embedding: vertex map + one host path per guest edge."""
+
+    host: Hypercube
+    guest: GuestGraph
+    vertex_map: Dict[Vertex, int]
+    edge_paths: Dict[Edge, HostPath]
+    name: str = ""
+
+    # -- metrics (paper Section 3) ------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """Maximum number of guest vertices per host node."""
+        return max(Counter(self.vertex_map.values()).values())
+
+    @property
+    def dilation(self) -> int:
+        """Maximum path length over all guest edges."""
+        return max((len(p) - 1 for p in self.edge_paths.values()), default=0)
+
+    @property
+    def congestion(self) -> int:
+        """Maximum number of guest edges routed through one directed host edge."""
+        counts = self.edge_congestion_counts()
+        return max(counts.values()) if counts else 0
+
+    @property
+    def expansion(self) -> float:
+        """|host| / size of the smallest hypercube holding the guest."""
+        min_dim = max(0, math.ceil(math.log2(max(1, self.guest.num_vertices))))
+        return self.host.num_nodes / (1 << min_dim)
+
+    def edge_congestion_counts(self) -> Counter:
+        """Congestion of every used directed host edge, by edge id."""
+        counts: Counter = Counter()
+        for path in self.edge_paths.values():
+            counts.update(_path_edge_ids(self.host, path))
+        return counts
+
+    # -- verification ----------------------------------------------------------
+
+    def verify(self, max_load: Optional[int] = None) -> None:
+        """Raise AssertionError unless this is a valid embedding."""
+        if max_load is None:
+            max_load = math.ceil(self.guest.num_vertices / self.host.num_nodes)
+        images = Counter()
+        for v in self.guest.vertices():
+            if v not in self.vertex_map:
+                raise AssertionError(f"guest vertex {v} is unmapped")
+            node = self.vertex_map[v]
+            if not 0 <= node < self.host.num_nodes:
+                raise AssertionError(f"image {node} of {v} out of host range")
+            images[node] += 1
+        if images and max(images.values()) > max_load:
+            raise AssertionError(
+                f"load {max(images.values())} exceeds allowed {max_load}"
+            )
+        for (u, v) in self.guest.edges():
+            path = self.edge_paths.get((u, v))
+            if path is None:
+                raise AssertionError(f"guest edge ({u}, {v}) has no path")
+            if path[0] != self.vertex_map[u] or path[-1] != self.vertex_map[v]:
+                raise AssertionError(f"path for ({u}, {v}) has wrong endpoints")
+            _path_edge_ids(self.host, path)  # validates hops
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Embedding{tag} {self.guest!r} -> Q_{self.host.n}: "
+            f"load={self.load} dilation={self.dilation} congestion={self.congestion}>"
+        )
+
+
+@dataclass
+class MultiPathEmbedding:
+    """A width-w embedding: w edge-disjoint host paths per guest edge.
+
+    ``step_of`` optionally assigns a *time step* to every hop: the schedule
+    claims that hop ``j`` of the path for a guest edge is performed at step
+    ``step_of[edge][path_index][j]``.  The paper's cost claims (e.g. cost 3
+    in Theorem 1) are verified against this schedule by
+    :func:`repro.routing.schedule.verify_step_schedule`.
+    """
+
+    host: Hypercube
+    guest: GuestGraph
+    vertex_map: Dict[Vertex, int]
+    edge_paths: Dict[Edge, Tuple[HostPath, ...]]
+    name: str = ""
+    load_allowed: int = 1
+    step_of: Optional[Dict[Edge, Tuple[Tuple[int, ...], ...]]] = field(
+        default=None, repr=False
+    )
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Minimum number of edge-disjoint paths over all guest edges."""
+        return min((len(ps) for ps in self.edge_paths.values()), default=0)
+
+    @property
+    def load(self) -> int:
+        return max(Counter(self.vertex_map.values()).values())
+
+    @property
+    def dilation(self) -> int:
+        return max(
+            (len(p) - 1 for ps in self.edge_paths.values() for p in ps), default=0
+        )
+
+    @property
+    def congestion(self) -> int:
+        """Max over host edges of the number of guest edges using it."""
+        counts = self.edge_congestion_counts()
+        return max(counts.values()) if counts else 0
+
+    @property
+    def expansion(self) -> float:
+        min_dim = max(0, math.ceil(math.log2(max(1, self.guest.num_vertices))))
+        return self.host.num_nodes / (1 << min_dim)
+
+    def edge_congestion_counts(self) -> Counter:
+        """For each host edge id: number of *guest edges* whose image uses it."""
+        counts: Counter = Counter()
+        for paths in self.edge_paths.values():
+            used = set()
+            for p in paths:
+                used.update(_path_edge_ids(self.host, p))
+            counts.update(used)
+        return counts
+
+    # -- verification -------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Raise AssertionError unless this is a valid width-w embedding.
+
+        The hop checks are vectorized (numpy) — profiling showed per-hop
+        Python calls dominating large constructions; the batched version
+        checks the same three invariants: every hop is a hypercube edge,
+        endpoints match the vertex images, and no guest edge's path bundle
+        reuses a directed host edge (within or across its paths).
+        """
+        import numpy as np
+
+        images = Counter(self.vertex_map.values())
+        for v in self.guest.vertices():
+            if v not in self.vertex_map:
+                raise AssertionError(f"guest vertex {v} is unmapped")
+        if images and max(images.values()) > self.load_allowed:
+            raise AssertionError(
+                f"load {max(images.values())} exceeds allowed {self.load_allowed}"
+            )
+        heads: List[int] = []
+        tails: List[int] = []
+        group: List[int] = []  # guest-edge index per hop
+        for idx, (u, v) in enumerate(self.guest.edges()):
+            paths = self.edge_paths.get((u, v))
+            if not paths:
+                raise AssertionError(f"guest edge ({u}, {v}) has no paths")
+            hu, hv = self.vertex_map[u], self.vertex_map[v]
+            for p in paths:
+                if p[0] != hu or p[-1] != hv:
+                    raise AssertionError(
+                        f"path for ({u}, {v}) has wrong endpoints: {p}"
+                    )
+                heads.extend(p[:-1])
+                tails.extend(p[1:])
+                group.extend([idx] * (len(p) - 1))
+        if not heads:
+            return
+        us = np.asarray(heads, dtype=np.int64)
+        vs = np.asarray(tails, dtype=np.int64)
+        gs = np.asarray(group, dtype=np.int64)
+        if us.min() < 0 or max(us.max(), vs.max()) >= self.host.num_nodes:
+            raise AssertionError("path node out of host range")
+        x = us ^ vs
+        if np.any(x == 0) or np.any(x & (x - 1)):
+            bad = int(np.nonzero((x == 0) | (x & (x - 1)) != 0)[0][0])
+            raise AssertionError(
+                f"({heads[bad]}, {tails[bad]}) is not a hypercube edge"
+            )
+        dims = np.log2(x.astype(np.float64)).astype(np.int64)
+        eids = us * self.host.n + dims
+        keys = gs * np.int64(self.host.num_edges) + eids
+        if np.unique(keys).size != keys.size:
+            # locate one offender for the error message
+            uniq, counts = np.unique(keys, return_counts=True)
+            key = int(uniq[np.argmax(counts > 1)])
+            raise AssertionError(
+                f"guest edge #{key // self.host.num_edges} reuses directed "
+                f"host edge {key % self.host.num_edges} across its paths"
+            )
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"<MultiPathEmbedding{tag} {self.guest!r} -> Q_{self.host.n}: "
+            f"width={self.width} load={self.load} dilation={self.dilation}>"
+        )
+
+
+@dataclass
+class MultiCopyEmbedding:
+    """k independent embeddings of the same guest graph.
+
+    The paper's definition has one-to-one copies (``copy_load_allowed = 1``);
+    derived constructions (e.g. Section 8.1's tree copies riding the
+    CBT-to-butterfly substitute) may carry a small constant per-copy load.
+    """
+
+    host: Hypercube
+    guest: GuestGraph
+    copies: List[Embedding]
+    name: str = ""
+    copy_load_allowed: int = 1
+
+    @property
+    def k(self) -> int:
+        return len(self.copies)
+
+    @property
+    def dilation(self) -> int:
+        return max((c.dilation for c in self.copies), default=0)
+
+    @property
+    def edge_congestion(self) -> int:
+        """Max over host edges of summed congestion across all copies."""
+        counts: Counter = Counter()
+        for copy in self.copies:
+            counts.update(copy.edge_congestion_counts())
+        return max(counts.values()) if counts else 0
+
+    @property
+    def node_load(self) -> int:
+        """Max guest vertices (over all copies) mapped to one host node."""
+        counts: Counter = Counter()
+        for copy in self.copies:
+            counts.update(copy.vertex_map.values())
+        return max(counts.values()) if counts else 0
+
+    def verify(self) -> None:
+        """Each copy must be a valid embedding within the per-copy load."""
+        for i, copy in enumerate(self.copies):
+            try:
+                copy.verify(max_load=self.copy_load_allowed)
+            except AssertionError as err:
+                raise AssertionError(f"copy {i}: {err}") from err
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"<MultiCopyEmbedding{tag} {self.k} x {self.guest!r} -> "
+            f"Q_{self.host.n}: edge_congestion={self.edge_congestion}>"
+        )

@@ -1,0 +1,79 @@
+"""Multiple-copy embeddings of grids (Section 8.1).
+
+"Multiple-copy embeddings of grids can be formed from the multiple-copy
+embeddings of cycles by the same squaring technique combined with cross
+product decomposition used to convert the multiple-path embeddings of
+cycles to multiple-path embeddings of grids."
+
+Each axis of a power-of-two torus lives in its own factor subcube; copy
+``c`` of the torus uses directed Hamiltonian cycle ``c`` of every factor,
+so different copies never share a link: ``a`` edge-disjoint torus copies
+(``a`` = factor dimension, even) with dilation 1 and congestion 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.core.embedding import Embedding, MultiCopyEmbedding
+from repro.hypercube.graph import Hypercube
+from repro.hypercube.hamiltonian import directed_hamiltonian_decomposition
+from repro.networks.grid import DirectedTorus
+
+__all__ = ["grid_multicopy_embedding"]
+
+
+def grid_multicopy_embedding(dims) -> MultiCopyEmbedding:
+    """Embed ``a`` copies of a power-of-two k-axis torus in ``Q_{k*a}``.
+
+    All sides must equal the same power of two ``2^a`` with ``a`` even
+    (Lemma 1's directed form per factor).  The guest is the *directed*
+    torus (one orientation per link, matching Lemma 1's directed cycles).
+    Copy ``c`` maps grid coordinate ``x`` on axis ``i`` to position ``x`` of
+    directed cycle ``c`` of factor ``i``; every copy has dilation 1 and the
+    copies are pairwise (and internally) edge-disjoint: total congestion 1.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims:
+        raise ValueError("need at least one axis")
+    side = dims[0]
+    if any(d != side for d in dims):
+        raise ValueError("multicopy grids need equal sides")
+    a = side.bit_length() - 1
+    if side != 1 << a or a < 2 or a % 2:
+        raise ValueError("side must be 2^a with a even and >= 2")
+    k = len(dims)
+    host = Hypercube(a * k)
+    guest = DirectedTorus(dims)
+    cycles = directed_hamiltonian_decomposition(a)  # a directed cycles
+
+    copies: List[Embedding] = []
+    for c, cyc in enumerate(cycles):
+        succ = {cyc[i]: cyc[(i + 1) % len(cyc)] for i in range(len(cyc))}
+        pred = {v: u for u, v in succ.items()}
+
+        def node(coord: Tuple[int, ...]) -> int:
+            out = 0
+            for i, x in enumerate(coord):
+                out |= cyc[x] << (i * a)
+            return out
+
+        vertex_map = {v: node(v) for v in guest.vertices()}
+        edge_paths: Dict[Tuple, Tuple[int, ...]] = {}
+        for (u, v) in guest.edges():
+            axis = next(i for i in range(k) if u[i] != v[i])
+            step = (v[axis] - u[axis]) % side
+            hu = vertex_map[u]
+            mask = ((1 << a) - 1) << (axis * a)
+            part = (hu & mask) >> (axis * a)
+            nxt = succ[part] if step == 1 else pred[part]
+            hv = (hu & ~mask) | (nxt << (axis * a))
+            assert hv == vertex_map[v]
+            edge_paths[(u, v)] = (hu, hv)
+        copies.append(
+            Embedding(host, guest, vertex_map, edge_paths, name=f"grid-copy{c}")
+        )
+    return MultiCopyEmbedding(
+        host, guest, copies, name=f"grid-multicopy-{'x'.join(map(str, dims))}"
+    )

@@ -1,0 +1,144 @@
+"""JSON serialization of embeddings.
+
+Constructions like Theorem 5's tree pipeline or large Hamiltonian
+decompositions take seconds to build; serializing them lets downstream
+users cache, inspect, or ship them to other tools.  Guest vertices are
+encoded structurally (ints, or lists for tuple ids) and restored exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
+from repro.hypercube.graph import Hypercube
+from repro.networks.base import ExplicitGraph, GuestGraph
+
+__all__ = ["to_json", "from_json", "dump", "load"]
+
+FORMAT_VERSION = 1
+
+
+def _encode_vertex(v: Any):
+    if isinstance(v, tuple):
+        return list(v)
+    return v
+
+
+def _decode_vertex(v: Any):
+    if isinstance(v, list):
+        return tuple(v)
+    return v
+
+
+def _guest_payload(guest: GuestGraph) -> Dict[str, Any]:
+    return {
+        "name": getattr(guest, "name", "") or repr(guest),
+        "vertices": [_encode_vertex(v) for v in guest.vertices()],
+        "edges": [
+            [_encode_vertex(u), _encode_vertex(v)] for u, v in guest.edges()
+        ],
+    }
+
+
+def to_json(emb: Union[Embedding, MultiPathEmbedding]) -> str:
+    """Serialize a (multi-path) embedding to a JSON string."""
+    if isinstance(emb, MultiCopyEmbedding):
+        raise TypeError(
+            "serialize the individual copies of a MultiCopyEmbedding"
+        )
+    multipath = isinstance(emb, MultiPathEmbedding)
+    payload: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "style": "multipath" if multipath else "single",
+        "host_dim": emb.host.n,
+        "name": emb.name,
+        "guest": _guest_payload(emb.guest),
+        "vertex_map": [
+            [_encode_vertex(v), node] for v, node in emb.vertex_map.items()
+        ],
+    }
+    if multipath:
+        payload["edge_paths"] = [
+            [[_encode_vertex(u), _encode_vertex(v)], [list(p) for p in paths]]
+            for (u, v), paths in emb.edge_paths.items()
+        ]
+        payload["load_allowed"] = emb.load_allowed
+        if emb.step_of is not None:
+            payload["step_of"] = [
+                [[_encode_vertex(u), _encode_vertex(v)],
+                 [list(st) for st in steps]]
+                for (u, v), steps in emb.step_of.items()
+            ]
+    else:
+        payload["edge_paths"] = [
+            [[_encode_vertex(u), _encode_vertex(v)], list(path)]
+            for (u, v), path in emb.edge_paths.items()
+        ]
+    return json.dumps(payload)
+
+
+def from_json(text: str) -> Union[Embedding, MultiPathEmbedding]:
+    """Restore an embedding serialized with :func:`to_json` (and verify it)."""
+    payload = json.loads(text)
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {payload.get('format_version')}"
+        )
+    host = Hypercube(payload["host_dim"])
+    guest = ExplicitGraph(
+        [_decode_vertex(v) for v in payload["guest"]["vertices"]],
+        [
+            (_decode_vertex(u), _decode_vertex(v))
+            for u, v in payload["guest"]["edges"]
+        ],
+        name=payload["guest"].get("name", ""),
+    )
+    vertex_map = {
+        _decode_vertex(v): node for v, node in payload["vertex_map"]
+    }
+    if payload["style"] == "multipath":
+        edge_paths = {
+            (_decode_vertex(u), _decode_vertex(v)): tuple(
+                tuple(p) for p in paths
+            )
+            for (u, v), paths in payload["edge_paths"]
+        }
+        step_of = None
+        if "step_of" in payload:
+            step_of = {
+                (_decode_vertex(u), _decode_vertex(v)): tuple(
+                    tuple(st) for st in steps
+                )
+                for (u, v), steps in payload["step_of"]
+            }
+        emb = MultiPathEmbedding(
+            host,
+            guest,
+            vertex_map,
+            edge_paths,
+            name=payload.get("name", ""),
+            load_allowed=payload.get("load_allowed", 1),
+            step_of=step_of,
+        )
+    else:
+        edge_paths = {
+            (_decode_vertex(u), _decode_vertex(v)): tuple(path)
+            for (u, v), path in payload["edge_paths"]
+        }
+        emb = Embedding(
+            host, guest, vertex_map, edge_paths, name=payload.get("name", "")
+        )
+    emb.verify()
+    return emb
+
+
+def dump(emb, fp: IO[str]) -> None:
+    """Write an embedding to an open text file."""
+    fp.write(to_json(emb))
+
+
+def load(fp: IO[str]):
+    """Read an embedding from an open text file."""
+    return from_json(fp.read())

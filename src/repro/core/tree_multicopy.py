@@ -1,0 +1,80 @@
+"""Multiple-copy embeddings of trees (Section 8.1).
+
+"Multiple-copy embeddings of trees are obtained by applying the embeddings
+of trees into CCC [5, 4] to the multiple-copy embeddings of the CCC."
+
+Pipeline: CBT -> butterfly (our [4]-substitute, `cbt_to_butterfly_map`)
+-> CCC (`butterfly_to_ccc_embedding`, dilation 2 congestion 2) -> each of
+Theorem 3's ``m`` CCC copies.  The result is ``m`` simultaneous copies of
+the ``(m + log m)``-level complete binary tree in ``Q_{m + log m}`` with
+O(1) measured load, dilation, and total congestion (constants recorded by
+bench E12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.ccc_multicopy import ccc_multicopy_embedding
+from repro.core.embedding import Embedding, MultiCopyEmbedding
+from repro.networks.butterfly import butterfly_to_ccc_embedding
+from repro.networks.tree import CompleteBinaryTree
+from repro.core.tree_multipath import cbt_to_butterfly_map
+from repro.routing.pathutils import erase_loops
+
+__all__ = ["cbt_multicopy_embedding"]
+
+
+def cbt_multicopy_embedding(m: int) -> MultiCopyEmbedding:
+    """Embed ``m`` copies of the ``(m + log m)``-level CBT in ``Q_{m + log m}``.
+
+    ``m`` must be a power of two (Theorem 3).  Every copy composes the same
+    CBT->butterfly->CCC maps with a different CCC copy, so per-copy paths
+    are identical up to the copy's window relabeling.
+    """
+    ccc_mc = ccc_multicopy_embedding(m)
+    n = m + (m.bit_length() - 1)
+    tree = CompleteBinaryTree(n)
+    bf_vmap, bf_routes = cbt_to_butterfly_map(m)
+    _, bf_to_ccc = butterfly_to_ccc_embedding(m)
+
+    # expand a butterfly route (bf vertices) into a CCC vertex route,
+    # including reversed butterfly edges (the undirected CCC handles them)
+    def ccc_route_of(bf_route: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        out = [bf_route[0]]
+        for a, b in zip(bf_route, bf_route[1:]):
+            if (a, b) in bf_to_ccc:
+                out.extend(bf_to_ccc[(a, b)][1:])
+            else:  # reversed butterfly edge: reverse the forward CCC path
+                seg = bf_to_ccc[(b, a)]
+                out.extend(reversed(seg[:-1]))
+        return out
+
+    ccc_routes: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for (parent, child), route in bf_routes.items():
+        ccc_routes[(parent, child)] = ccc_route_of(route)
+        ccc_routes[(child, parent)] = ccc_route_of(route[::-1])
+
+    copies: List[Embedding] = []
+    for k, ccc_copy in enumerate(ccc_mc.copies):
+        cmap = ccc_copy.vertex_map
+        vertex_map = {v: cmap[bf_vmap[v]] for v in tree.vertices()}
+        edge_paths: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        for edge, croute in ccc_routes.items():
+            hosts = [cmap[x] for x in croute]
+            edge_paths[edge] = erase_loops(hosts)
+        copies.append(
+            Embedding(
+                ccc_mc.host, tree, vertex_map, edge_paths,
+                name=f"cbt-multicopy-{k}",
+            )
+        )
+    from collections import Counter
+
+    per_copy_load = max(
+        max(Counter(c.vertex_map.values()).values()) for c in copies
+    )
+    return MultiCopyEmbedding(
+        ccc_mc.host, tree, copies, name=f"cbt-multicopy-{m}",
+        copy_load_allowed=per_copy_load,
+    )

@@ -1,0 +1,146 @@
+"""GF(2^8) arithmetic built from scratch (substrate for Rabin's IDA).
+
+The field is F_2[x] / (x^8 + x^4 + x^3 + x + 1) (the AES polynomial).  Log
+and antilog tables over the generator 3 make multiplication and inversion
+O(1) table lookups; numpy-vectorized variants serve the matrix kernels in
+:mod:`repro.fault.ida`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["GF256"]
+
+_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+class GF256:
+    """The Galois field GF(2^8) with table-based arithmetic."""
+
+    _exp: List[int] = []
+    _log: List[int] = []
+
+    @classmethod
+    def _init_tables(cls) -> None:
+        if cls._exp:
+            return
+        exp = [0] * 512
+        log = [0] * 256
+        x = 1
+        for i in range(255):
+            exp[i] = x
+            log[x] = i
+            # multiply x by the generator 3 = x + 1: x*3 = (x << 1) ^ x
+            hi = x << 1
+            if hi & 0x100:
+                hi ^= _POLY
+            x = hi ^ x
+        for i in range(255, 512):
+            exp[i] = exp[i - 255]
+        cls._exp = exp
+        cls._log = log
+
+    # -- scalar ops ----------------------------------------------------------
+
+    @classmethod
+    def add(cls, a: int, b: int) -> int:
+        """Addition = XOR (characteristic 2); also subtraction."""
+        return (a ^ b) & 0xFF
+
+    @classmethod
+    def mul(cls, a: int, b: int) -> int:
+        cls._init_tables()
+        if a == 0 or b == 0:
+            return 0
+        return cls._exp[cls._log[a] + cls._log[b]]
+
+    @classmethod
+    def inv(cls, a: int) -> int:
+        cls._init_tables()
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(256)")
+        return cls._exp[255 - cls._log[a]]
+
+    @classmethod
+    def div(cls, a: int, b: int) -> int:
+        return cls.mul(a, cls.inv(b))
+
+    @classmethod
+    def pow(cls, a: int, k: int) -> int:
+        cls._init_tables()
+        if a == 0:
+            return 0 if k else 1
+        return cls._exp[(cls._log[a] * k) % 255]
+
+    # -- vectorized ops ------------------------------------------------------
+
+    @classmethod
+    def mul_vec(cls, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise product of two uint8 arrays."""
+        cls._init_tables()
+        exp = np.asarray(cls._exp, dtype=np.int64)
+        log = np.asarray(cls._log, dtype=np.int64)
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = exp[log[a] + log[b]]
+        out = np.where((a == 0) | (b == 0), 0, out)
+        return out.astype(np.uint8)
+
+    @classmethod
+    def matvec(cls, matrix: np.ndarray, vec: np.ndarray) -> np.ndarray:
+        """GF(256) matrix-vector product (XOR-accumulated)."""
+        rows = []
+        for r in range(matrix.shape[0]):
+            prod = cls.mul_vec(matrix[r], vec)
+            acc = 0
+            for p in prod:
+                acc ^= int(p)
+            rows.append(acc)
+        return np.asarray(rows, dtype=np.uint8)
+
+    @classmethod
+    def matmul(cls, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """GF(256) matrix product."""
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+        for j in range(b.shape[1]):
+            out[:, j] = cls.matvec(a, b[:, j])
+        return out
+
+    @classmethod
+    def solve(cls, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``matrix @ x = rhs`` by Gaussian elimination over GF(256).
+
+        ``rhs`` may be a matrix (multiple right-hand sides).
+        """
+        cls._init_tables()
+        m = matrix.astype(np.uint8).copy()
+        r = rhs.astype(np.uint8).copy()
+        if r.ndim == 1:
+            r = r[:, None]
+        size = m.shape[0]
+        if m.shape[1] != size:
+            raise ValueError("matrix must be square")
+        for col in range(size):
+            pivot = next(
+                (row for row in range(col, size) if m[row, col] != 0), None
+            )
+            if pivot is None:
+                raise np.linalg.LinAlgError("matrix is singular over GF(256)")
+            if pivot != col:
+                m[[col, pivot]] = m[[pivot, col]]
+                r[[col, pivot]] = r[[pivot, col]]
+            inv = cls.inv(int(m[col, col]))
+            inv_arr = np.full(m.shape[1], inv, dtype=np.uint8)
+            m[col] = cls.mul_vec(m[col], inv_arr)
+            r[col] = cls.mul_vec(r[col], np.full(r.shape[1], inv, dtype=np.uint8))
+            for row in range(size):
+                if row != col and m[row, col] != 0:
+                    factor = int(m[row, col])
+                    f_m = np.full(m.shape[1], factor, dtype=np.uint8)
+                    f_r = np.full(r.shape[1], factor, dtype=np.uint8)
+                    m[row] ^= cls.mul_vec(m[col], f_m)
+                    r[row] ^= cls.mul_vec(r[col], f_r)
+        return r if rhs.ndim > 1 else r[:, 0]

@@ -1,0 +1,87 @@
+"""Rabin's Information Dispersal Algorithm over GF(256) (paper Section 1).
+
+A message of bytes is split into ``w`` *pieces*, each of size
+``ceil(len/m)``, such that **any** ``m`` of the ``w`` pieces reconstruct the
+message exactly.  Sent down the ``w`` edge-disjoint paths of a
+multiple-path embedding, delivery survives up to ``w - m`` path failures
+with a bandwidth overhead of only ``w/m`` — the fault-tolerance application
+the paper highlights for its embeddings.
+
+Encoding: pad the message to ``m * L`` bytes, view it as an ``m x L``
+matrix ``B``, and send piece ``i = row i of A @ B`` where ``A`` is a
+``w x m`` Cauchy matrix (every ``m x m`` submatrix invertible).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fault.gf256 import GF256
+
+__all__ = ["disperse", "reconstruct", "cauchy_matrix"]
+
+
+def cauchy_matrix(w: int, m: int) -> np.ndarray:
+    """A ``w x m`` Cauchy matrix over GF(256): ``A[i, j] = 1/(x_i + y_j)``.
+
+    With distinct ``x_i`` and ``y_j`` (and no ``x_i = y_j``), every square
+    submatrix of a Cauchy matrix is nonsingular — exactly the property IDA
+    needs.  Requires ``w + m <= 256``.
+    """
+    if w < 1 or m < 1 or w + m > 256:
+        raise ValueError(f"need 1 <= m, w with w + m <= 256, got w={w} m={m}")
+    xs = list(range(m, m + w))
+    ys = list(range(m))
+    a = np.zeros((w, m), dtype=np.uint8)
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            a[i, j] = GF256.inv(x ^ y)
+    return a
+
+
+def disperse(message: bytes, w: int, m: int) -> List[Tuple[int, bytes]]:
+    """Split ``message`` into ``w`` pieces, any ``m`` of which reconstruct it.
+
+    Returns ``(piece_index, piece_bytes)`` pairs.  Piece length is
+    ``ceil((len(message) + 4) / m)`` — four bytes of length header make the
+    original length recoverable after padding.
+    """
+    if m < 1 or w < m:
+        raise ValueError(f"need 1 <= m <= w, got m={m} w={w}")
+    framed = len(message).to_bytes(4, "big") + message
+    cols = -(-len(framed) // m)
+    padded = framed + b"\0" * (m * cols - len(framed))
+    b = np.frombuffer(padded, dtype=np.uint8).reshape(m, cols)
+    a = cauchy_matrix(w, m)
+    pieces = GF256.matmul(a, b)
+    return [(i, pieces[i].tobytes()) for i in range(w)]
+
+
+def reconstruct(pieces: Sequence[Tuple[int, bytes]], w: int, m: int) -> bytes:
+    """Rebuild the message from any ``m`` of the ``w`` pieces.
+
+    Raises ``ValueError`` when fewer than ``m`` distinct pieces are given.
+    """
+    distinct = {}
+    for idx, data in pieces:
+        if not 0 <= idx < w:
+            raise ValueError(f"piece index {idx} out of range")
+        distinct[idx] = data
+    if len(distinct) < m:
+        raise ValueError(f"need at least {m} pieces, got {len(distinct)}")
+    chosen = sorted(distinct.items())[:m]
+    a = cauchy_matrix(w, m)
+    sub = a[[idx for idx, _ in chosen], :]
+    stacked = np.stack(
+        [np.frombuffer(data, dtype=np.uint8) for _, data in chosen]
+    )
+    b = GF256.solve(sub, stacked)
+    framed = b.T.reshape(-1).tobytes() if b.ndim > 1 else b.tobytes()
+    # rows of b are the original matrix rows; flatten row-major
+    framed = b.reshape(m, -1).tobytes()
+    length = int.from_bytes(framed[:4], "big")
+    if length > len(framed) - 4:
+        raise ValueError("corrupt pieces: length header out of range")
+    return framed[4 : 4 + length]

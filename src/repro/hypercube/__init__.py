@@ -1,0 +1,44 @@
+"""Hypercube substrate: graphs, gray codes, moments, Hamiltonian decompositions.
+
+This subpackage implements everything Section 3 of Greenberg & Bhatt (1990)
+assumes about the Boolean hypercube:
+
+* :mod:`repro.hypercube.graph` — the directed hypercube ``Q_n`` itself;
+* :mod:`repro.hypercube.graycode` — the binary reflected gray code transition
+  sequences ``G'_k``/``G_k`` and the Hamiltonian node sequence ``H_k``;
+* :mod:`repro.hypercube.moments` — the *moment* labels of Definition 1;
+* :mod:`repro.hypercube.torus` — Hamiltonian decompositions of ``C_m x C_n``
+  (Kotzig's theorem, used as the product combinator);
+* :mod:`repro.hypercube.hamiltonian` — Lemma 1: decompositions of ``Q_n``
+  into edge-disjoint Hamiltonian cycles (plus a perfect matching for odd n).
+"""
+
+from repro.hypercube.graph import Hypercube
+from repro.hypercube.graycode import (
+    gray,
+    gray_rank,
+    gray_node_sequence,
+    transitions,
+    transitions_prime,
+)
+from repro.hypercube.moments import moment, moment_table, moment_label_bits
+from repro.hypercube.hamiltonian import (
+    hamiltonian_decomposition,
+    directed_hamiltonian_decomposition,
+    HypercubeDecomposition,
+)
+
+__all__ = [
+    "Hypercube",
+    "gray",
+    "gray_rank",
+    "gray_node_sequence",
+    "transitions",
+    "transitions_prime",
+    "moment",
+    "moment_table",
+    "moment_label_bits",
+    "hamiltonian_decomposition",
+    "directed_hamiltonian_decomposition",
+    "HypercubeDecomposition",
+]

@@ -1,0 +1,134 @@
+"""The directed Boolean hypercube ``Q_n`` (paper Section 3).
+
+Nodes are the integers ``0 .. 2**n - 1`` interpreted as n-bit addresses.
+There is a directed edge ``(u, v)`` whenever the addresses differ in exactly
+one bit; the edge *lies in dimension i* when that bit is bit ``i``.  Each
+undirected hypercube link is modeled as a pair of oppositely directed edges,
+exactly as in the paper ("we define the hypercube as a directed graph").
+
+Directed edges are identified by the packed integer id ``u * n + d`` where
+``d`` is the dimension — this gives O(1) vectorized congestion histograms
+via ``np.bincount`` in the routing simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube:
+    """The n-dimensional directed Boolean hypercube ``Q_n``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"hypercube dimension must be non-negative, got {n}")
+        if n > 30:
+            raise ValueError(
+                f"Q_{n} has {2**n} nodes; this in-memory model supports n <= 30"
+            )
+        self.n = n
+        self.num_nodes = 1 << n
+        self.num_edges = n * (1 << n)  # directed edges
+
+    # -- node/edge arithmetic ------------------------------------------------
+
+    def neighbor(self, u: int, d: int) -> int:
+        """Return the neighbor of ``u`` across dimension ``d``."""
+        self._check_node(u)
+        self._check_dim(d)
+        return u ^ (1 << d)
+
+    def dimension_of(self, u: int, v: int) -> int:
+        """Return the dimension of edge ``(u, v)``; raises if not an edge."""
+        x = u ^ v
+        if x == 0 or (x & (x - 1)) != 0:
+            raise ValueError(f"({u}, {v}) is not a hypercube edge")
+        self._check_node(u)
+        self._check_node(v)
+        return x.bit_length() - 1
+
+    def is_edge(self, u: int, v: int) -> bool:
+        """Return True when ``(u, v)`` is a (directed) hypercube edge."""
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            return False
+        x = u ^ v
+        return x != 0 and (x & (x - 1)) == 0
+
+    def edge_id(self, u: int, v: int) -> int:
+        """Return the packed id ``u * n + dimension`` of directed edge (u, v)."""
+        return u * self.n + self.dimension_of(u, v)
+
+    def edge_from_id(self, eid: int) -> Tuple[int, int]:
+        """Invert :meth:`edge_id`."""
+        u, d = divmod(eid, self.n)
+        self._check_node(u)
+        return u, u ^ (1 << d)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all directed edges ``(u, v)``."""
+        for u in range(self.num_nodes):
+            for d in range(self.n):
+                yield u, u ^ (1 << d)
+
+    def edge_array(self) -> np.ndarray:
+        """Return all directed edges as an ``(n * 2**n, 2)`` numpy array."""
+        u = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.n)
+        d = np.tile(np.arange(self.n, dtype=np.int64), self.num_nodes)
+        return np.stack([u, u ^ (np.int64(1) << d)], axis=1)
+
+    def neighbors(self, u: int) -> Iterator[int]:
+        """Iterate over the ``n`` neighbors of ``u``."""
+        self._check_node(u)
+        for d in range(self.n):
+            yield u ^ (1 << d)
+
+    # -- path utilities --------------------------------------------------------
+
+    def distance(self, u: int, v: int) -> int:
+        """Hamming distance between the addresses of ``u`` and ``v``."""
+        self._check_node(u)
+        self._check_node(v)
+        return (u ^ v).bit_count()
+
+    def is_path(self, nodes) -> bool:
+        """Return True when ``nodes`` is a walk along hypercube edges."""
+        return all(self.is_edge(a, b) for a, b in zip(nodes, nodes[1:]))
+
+    def path_dimensions(self, nodes) -> list:
+        """Return the dimension crossed by each hop of the path ``nodes``."""
+        return [self.dimension_of(a, b) for a, b in zip(nodes, nodes[1:])]
+
+    # -- interop ----------------------------------------------------------------
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (for verification cross-checks)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        for u, v in self.edges():
+            g.add_edge(u, v, dimension=self.dimension_of(u, v))
+        return g
+
+    # -- misc ---------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Hypercube(n={self.n})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Hypercube) and other.n == self.n
+
+    def __hash__(self) -> int:
+        return hash(("Hypercube", self.n))
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < self.num_nodes):
+            raise ValueError(f"node {u} out of range for Q_{self.n}")
+
+    def _check_dim(self, d: int) -> None:
+        if not (0 <= d < self.n):
+            raise ValueError(f"dimension {d} out of range for Q_{self.n}")

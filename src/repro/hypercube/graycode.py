@@ -1,0 +1,109 @@
+"""Binary reflected gray codes (paper Section 3, "Boolean Hypercubes and Graycodes").
+
+The paper defines the *transition sequence* ``G'_k`` by ``G'_1 = 0`` and
+``G'_{i+1} = G'_i . i . G'_i`` (``.`` is concatenation), then
+``G_k = G'_k . (k-1)``.  ``G_k(j)`` is the dimension crossed by the *j*-th
+edge of the gray-code Hamiltonian cycle ``H_k`` of ``Q_k``, which starts at
+node ``0``.
+
+``H_k(i)`` coincides with the classical reflected gray code
+``gray(i) = i ^ (i >> 1)``; both forms are provided (the closed form is used
+in vectorized hot paths, the recursive form mirrors the paper and is used in
+the constructions and cross-checked in tests).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "gray",
+    "gray_rank",
+    "gray_array",
+    "gray_node_sequence",
+    "transitions",
+    "transitions_prime",
+    "transition_at",
+]
+
+
+def gray(i: int) -> int:
+    """Return the *i*-th binary reflected gray codeword, ``i ^ (i >> 1)``."""
+    if i < 0:
+        raise ValueError(f"gray index must be non-negative, got {i}")
+    return i ^ (i >> 1)
+
+
+def gray_rank(g: int) -> int:
+    """Return ``i`` such that ``gray(i) == g`` (inverse gray code).
+
+    Uses the prefix-XOR closed form: ``i = g ^ (g>>1) ^ (g>>2) ^ ...``.
+    """
+    if g < 0:
+        raise ValueError(f"gray codeword must be non-negative, got {g}")
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i
+
+
+def gray_array(k: int) -> np.ndarray:
+    """Return all ``2**k`` gray codewords as a numpy array (vectorized)."""
+    idx = np.arange(1 << k, dtype=np.int64)
+    return idx ^ (idx >> 1)
+
+
+@lru_cache(maxsize=None)
+def _transitions_prime_tuple(k: int) -> tuple:
+    if k < 1:
+        raise ValueError(f"G'_k is defined for k >= 1, got {k}")
+    if k == 1:
+        return (0,)
+    prev = _transitions_prime_tuple(k - 1)
+    return prev + (k - 1,) + prev
+
+
+def transitions_prime(k: int) -> List[int]:
+    """Return the paper's ``G'_k`` transition sequence (length ``2**k - 1``)."""
+    return list(_transitions_prime_tuple(k))
+
+
+def transitions(k: int) -> List[int]:
+    """Return ``G_k = G'_k . (k-1)``, the closed-cycle transition sequence.
+
+    ``G_k`` has length ``2**k``; crossing dimensions ``G_k(0), ..., G_k(2^k-1)``
+    starting from node 0 traverses the gray-code Hamiltonian cycle of ``Q_k``
+    and returns to node 0.
+    """
+    return transitions_prime(k) + [k - 1]
+
+
+def transition_at(j: int) -> int:
+    """Return ``G_k(j)`` for ``j < 2**k - 1`` without building the sequence.
+
+    For the reflected gray code the *j*-th transition dimension is the number
+    of trailing one-bits of ``j`` is *not* quite it: it is the position of the
+    lowest set bit of ``j + 1`` (the ruler sequence).
+    """
+    if j < 0:
+        raise ValueError(f"transition index must be non-negative, got {j}")
+    return ((j + 1) & -(j + 1)).bit_length() - 1
+
+
+def gray_node_sequence(k: int) -> List[int]:
+    """Return the node sequence ``H_k`` of the gray-code Hamiltonian cycle.
+
+    ``H_k(0) = 0`` and ``H_k(i+1) = H_k(i) XOR (1 << G_k(i))``.  The returned
+    list has ``2**k`` nodes; the edge from the last node back to node 0
+    crosses dimension ``k - 1``.
+    """
+    seq = [0]
+    node = 0
+    for d in transitions_prime(k):
+        node ^= 1 << d
+        seq.append(node)
+    return seq

@@ -1,0 +1,420 @@
+"""Lemma 1: Hamiltonian decompositions of hypercubes (Alspach–Bermond–Sotteau).
+
+* ``Q_{2k}`` decomposes into ``k`` edge-disjoint (undirected) Hamiltonian
+  cycles; orienting each both ways yields ``2k`` edge-disjoint *directed*
+  Hamiltonian cycles (the form Lemma 1 of the paper uses).
+* ``Q_{2k+1}`` decomposes into ``k`` Hamiltonian cycles plus one perfect
+  matching.
+
+Construction (recursive, certified):
+
+* base: ``Q_2 = C_4`` is a single Hamiltonian cycle;
+* even ``n = a + b`` with ``a, b`` even and ``|a - b| <= 2``: pair the
+  factors' cycles; each pair spans a ``C_{2^a} x C_{2^b}`` torus which is
+  split in two by :func:`repro.hypercube.torus.torus_hamiltonian_decomposition`
+  (Kotzig).  When ``a/2 = b/2 + 1`` the one unpaired cycle of the ``Q_a``
+  factor initially forms ``2^b`` disjoint copies; an *absorption* pass merges
+  the copies into a single Hamiltonian cycle by exchanging unit squares with
+  the torus cycles (the Aubert–Schneider case), re-verifying after each swap;
+* odd ``n = 2k + 1``: ``Q_n = Q_{2k} x K_2``; each cycle of ``Q_{2k}`` is
+  "snaked" through both copies using two rung edges at cycle-distinct
+  positions; the unused rungs plus the skipped wrap edges form the perfect
+  matching.
+
+Every decomposition is fully verified before being returned and cached
+per ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "HypercubeDecomposition",
+    "hamiltonian_decomposition",
+    "directed_hamiltonian_decomposition",
+    "verify_hamiltonian_decomposition",
+]
+
+
+@dataclass(frozen=True)
+class HypercubeDecomposition:
+    """Edge partition of ``Q_n`` into Hamiltonian cycles (+ matching if n odd).
+
+    Attributes:
+        n: hypercube dimension.
+        cycles: ``n // 2`` undirected Hamiltonian cycles, each a closed node
+            sequence of length ``2**n`` (the closing edge is implicit).
+        matching: for odd ``n``, the leftover perfect matching as a list of
+            ``2**(n-1)`` node pairs; ``None`` for even ``n``.
+    """
+
+    n: int
+    cycles: Tuple[Tuple[int, ...], ...]
+    matching: Optional[Tuple[Tuple[int, int], ...]] = None
+
+    def directed_cycles(self) -> List[List[int]]:
+        """Return ``2 * (n // 2)`` directed Hamiltonian cycles.
+
+        Cycle ``2i`` is undirected cycle ``i`` traversed forward and cycle
+        ``2i + 1`` is the same cycle reversed — the numbering convention
+        Theorem 1 relies on ("names differing in the least significant bit
+        correspond to opposite orientations of the same undirected cycle").
+        """
+        out: List[List[int]] = []
+        for cyc in self.cycles:
+            out.append(list(cyc))
+            out.append([cyc[0]] + list(reversed(cyc[1:])))
+        return out
+
+
+_CACHE: Dict[int, HypercubeDecomposition] = {}
+
+
+def hamiltonian_decomposition(n: int) -> HypercubeDecomposition:
+    """Return a certified Hamiltonian decomposition of ``Q_n`` (Lemma 1)."""
+    if n < 1:
+        raise ValueError(f"Q_{n} has no Hamiltonian decomposition")
+    if n not in _CACHE:
+        if n == 1:
+            dec = HypercubeDecomposition(1, (), (((0, 1),)))
+        elif n == 2:
+            dec = HypercubeDecomposition(2, ((0, 1, 3, 2),))
+        elif n % 2 == 0:
+            dec = _even_decomposition(n)
+        else:
+            dec = _odd_decomposition(n)
+        verify_hamiltonian_decomposition(dec)
+        _CACHE[n] = dec
+    return _CACHE[n]
+
+
+def directed_hamiltonian_decomposition(n: int) -> List[List[int]]:
+    """Lemma 1's directed form: ``2 * (n // 2)`` directed Hamiltonian cycles."""
+    return hamiltonian_decomposition(n).directed_cycles()
+
+
+# ---------------------------------------------------------------------------
+# even case
+# ---------------------------------------------------------------------------
+
+
+def _even_decomposition(n: int) -> HypercubeDecomposition:
+    """Recursive case ``Q_n = Q_{n-2} x Q_2`` (n even, n >= 4).
+
+    The first cycle of the ``Q_{n-2}`` decomposition is paired with the
+    4-cycle ``Q_2``: their product spans a ``C_{2^{n-2}} x C_4`` torus, which
+    Kotzig splits into two Hamiltonian cycles of ``Q_n``.  Every remaining
+    ``Q_{n-2}`` cycle initially forms 4 disjoint level copies; an absorption
+    pass merges each into a single Hamiltonian cycle by exchanging unit
+    squares with the factors built so far (stealing two ``Q_2``-direction
+    "rung" edges per merge).
+    """
+    a, b = n - 2, 2
+    cyc_a = [list(c) for c in hamiltonian_decomposition(a).cycles]
+    cyc_b = [list(c) for c in hamiltonian_decomposition(b).cycles]
+
+    from repro.hypercube.torus import torus_hamiltonian_decomposition
+
+    la = 1 << a
+    lb = 1 << b
+    t1, t2 = torus_hamiltonian_decomposition(la, lb)
+    rows, cols = cyc_a[0], cyc_b[0]
+    factors = [
+        _Factor.from_cycle([(rows[v // lb] << b) | cols[v % lb] for v in t])
+        for t in (t1, t2)
+    ]
+    for leftover in cyc_a[1:]:
+        factors.append(_absorb_leftover(leftover, a, b, cyc_b, factors))
+
+    cycles = tuple(tuple(f.to_cycle(1 << n)) for f in factors)
+    return HypercubeDecomposition(n, cycles)
+
+
+@dataclass
+class _Factor:
+    """A 2-regular spanning subgraph tracked as an undirected adjacency map."""
+
+    adj: Dict[int, List[int]] = field(default_factory=dict)
+
+    @classmethod
+    def from_cycle(cls, seq: Sequence[int]) -> "_Factor":
+        f = cls()
+        for u, v in zip(seq, list(seq[1:]) + [seq[0]]):
+            f.link(u, v)
+        return f
+
+    @classmethod
+    def from_copies(cls, cycle: Sequence[int], b: int) -> "_Factor":
+        """Disjoint copies of ``cycle`` (a ``Q_a`` cycle, to be placed in the
+        high bits) at every value of the low ``b`` bits."""
+        f = cls()
+        for y in range(1 << b):
+            for u, v in zip(cycle, list(cycle[1:]) + [cycle[0]]):
+                f.link((u << b) | y, (v << b) | y)
+        return f
+
+    def link(self, u: int, v: int) -> None:
+        self.adj.setdefault(u, []).append(v)
+        self.adj.setdefault(v, []).append(u)
+
+    def drop(self, u: int, v: int) -> None:
+        self.adj[u].remove(v)
+        self.adj[v].remove(u)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self.adj and v in self.adj[u]
+
+    def successor_map(self) -> Dict[int, int]:
+        """Walk from an arbitrary vertex; valid only when a single cycle."""
+        start = next(iter(self.adj))
+        succ: Dict[int, int] = {}
+        prev, cur = None, start
+        while True:
+            nxt = self.adj[cur][0] if self.adj[cur][0] != prev else self.adj[cur][1]
+            succ[cur] = nxt
+            prev, cur = cur, nxt
+            if cur == start:
+                return succ
+
+    def is_single_cycle(self, expected: int) -> bool:
+        if len(self.adj) != expected:
+            return False
+        if any(len(vs) != 2 for vs in self.adj.values()):
+            return False
+        return len(self.successor_map()) == expected
+
+    def to_cycle(self, expected: int) -> List[int]:
+        succ = self.successor_map()
+        if len(succ) != expected:
+            raise RuntimeError(
+                f"factor covers {len(succ)}/{expected} vertices as one cycle"
+            )
+        start = next(iter(self.adj))
+        seq = [start]
+        cur = succ[start]
+        while cur != start:
+            seq.append(cur)
+            cur = succ[cur]
+        return seq
+
+
+def _absorb_leftover(
+    leftover: Sequence[int],
+    a: int,
+    b: int,
+    cyc_b: Sequence[Sequence[int]],
+    factors: List[_Factor],
+) -> _Factor:
+    """Merge the ``2**b`` disjoint copies of the unpaired ``Q_a`` cycle.
+
+    The copies (one per ``y`` in ``Q_b``) are merged into a single Hamiltonian
+    cycle of ``Q_{a+b}`` by unit-square exchanges with the torus Hamiltonian
+    cycles already built: a swap moves one leftover edge from copies ``y`` and
+    ``y'`` into a torus cycle ``T`` and takes the two ``(y, y')`` rung edges
+    in exchange.  The swap merges the two copies; it is accepted only when
+    ``T`` provably stays a single Hamiltonian cycle (same O(1) traversal-
+    direction test as in the torus scheduler).
+    """
+    lb = 1 << b
+    total = 1 << (a + b)
+    fnew = _Factor.from_copies(leftover, b)
+
+    # Union-find over the Q_b copy space.
+    parent = list(range(lb))
+
+    def find(y: int) -> int:
+        while parent[y] != y:
+            parent[y] = parent[parent[y]]
+            y = parent[y]
+        return y
+
+    # Edge -> owning factor index, for the Q_b-direction ("rung") edges.
+    edge_owner: Dict[Tuple[int, int], int] = {}
+    for fi, f in enumerate(factors):
+        for u, vs in f.adj.items():
+            for v in vs:
+                if u < v and (u ^ v) < lb:  # differs only in low (Q_b) bits
+                    edge_owner[(u, v)] = fi
+
+    # Candidate (y, y') pairs: edges of the Q_b Hamiltonian cycles (these
+    # span the copy space, so chaining them merges every copy).
+    pairs: List[Tuple[int, int]] = []
+    for cyc in cyc_b:
+        for y, y2 in zip(cyc, list(cyc[1:]) + [cyc[0]]):
+            pairs.append((y, y2))
+
+    la_edges = list(zip(leftover, list(leftover[1:]) + [leftover[0]]))
+
+    merges_needed = lb - 1
+    merges_done = 0
+    progress = True
+    succ_cache: Dict[int, Dict[int, int]] = {}
+    while merges_done < merges_needed and progress:
+        progress = False
+        for y, y2 in pairs:
+            if find(y) == find(y2):
+                continue
+            if _try_merge_copies(
+                y, y2, b, la_edges, fnew, factors, edge_owner, succ_cache
+            ):
+                parent[find(y)] = find(y2)
+                merges_done += 1
+                progress = True
+        # loop again: earlier-failed pairs may succeed after other merges
+    if merges_done < merges_needed:
+        raise RuntimeError(
+            f"absorption failed: merged {merges_done}/{merges_needed} copies"
+        )
+    if not fnew.is_single_cycle(total):
+        raise RuntimeError("absorbed factor is not a single Hamiltonian cycle")
+    return fnew
+
+
+def _try_merge_copies(
+    y: int,
+    y2: int,
+    b: int,
+    la_edges: Sequence[Tuple[int, int]],
+    fnew: _Factor,
+    factors: List[_Factor],
+    edge_owner: Dict[Tuple[int, int], int],
+    succ_cache: Dict[int, Dict[int, int]],
+) -> bool:
+    """Attempt one copy-merging square swap for the pair (y, y2)."""
+    for x1, x2 in la_edges:
+        u1, u2 = (x1 << b) | y, (x2 << b) | y      # leftover edge in copy y
+        v1, v2 = (x1 << b) | y2, (x2 << b) | y2    # leftover edge in copy y2
+        if not (fnew.has_edge(u1, u2) and fnew.has_edge(v1, v2)):
+            continue
+        r1 = (min(u1, v1), max(u1, v1))            # rung at x1
+        r2 = (min(u2, v2), max(u2, v2))            # rung at x2
+        fi1 = edge_owner.get(r1)
+        fi2 = edge_owner.get(r2)
+        if fi1 is None or fi1 != fi2:
+            continue
+        host = factors[fi1]
+        succ = succ_cache.get(fi1)
+        if succ is None:
+            succ = host.successor_map()
+            succ_cache[fi1] = succ
+        # Host stays a single cycle iff the two removed rungs are traversed
+        # in the same copy direction (same derivation as the torus scheduler).
+        r1_forward = succ.get(u1) == v1
+        if not r1_forward and succ.get(v1) != u1:
+            continue
+        r2_forward = succ.get(u2) == v2
+        if not r2_forward and succ.get(v2) != u2:
+            continue
+        if r1_forward != r2_forward:
+            continue
+        # Perform the swap.
+        fnew.drop(u1, u2)
+        fnew.drop(v1, v2)
+        host.drop(u1, v1)
+        host.drop(u2, v2)
+        fnew.link(u1, v1)
+        fnew.link(u2, v2)
+        host.link(u1, u2)
+        host.link(v1, v2)
+        del edge_owner[r1]
+        del edge_owner[r2]
+        succ_cache.pop(fi1, None)
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# odd case
+# ---------------------------------------------------------------------------
+
+
+def _odd_decomposition(n: int) -> HypercubeDecomposition:
+    k = (n - 1) // 2
+    base = hamiltonian_decomposition(n - 1)
+    top = 1 << (n - 1)
+
+    used: Set[int] = set()
+    cycles: List[Tuple[int, ...]] = []
+    skipped: List[Tuple[int, int]] = []  # (pred, start) wrap pairs per cycle
+    for cyc in base.cycles:
+        length = len(cyc)
+        t = next(
+            t
+            for t in range(length)
+            if cyc[t] not in used and cyc[(t - 1) % length] not in used
+        )
+        start, pred = cyc[t], cyc[(t - 1) % length]
+        used.update((start, pred))
+        skipped.append((pred, start))
+        # copy 0: start .. pred (forward); rung; copy 1: pred .. start (backward)
+        forward = [cyc[(t + i) % length] for i in range(length)]
+        snake = forward + [x | top for x in reversed(forward)]
+        cycles.append(tuple(snake))
+
+    matching: List[Tuple[int, int]] = []
+    for pred, start in skipped:
+        matching.append((pred, start))
+        matching.append((pred | top, start | top))
+    for x in range(top):
+        if x not in used:
+            matching.append((x, x | top))
+    assert len(matching) == top  # 2^(n-1) pairs cover 2^n vertices
+    assert len(cycles) == k
+    return HypercubeDecomposition(n, tuple(cycles), tuple(matching))
+
+
+# ---------------------------------------------------------------------------
+# verification
+# ---------------------------------------------------------------------------
+
+
+def verify_hamiltonian_decomposition(dec: HypercubeDecomposition) -> None:
+    """Raise unless ``dec`` is a valid Lemma 1 decomposition of ``Q_n``."""
+    n = dec.n
+    size = 1 << n
+    expected_cycles = n // 2
+    if len(dec.cycles) != expected_cycles:
+        raise AssertionError(
+            f"expected {expected_cycles} cycles for Q_{n}, got {len(dec.cycles)}"
+        )
+
+    def check_edge(u: int, v: int) -> None:
+        x = u ^ v
+        if not (0 <= u < size and 0 <= v < size) or x == 0 or x & (x - 1):
+            raise AssertionError(f"({u}, {v}) is not an edge of Q_{n}")
+
+    seen: Set[frozenset] = set()
+    for cyc in dec.cycles:
+        if len(cyc) != size or len(set(cyc)) != size:
+            raise AssertionError("cycle is not Hamiltonian")
+        for u, v in zip(cyc, list(cyc[1:]) + [cyc[0]]):
+            check_edge(u, v)
+            e = frozenset((u, v))
+            if e in seen:
+                raise AssertionError(f"edge {tuple(e)} reused across cycles")
+            seen.add(e)
+
+    if n % 2 == 1:
+        if dec.matching is None:
+            raise AssertionError("odd decomposition must include a matching")
+        covered: Set[int] = set()
+        for u, v in dec.matching:
+            check_edge(u, v)
+            e = frozenset((u, v))
+            if e in seen:
+                raise AssertionError("matching edge reused")
+            seen.add(e)
+            if u in covered or v in covered:
+                raise AssertionError("matching covers a vertex twice")
+            covered.update((u, v))
+        if len(covered) != size:
+            raise AssertionError("matching is not perfect")
+    elif dec.matching is not None:
+        raise AssertionError("even decomposition must not include a matching")
+
+    if len(seen) != n * size // 2:
+        raise AssertionError(
+            f"decomposition covers {len(seen)} of {n * size // 2} undirected edges"
+        )

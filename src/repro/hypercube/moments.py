@@ -1,0 +1,64 @@
+"""Moment labels (paper Section 3.2, Definition 1 and Lemma 2).
+
+The *moment* of an n-bit address ``v`` is ``M(v) = XOR_{i : v_i = 1} b(i)``
+where ``b(i)`` is the ``ceil(log2 n)``-bit binary representation of the
+dimension index ``i`` (and ``M(0) = 0``).
+
+Lemma 2: all ``n`` hypercube neighbors of any node have pairwise distinct
+moments, because ``M(u ^ 2^i) = M(u) ^ b(i)`` and the ``b(i)`` are distinct.
+This is the property that makes the "special cycle" assignments of
+Theorems 1 and 2 neighborhood-rainbow, i.e. it guarantees the edge-disjoint
+projections used for the middle path edges.
+
+Note that moments take values in ``[0, 2**ceil(log2 n))``: when ``n`` is not
+a power of two the label alphabet is strictly larger than ``n``.  The
+consequences for Theorem 1/2 (which index ``2k`` edge-disjoint cycles by
+moments) are discussed in ``repro.core.cycle_multipath``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moment", "moment_table", "moment_label_bits"]
+
+
+def moment_label_bits(n: int) -> int:
+    """Number of bits in a moment label for ``Q_n``: ``ceil(log2 n)``."""
+    if n < 1:
+        raise ValueError(f"moment labels need n >= 1, got {n}")
+    return max(1, (n - 1).bit_length())
+
+
+def moment(v: int, n: int | None = None) -> int:
+    """Return the moment ``M(v)`` of address ``v`` (Definition 1).
+
+    ``n`` (the hypercube dimension) is only used for range checking; the
+    moment itself depends on the set bits of ``v`` alone.
+    """
+    if v < 0:
+        raise ValueError(f"address must be non-negative, got {v}")
+    if n is not None and v >= (1 << n):
+        raise ValueError(f"address {v} out of range for Q_{n}")
+    m = 0
+    i = 0
+    while v:
+        if v & 1:
+            m ^= i
+        v >>= 1
+        i += 1
+    return m
+
+
+def moment_table(n: int) -> np.ndarray:
+    """Return ``M(v)`` for every node ``v`` of ``Q_n`` as a numpy array.
+
+    Vectorized: for each dimension ``i``, xor ``b(i) = i`` into the moment of
+    every node whose bit ``i`` is set.
+    """
+    size = 1 << n
+    idx = np.arange(size, dtype=np.int64)
+    table = np.zeros(size, dtype=np.int64)
+    for i in range(n):
+        table[(idx >> i) & 1 == 1] ^= i
+    return table

@@ -1,0 +1,30 @@
+"""Guest graphs: the communication structures the paper embeds in hypercubes.
+
+Vertices of a guest graph represent processes; directed edges connect
+processes that communicate (paper Section 3).  Each class exposes the
+minimal protocol the embedding machinery needs (:class:`GuestGraph`) plus
+structure-specific helpers.
+"""
+
+from repro.networks.cycle import DirectedCycle, DirectedPath
+from repro.networks.base import ExplicitGraph, GuestGraph
+from repro.networks.grid import DirectedTorus, Grid, Torus, square_grid_map
+from repro.networks.ccc import CubeConnectedCycles
+from repro.networks.butterfly import Butterfly, FFTGraph
+from repro.networks.tree import CompleteBinaryTree, random_binary_tree
+
+__all__ = [
+    "GuestGraph",
+    "ExplicitGraph",
+    "DirectedTorus",
+    "DirectedCycle",
+    "DirectedPath",
+    "Grid",
+    "Torus",
+    "square_grid_map",
+    "CubeConnectedCycles",
+    "Butterfly",
+    "FFTGraph",
+    "CompleteBinaryTree",
+    "random_binary_tree",
+]

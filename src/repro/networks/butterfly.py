@@ -1,0 +1,150 @@
+"""Butterfly and FFT graphs (paper Sections 5.4, 6, 7).
+
+* The *n-level (wrapped) butterfly* has vertices ``(level, column)`` with
+  ``0 <= level < n``, ``0 <= column < 2**n``, and directed edges
+  ``(l, c) -> ((l+1) mod n, c)`` (straight) and
+  ``(l, c) -> ((l+1) mod n, c XOR 2**l)`` (cross).  Out-degree 2.
+* The *FFT graph* is the unwrapped variant with ``n + 1`` ranks: edges go
+  from rank ``l`` to rank ``l + 1`` for ``0 <= l < n``.
+
+The paper notes (Section 5.4) that FFTs and butterflies embed in CCCs with
+dilation 2 and congestion 2; :func:`butterfly_to_ccc_embedding` provides
+that classical map — a butterfly vertex is a CCC vertex, a butterfly cross
+edge ``(l, c) -> (l+1, c ^ 2^l)`` routes as the CCC cross edge at level ``l``
+followed by the straight edge to level ``l + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.networks.base import GuestGraph
+from repro.networks.ccc import CubeConnectedCycles
+
+__all__ = ["Butterfly", "FFTGraph", "butterfly_to_ccc_embedding"]
+
+BFVertex = Tuple[int, int]
+
+
+class Butterfly(GuestGraph):
+    """The n-level wrapped butterfly network.
+
+    Directed with out-degree 2 by default; with ``undirected=True`` every
+    edge also appears in the reverse orientation (out-degree 4), the form
+    tree embeddings need (tree links carry traffic both ways).
+    """
+
+    def __init__(self, n: int, undirected: bool = False):
+        if n < 2:
+            raise ValueError(f"butterfly needs n >= 2 levels, got {n}")
+        self.n = n
+        self.num_columns = 1 << n
+        self.undirected = undirected
+
+    def vertices(self) -> Iterable[BFVertex]:
+        for level in range(self.n):
+            for column in range(self.num_columns):
+                yield level, column
+
+    def straight_edges(self) -> Iterator[Tuple[BFVertex, BFVertex]]:
+        for level in range(self.n):
+            nxt = (level + 1) % self.n
+            for column in range(self.num_columns):
+                yield (level, column), (nxt, column)
+                if self.undirected:
+                    yield (nxt, column), (level, column)
+
+    def cross_edges(self) -> Iterator[Tuple[BFVertex, BFVertex]]:
+        for level in range(self.n):
+            nxt = (level + 1) % self.n
+            bit = 1 << level
+            for column in range(self.num_columns):
+                yield (level, column), (nxt, column ^ bit)
+                if self.undirected:
+                    yield (nxt, column ^ bit), (level, column)
+
+    def edges(self) -> Iterator[Tuple[BFVertex, BFVertex]]:
+        yield from self.straight_edges()
+        yield from self.cross_edges()
+
+    def out_neighbors(self, v: BFVertex) -> Tuple[BFVertex, BFVertex]:
+        """The straight and cross successors of ``v`` (forward direction)."""
+        level, column = v
+        nxt = (level + 1) % self.n
+        return (nxt, column), (nxt, column ^ (1 << level))
+
+    @property
+    def num_vertices(self) -> int:
+        return self.n * self.num_columns
+
+    @property
+    def num_edges(self) -> int:
+        base = 2 * self.n * self.num_columns
+        return 2 * base if self.undirected else base
+
+    def __repr__(self) -> str:
+        kind = ", undirected" if self.undirected else ""
+        return f"Butterfly(n={self.n}{kind})"
+
+
+class FFTGraph(GuestGraph):
+    """The n-stage FFT dataflow graph: ``n + 1`` ranks, unwrapped."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"FFT graph needs n >= 1 stages, got {n}")
+        self.n = n
+        self.num_columns = 1 << n
+
+    def vertices(self) -> Iterable[BFVertex]:
+        for rank in range(self.n + 1):
+            for column in range(self.num_columns):
+                yield rank, column
+
+    def edges(self) -> Iterator[Tuple[BFVertex, BFVertex]]:
+        for rank in range(self.n):
+            bit = 1 << rank
+            for column in range(self.num_columns):
+                yield (rank, column), (rank + 1, column)
+                yield (rank, column), (rank + 1, column ^ bit)
+
+    @property
+    def num_vertices(self) -> int:
+        return (self.n + 1) * self.num_columns
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * self.n * self.num_columns
+
+    def __repr__(self) -> str:
+        return f"FFTGraph(n={self.n})"
+
+
+def butterfly_to_ccc_embedding(
+    n: int,
+) -> Tuple[Dict[BFVertex, BFVertex], Dict[Tuple[BFVertex, BFVertex], List[BFVertex]]]:
+    """Embed the n-level butterfly in the n-level CCC (dilation 2, congestion 2).
+
+    Returns ``(vertex_map, edge_paths)``.  The vertex map is the identity;
+    a straight butterfly edge uses the CCC straight edge (dilation 1), and a
+    cross butterfly edge ``(l, c) -> (l+1, c ^ 2^l)`` uses the CCC cross edge
+    at level ``l`` followed by the straight edge up from ``(l, c ^ 2^l)``
+    (dilation 2).  Each CCC straight edge is then shared by at most one
+    straight and one cross image (congestion 2); each CCC cross edge by one.
+    """
+    bf = Butterfly(n)
+    ccc = CubeConnectedCycles(n)
+    vertex_map = {v: v for v in bf.vertices()}
+    edge_paths: Dict[Tuple[BFVertex, BFVertex], List[BFVertex]] = {}
+    for u, v in bf.straight_edges():
+        edge_paths[(u, v)] = [u, v]
+    for u, v in bf.cross_edges():
+        (level, column) = u
+        mid = (level, column ^ (1 << level))
+        edge_paths[(u, v)] = [u, mid, v]
+        assert mid[0] == level and v == ((level + 1) % n, mid[1])
+    # sanity: all hops are CCC edges
+    for path in edge_paths.values():
+        for a, b in zip(path, path[1:]):
+            ccc.edge_level(a, b)
+    return vertex_map, edge_paths

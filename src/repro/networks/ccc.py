@@ -1,0 +1,84 @@
+"""Cube-connected-cycles networks (paper Section 5.1, after Preparata–Vuillemin).
+
+The *n*-stage directed CCC has ``n * 2**n`` vertices ``(level, column)`` with
+``0 <= level < n`` and ``0 <= column < 2**n``.  Its edges split into
+
+* straight edges ``S``: ``(l, c) -> ((l+1) mod n, c)`` — the ``n`` vertices
+  of a column form a directed cycle;
+* cross edges ``C``: ``(l, c) -> (l, c XOR 2**l)`` — oppositely oriented
+  pairs between columns.
+
+The directed CCC thus has out-degree 2.  The undirected variant (Section 5.4)
+additionally contains the reversed straight edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.networks.base import GuestGraph
+
+__all__ = ["CubeConnectedCycles"]
+
+CCCVertex = Tuple[int, int]
+
+
+class CubeConnectedCycles(GuestGraph):
+    """The n-level cube-connected-cycles network."""
+
+    def __init__(self, n: int, undirected: bool = False):
+        if n < 2:
+            raise ValueError(f"CCC needs n >= 2 levels, got {n}")
+        self.n = n
+        self.num_columns = 1 << n
+        self.undirected = undirected
+
+    def vertices(self) -> Iterable[CCCVertex]:
+        for level in range(self.n):
+            for column in range(self.num_columns):
+                yield level, column
+
+    def straight_edges(self) -> Iterator[Tuple[CCCVertex, CCCVertex]]:
+        """The set ``S`` (plus reversals when undirected)."""
+        for level in range(self.n):
+            nxt = (level + 1) % self.n
+            for column in range(self.num_columns):
+                yield (level, column), (nxt, column)
+                if self.undirected:
+                    yield (nxt, column), (level, column)
+
+    def cross_edges(self) -> Iterator[Tuple[CCCVertex, CCCVertex]]:
+        """The set ``C`` — already contains both orientations."""
+        for level in range(self.n):
+            bit = 1 << level
+            for column in range(self.num_columns):
+                yield (level, column), (level, column ^ bit)
+
+    def edges(self) -> Iterator[Tuple[CCCVertex, CCCVertex]]:
+        yield from self.straight_edges()
+        yield from self.cross_edges()
+
+    def edge_level(self, u: CCCVertex, v: CCCVertex) -> int:
+        """The paper's *level* of an edge: cross edges at level ``l`` and
+        straight edges from ``l`` to ``(l+1) mod n`` are level-``l`` edges."""
+        (lu, cu), (lv, cv) = u, v
+        if cu == cv and lv == (lu + 1) % self.n:
+            return lu
+        if cu == cv and lu == (lv + 1) % self.n:
+            return lv
+        if lu == lv and cu ^ cv == 1 << lu:
+            return lu
+        raise ValueError(f"({u}, {v}) is not a CCC edge")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.n * self.num_columns
+
+    @property
+    def num_edges(self) -> int:
+        straight = self.n * self.num_columns * (2 if self.undirected else 1)
+        return straight + self.n * self.num_columns
+
+    def __repr__(self) -> str:
+        kind = "undirected" if self.undirected else "directed"
+        return f"CubeConnectedCycles(n={self.n}, {kind})"

@@ -1,0 +1,130 @@
+"""k-axis grids and tori (paper Sections 2, 4.5) and grid squaring.
+
+Grids/tori are cross products of paths/cycles.  Vertices are coordinate
+tuples; every undirected link is modeled as two directed edges (matching the
+directed-hypercube host model).
+
+``square_grid_map`` implements the squaring step of Corollary 2.  The paper
+cites Aleliunas–Rosenberg / Kosaraju–Atallah for load-1, O(1)-dilation
+squaring; we substitute *contraction squaring* — each axis is contracted by
+an integer factor, giving dilation 1 and load ``prod(ceil(L_i / side))``,
+which is O(1) for fixed k.  Corollary 2 only needs O(1) load, dilation and
+cost, so the substitution preserves the claim being reproduced (recorded in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
+
+from repro.networks.base import GuestGraph
+
+__all__ = ["Grid", "Torus", "DirectedTorus", "square_grid_map"]
+
+Coord = Tuple[int, ...]
+
+
+class Grid(GuestGraph):
+    """The ``L_1 x ... x L_k`` grid; links along each axis, no wraparound."""
+
+    wrap = False
+
+    def __init__(self, dims: Sequence[int]):
+        dims = tuple(int(d) for d in dims)
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError(f"grid dims must be positive, got {dims}")
+        self.dims = dims
+        self.k = len(dims)
+
+    def vertices(self) -> Iterable[Coord]:
+        return itertools.product(*(range(d) for d in self.dims))
+
+    def _axis_neighbors(self, v: Coord, axis: int) -> Iterator[Coord]:
+        d = self.dims[axis]
+        if d == 1:
+            return
+        x = v[axis]
+        if self.wrap:
+            steps = {(x + 1) % d, (x - 1) % d}
+        else:
+            steps = {x + dx for dx in (-1, 1) if 0 <= x + dx < d}
+        for nx in steps:
+            if nx != x:
+                yield v[:axis] + (nx,) + v[axis + 1 :]
+
+    def edges(self) -> Iterator[Tuple[Coord, Coord]]:
+        for v in self.vertices():
+            for axis in range(self.k):
+                for w in self._axis_neighbors(v, axis):
+                    yield v, w
+
+    def axis_edges(self, axis: int) -> Iterator[Tuple[Coord, Coord]]:
+        """Directed edges along one axis only (used for per-axis phases)."""
+        for v in self.vertices():
+            for w in self._axis_neighbors(v, axis):
+                yield v, w
+
+    @property
+    def num_vertices(self) -> int:
+        return math.prod(self.dims)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({'x'.join(map(str, self.dims))})"
+
+
+class Torus(Grid):
+    """The ``L_1 x ... x L_k`` torus: a grid with wraparound links."""
+
+    wrap = True
+
+
+class DirectedTorus(Grid):
+    """The torus with one orientation per link: ``+1`` along every axis.
+
+    The cross product of directed cycles — the guest for the Section 8.1
+    multiple-copy grid embeddings (the directed analog of Lemma 1's cycles).
+    """
+
+    wrap = True
+
+    def _axis_neighbors(self, v: Coord, axis: int):
+        d = self.dims[axis]
+        if d == 1:
+            return
+        nx = (v[axis] + 1) % d
+        yield v[:axis] + (nx,) + v[axis + 1 :]
+
+
+def square_grid_map(
+    dims: Sequence[int], side: int | None = None
+) -> Tuple[Dict[Coord, Coord], Tuple[int, ...], int]:
+    """Map a k-axis grid with unequal sides onto a grid with equal sides.
+
+    Returns ``(mapping, squared_dims, load)`` where ``mapping`` sends each
+    original coordinate to a coordinate of the ``side^k`` grid,
+    ``squared_dims = (side,) * k``, and ``load`` is the maximum number of
+    original vertices per squared cell.
+
+    Each axis ``i`` is contracted by ``f_i = ceil(L_i / side)``; neighbors
+    land in the same or adjacent cells, so the map has dilation 1; the load
+    is ``prod(f_i)``.  The default ``side`` is the ceiling of the geometric
+    mean of the side lengths (the paper's ``L``), so the load is bounded by
+    ``2^k`` plus rounding.
+    """
+    dims = tuple(int(d) for d in dims)
+    k = len(dims)
+    if side is None:
+        side = math.ceil(math.prod(dims) ** (1.0 / k))
+    if side < 1:
+        raise ValueError(f"side must be positive, got {side}")
+    factors = [math.ceil(d / side) for d in dims]
+    mapping: Dict[Coord, Coord] = {}
+    counts: Dict[Coord, int] = {}
+    for v in itertools.product(*(range(d) for d in dims)):
+        cell = tuple(x // f for x, f in zip(v, factors))
+        mapping[v] = cell
+        counts[cell] = counts.get(cell, 0) + 1
+    load = max(counts.values()) if counts else 0
+    return mapping, (side,) * k, load

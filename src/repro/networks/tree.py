@@ -1,0 +1,118 @@
+"""Binary trees (paper Sections 6.1, 6.2).
+
+Complete binary trees use heap indexing: the root is vertex 1, and vertex
+``v`` has children ``2v`` and ``2v + 1``.  Edges are directed both ways
+(parent <-> child), since one phase of a tree computation exchanges messages
+along every tree link; the maximum out-degree is therefore 3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.networks.base import GuestGraph
+
+__all__ = ["CompleteBinaryTree", "random_binary_tree", "ArbitraryTree"]
+
+
+class CompleteBinaryTree(GuestGraph):
+    """The complete binary tree with ``levels`` levels (``2**levels - 1`` nodes)."""
+
+    def __init__(self, levels: int):
+        if levels < 1:
+            raise ValueError(f"tree needs >= 1 level, got {levels}")
+        self.levels = levels
+
+    def vertices(self) -> Iterable[int]:
+        return range(1, 1 << self.levels)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for v in range(1, 1 << (self.levels - 1)):
+            for child in (2 * v, 2 * v + 1):
+                yield v, child
+                yield child, v
+
+    @property
+    def num_vertices(self) -> int:
+        return (1 << self.levels) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * (self.num_vertices - 1)
+
+    def level_of(self, v: int) -> int:
+        """Level of vertex ``v`` (root at level 0)."""
+        if not 1 <= v < (1 << self.levels):
+            raise ValueError(f"vertex {v} out of range")
+        return v.bit_length() - 1
+
+    def leaves(self) -> Iterator[int]:
+        return iter(range(1 << (self.levels - 1), 1 << self.levels))
+
+    def __repr__(self) -> str:
+        return f"CompleteBinaryTree(levels={self.levels})"
+
+
+class ArbitraryTree(GuestGraph):
+    """An arbitrary rooted tree given by a parent map (edges both ways)."""
+
+    def __init__(self, parent: Dict[int, int], root: int):
+        self.root = root
+        self.parent = dict(parent)
+        verts = set(parent) | {root}
+        for child, par in parent.items():
+            if par not in verts:
+                raise ValueError(f"parent {par} of {child} is not a vertex")
+            if child == root:
+                raise ValueError("root cannot have a parent")
+        self._vertices = sorted(verts)
+        self.children: Dict[int, List[int]] = {v: [] for v in self._vertices}
+        for child, par in parent.items():
+            self.children[par].append(child)
+
+    def vertices(self) -> Iterable[int]:
+        return iter(self._vertices)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for child, par in self.parent.items():
+            yield par, child
+            yield child, par
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * len(self.parent)
+
+    @property
+    def max_degree(self) -> int:
+        deg = {v: len(self.children[v]) for v in self._vertices}
+        for child in self.parent:
+            deg[child] += 1
+        return max(deg.values())
+
+    def __repr__(self) -> str:
+        return f"ArbitraryTree(n={self.num_vertices})"
+
+
+def random_binary_tree(num_vertices: int, seed: int = 0) -> ArbitraryTree:
+    """A uniformly grown random binary tree on ``num_vertices`` vertices.
+
+    Each new vertex attaches to a uniformly chosen existing vertex that still
+    has fewer than 2 children, so the result has maximum degree 3 — the
+    bounded-degree setting of Section 6.2.
+    """
+    if num_vertices < 1:
+        raise ValueError(f"need >= 1 vertex, got {num_vertices}")
+    rng = random.Random(seed)
+    parent: Dict[int, int] = {}
+    open_slots: List[int] = [0, 0]  # root can take two children
+    for v in range(1, num_vertices):
+        idx = rng.randrange(len(open_slots))
+        p = open_slots.pop(idx)
+        parent[v] = p
+        open_slots.extend([v, v])
+    return ArbitraryTree(parent, root=0)

@@ -1,0 +1,30 @@
+"""Link-bound routing substrate.
+
+The paper's cost model (Section 3): during one time unit every processor can
+send one message packet over each outgoing link.  This subpackage provides
+
+* :mod:`repro.routing.schedule` — explicit packet schedules (the form the
+  paper's cost claims take) with conflict verification, plus p-packet cost
+  measurement for embeddings;
+* :mod:`repro.routing.simulator` — a synchronous store-and-forward queue
+  simulator for baselines and randomized routing;
+* :mod:`repro.routing.wormhole` — cut-through/wormhole routing (Section 7);
+* :mod:`repro.routing.permutation` — randomized permutation routing on the
+  embedded CCC/butterfly copies (Section 7).
+"""
+
+from repro.routing.schedule import (
+    PacketSchedule,
+    ScheduledPacket,
+    multipath_packet_schedule,
+    p_packet_cost_singlepath,
+)
+from repro.routing.simulator import StoreForwardSimulator
+
+__all__ = [
+    "PacketSchedule",
+    "ScheduledPacket",
+    "multipath_packet_schedule",
+    "p_packet_cost_singlepath",
+    "StoreForwardSimulator",
+]

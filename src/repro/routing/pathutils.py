@@ -1,0 +1,63 @@
+"""Small path utilities shared by embeddings and routing."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["erase_loops"]
+
+
+def erase_loops(path: Sequence[int]) -> Tuple[int, ...]:
+    """Loop-erase a walk into a simple path with the same endpoints.
+
+    Only removes edges, so applying it to each member of a family of
+    pairwise edge-disjoint walks keeps the family edge-disjoint.
+    """
+    out: List[int] = []
+    seen: Dict[int, int] = {}
+    for node in path:
+        if node in seen:
+            for dropped in out[seen[node] + 1 :]:
+                del seen[dropped]
+            del out[seen[node] + 1 :]
+        else:
+            seen[node] = len(out)
+            out.append(node)
+    return tuple(out)
+
+
+def edge_disjoint_paths(n: int, u: int, v: int, count: int):
+    """``count`` pairwise edge-disjoint paths from ``u`` to ``v`` in ``Q_n``.
+
+    Classical construction: with ``D`` the set of differing dimensions
+    (``d = |D|``), the first ``d`` paths cross ``D`` in its ``d`` cyclic
+    rotations (pairwise internally vertex-disjoint); each further path
+    detours out and back through a distinct non-``D`` dimension around a
+    crossing of ``D`` (length ``d + 2``).  Supports ``count <= n``.
+
+    Returns a list of node tuples.  Raises for ``u == v`` or
+    ``count > n``.
+    """
+    if u == v:
+        raise ValueError("endpoints must differ")
+    if not 1 <= count <= n:
+        raise ValueError(f"need 1 <= count <= n, got {count}")
+    diff = [d for d in range(n) if (u ^ v) >> d & 1]
+    other = [d for d in range(n) if not (u ^ v) >> d & 1]
+    paths = []
+    for i in range(min(count, len(diff))):
+        order = diff[i:] + diff[:i]
+        node, path = u, [u]
+        for d in order:
+            node ^= 1 << d
+            path.append(node)
+        paths.append(tuple(path))
+    for j in range(count - len(paths)):
+        e = 1 << other[j]
+        node, path = u ^ e, [u, u ^ e]
+        for d in diff:
+            node ^= 1 << d
+            path.append(node)
+        path.append(v)
+        paths.append(tuple(path))
+    return paths

@@ -1,0 +1,146 @@
+"""Synchronous store-and-forward network simulator (the paper's cost model).
+
+Each directed host link transmits at most one packet per time step; packets
+follow fixed paths and wait in FIFO queues at each link.  This is the
+"store-and-forward" model of Section 7 and the measurement instrument for
+every p-packet cost we report.
+
+The step loop is deliberately simple (dict of per-link deques) — packet
+counts in the reproduced experiments are at most a few hundred thousand, and
+profiling showed the construction (not simulation) dominates; see the
+hpc-parallel guide note in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.hypercube.graph import Hypercube
+
+__all__ = ["StoreForwardSimulator", "SimPacket"]
+
+
+@dataclass
+class SimPacket:
+    """A packet with a fixed path; ``hop`` is the next hop index to take.
+
+    ``service_time`` is the number of steps the packet occupies each link it
+    crosses — 1 for a unit packet, ``M`` for an atomic M-packet message
+    (message-granularity store-and-forward, the Section 7 baseline).
+    """
+
+    path: Tuple[int, ...]
+    release_step: int = 1
+    service_time: int = 1
+    hop: int = 0
+    done_step: Optional[int] = None
+    ident: int = -1
+
+
+class StoreForwardSimulator:
+    """Synchronous link-bound simulator with per-link FIFO queues.
+
+    ``port_limit`` caps how many outgoing transmissions a node may *start*
+    per step: ``None`` is the paper's all-port model (every link usable
+    every step); ``1`` is the classical single-port model used by e.g. the
+    dimension-exchange algorithms E15 compares against.
+    """
+
+    def __init__(self, host: Hypercube, port_limit: Optional[int] = None):
+        if port_limit is not None and port_limit < 1:
+            raise ValueError("port limit must be >= 1 (or None)")
+        self.host = host
+        self.port_limit = port_limit
+        self._queues: Dict[int, Deque[SimPacket]] = {}
+        self._pending: List[SimPacket] = []
+        self._delivered: List[SimPacket] = []
+        self._steps_run = 0
+
+    def inject(
+        self, path: Sequence[int], release_step: int = 1, service_time: int = 1
+    ) -> SimPacket:
+        """Add a packet that becomes eligible to move at ``release_step``."""
+        if len(path) < 1:
+            raise ValueError("packet path must contain at least one node")
+        if service_time < 1:
+            raise ValueError("service time must be >= 1")
+        pkt = SimPacket(
+            tuple(path), release_step, service_time, ident=len(self._pending)
+        )
+        self._pending.append(pkt)
+        return pkt
+
+    def _enqueue(self, pkt: SimPacket) -> bool:
+        """Queue ``pkt`` on its next link; True when it still has hops."""
+        if pkt.hop >= len(pkt.path) - 1:
+            return False
+        eid = self.host.edge_id(pkt.path[pkt.hop], pkt.path[pkt.hop + 1])
+        self._queues.setdefault(eid, deque()).append(pkt)
+        return True
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Run to completion; returns the step at which the last packet arrives.
+
+        Zero-hop packets complete at step 0 (they are already at their
+        destination).
+        """
+        in_flight = 0
+        releases: Dict[int, List[SimPacket]] = {}
+        for pkt in self._pending:
+            if len(pkt.path) == 1:
+                pkt.done_step = 0
+                self._delivered.append(pkt)
+            else:
+                releases.setdefault(pkt.release_step, []).append(pkt)
+                in_flight += 1
+        self._pending = []
+
+        step = 0
+        last_done = 0
+        transmitting: Dict[int, Tuple[SimPacket, int]] = {}  # eid -> (pkt, finish)
+        while in_flight > 0:
+            step += 1
+            if step > max_steps:
+                raise RuntimeError(f"simulation exceeded {max_steps} steps")
+            for pkt in releases.pop(step, []):
+                self._enqueue(pkt)
+            # start transmissions on idle links (FIFO per link); with a port
+            # limit, each node starts at most that many sends per step
+            # (links already mid-transmission count against the budget)
+            ports: Dict[int, int] = {}
+            if self.port_limit is not None:
+                for eid in transmitting:
+                    node = eid // self.host.n
+                    ports[node] = ports.get(node, 0) + 1
+            for eid in sorted(self._queues):
+                if eid in transmitting:
+                    continue
+                if self.port_limit is not None:
+                    node = eid // self.host.n
+                    if ports.get(node, 0) >= self.port_limit:
+                        continue
+                    ports[node] = ports.get(node, 0) + 1
+                q = self._queues[eid]
+                pkt = q.popleft()
+                if not q:
+                    del self._queues[eid]
+                transmitting[eid] = (pkt, step + pkt.service_time - 1)
+            # complete transmissions finishing this step
+            for eid in [e for e, (_, f) in transmitting.items() if f <= step]:
+                pkt, _ = transmitting.pop(eid)
+                pkt.hop += 1
+                if pkt.hop >= len(pkt.path) - 1:
+                    pkt.done_step = step
+                    self._delivered.append(pkt)
+                    in_flight -= 1
+                    last_done = step
+                else:
+                    self._enqueue(pkt)
+        self._steps_run = max(self._steps_run, step)
+        return last_done
+
+    @property
+    def delivered(self) -> List[SimPacket]:
+        return self._delivered

@@ -1,0 +1,136 @@
+"""Wormhole (cut-through) routing simulator (paper Section 7).
+
+A *worm* is a message of ``M`` flits following a fixed path.  The head
+acquires links one at a time; flits pipeline behind it, one flit per link
+per step, with ``buffer_capacity`` flits of slack per intermediate node
+(1 = classical wormhole).  A link stays reserved from the step the head
+crosses it until the tail (the ``M``-th flit) has crossed.  Blocked worms
+stall in place, holding their links — exactly the behavior that makes
+store-and-forward algorithms pay ``Theta(n M)`` on the hypercube and that
+the multiple-copy/multiple-path embeddings avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hypercube.graph import Hypercube
+
+__all__ = ["Worm", "WormholeSimulator", "WormholeDeadlock"]
+
+
+class WormholeDeadlock(RuntimeError):
+    """No worm can make progress: a cyclic link-wait was detected.
+
+    Classical 1-flit wormhole deadlocks on routes with cyclic channel
+    dependencies (e.g. the wrapped CCC level loops).  Callers can avoid it
+    with dimension-ordered routes or per-node message buffers
+    (``buffer_capacity >= num_flits``, i.e. virtual cut-through).
+    """
+
+
+@dataclass
+class Worm:
+    """A wormhole message: ``num_flits`` flits along ``path``."""
+
+    path: Tuple[int, ...]
+    num_flits: int
+    release_step: int = 1
+    ident: int = -1
+    # flits_crossed[i] = number of flits that have crossed link i
+    flits_crossed: List[int] = field(default_factory=list)
+    head_link: int = -1  # highest link index acquired
+    done_step: Optional[int] = None
+
+    def __post_init__(self):
+        if len(self.path) < 2:
+            raise ValueError("worm path needs at least one link")
+        if self.num_flits < 1:
+            raise ValueError("worm needs at least one flit")
+        self.flits_crossed = [0] * (len(self.path) - 1)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.path) - 1
+
+
+class WormholeSimulator:
+    """Flit-level synchronous wormhole simulator."""
+
+    def __init__(self, host: Hypercube, buffer_capacity: int = 1):
+        if buffer_capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self.host = host
+        self.buffer_capacity = buffer_capacity
+        self.worms: List[Worm] = []
+        self._owner: Dict[int, int] = {}  # link id -> worm ident
+
+    def inject(self, path: Sequence[int], num_flits: int, release_step: int = 1) -> Worm:
+        worm = Worm(tuple(path), num_flits, release_step, ident=len(self.worms))
+        self.worms.append(worm)
+        return worm
+
+    def _link_id(self, worm: Worm, i: int) -> int:
+        return self.host.edge_id(worm.path[i], worm.path[i + 1])
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Run until all worms are delivered; returns the last arrival step."""
+        active = sorted(self.worms, key=lambda w: w.ident)
+        remaining = len(active)
+        step = 0
+        last_done = 0
+        while remaining > 0:
+            step += 1
+            if step > max_steps:
+                raise RuntimeError(f"wormhole simulation exceeded {max_steps} steps")
+            progressed = False
+            # Phase 1: head acquisitions (deterministic order = worm id).
+            for worm in active:
+                if worm.done_step is not None or step < worm.release_step:
+                    continue
+                if worm.head_link == worm.num_links - 1:
+                    continue  # head already at destination side
+                nxt = worm.head_link + 1
+                # the head flit must be available at the node before link nxt
+                if nxt > 0 and worm.flits_crossed[nxt - 1] == 0:
+                    continue
+                lid = self._link_id(worm, nxt)
+                if self._owner.get(lid) is None:
+                    self._owner[lid] = worm.ident
+                    worm.head_link = nxt
+                    progressed = True
+            # Phase 2: flit movement — one flit per owned link, subject to
+            # upstream availability and downstream buffer slack.
+            for worm in active:
+                if worm.done_step is not None or step < worm.release_step:
+                    continue
+                # advance from head side to tail side so same-step moves don't
+                # cascade a single flit across several links
+                for i in range(worm.head_link, -1, -1):
+                    crossed = worm.flits_crossed[i]
+                    if crossed >= worm.num_flits:
+                        continue  # tail already past this link
+                    upstream = (
+                        worm.num_flits if i == 0 else worm.flits_crossed[i - 1]
+                    )
+                    if upstream - crossed < 1:
+                        continue  # no flit waiting before this link
+                    if i < worm.num_links - 1:
+                        slack = crossed - worm.flits_crossed[i + 1]
+                        if slack >= self.buffer_capacity:
+                            continue  # downstream node buffer is full
+                    worm.flits_crossed[i] = crossed + 1
+                    progressed = True
+                    if worm.flits_crossed[i] == worm.num_flits:
+                        self._owner.pop(self._link_id(worm, i), None)
+                if worm.flits_crossed[-1] == worm.num_flits:
+                    worm.done_step = step
+                    last_done = step
+                    remaining -= 1
+            if not progressed and all(step >= w.release_step for w in active):
+                stuck = [w.ident for w in active if w.done_step is None]
+                raise WormholeDeadlock(
+                    f"{len(stuck)} worms deadlocked at step {step}"
+                )
+        return last_done

@@ -1,0 +1,199 @@
+"""Tests for the analysis/reporting utilities and figure reproductions."""
+
+import pytest
+
+from repro.analysis import (
+    compare_embeddings,
+    congestion_histogram,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    link_utilization,
+    report,
+)
+from repro.core import (
+    cycle_multicopy_embedding,
+    embed_cycle_load1,
+    graycode_cycle_embedding,
+    large_cycle_embedding,
+)
+
+
+class TestReport:
+    def test_multipath_report(self):
+        rep = report(embed_cycle_load1(6))
+        assert rep.style == "multiple-path"
+        assert rep.load == 1
+        assert rep.width == 3
+        assert rep.host_dim == 6
+        assert 0 < rep.link_utilization <= 1
+
+    def test_singlepath_report(self):
+        rep = report(large_cycle_embedding(6))
+        assert rep.style == "single-path"
+        assert rep.load == 6
+        assert rep.link_utilization == 1.0
+
+    def test_multicopy_report(self):
+        rep = report(cycle_multicopy_embedding(6))
+        assert rep.style == "multiple-copy"
+        assert rep.copies == 6
+        assert rep.link_utilization == 1.0
+
+    def test_str_contains_metrics(self):
+        text = str(report(embed_cycle_load1(6)))
+        assert "dilation" in text and "width" in text
+
+
+class TestComparison:
+    def test_table_renders(self):
+        table = compare_embeddings(
+            {
+                "gray": graycode_cycle_embedding(6),
+                "multipath": embed_cycle_load1(6),
+            }
+        )
+        assert "gray" in table and "multipath" in table
+        assert "dilation" in table
+
+    def test_histogram_sums_to_links(self):
+        emb = embed_cycle_load1(6)
+        hist = congestion_histogram(emb)
+        assert sum(hist.values()) == emb.host.num_edges
+        assert max(hist) == emb.congestion
+
+    def test_utilization_range(self):
+        assert link_utilization(graycode_cycle_embedding(5)) == pytest.approx(
+            2**5 / (5 * 2**5)
+        )
+
+
+class TestFigures:
+    def test_figure1_gray_labels(self):
+        text = figure1(3)
+        assert "dim 0" in text and "dim 2" in text
+        assert text.count("-->") == 8
+
+    def test_figure2_fields(self):
+        text = figure2(11)
+        assert "Row" in text and "Position" in text and "Block" in text
+        assert "k=2, r=3" in text
+
+    def test_figure3_columns(self):
+        text = figure3(4)
+        assert sum(1 for line in text.splitlines() if line.startswith("  column")) == 4
+        assert "closes at row 0" in text
+
+    def test_figure4_paths(self):
+        text = figure4(8)
+        assert text.count("path") == 5
+        assert "direct" in text
+
+    def test_figures_run_for_other_sizes(self):
+        figure1(4)
+        figure2(8)
+        figure3(5)
+        figure4(9, edge_index=17)
+
+
+class TestDotExport:
+    def test_renders_multipath(self):
+        from repro.analysis import embedding_to_dot
+        from repro.core import embed_cycle_load1
+
+        emb = embed_cycle_load1(4)
+        dot = embedding_to_dot(emb)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == emb.host.num_edges
+        assert "color=red" not in dot
+
+    def test_highlight_edge(self):
+        from repro.analysis import embedding_to_dot
+        from repro.core import embed_cycle_load1
+
+        emb = embed_cycle_load1(4)
+        dot = embedding_to_dot(emb, highlight_edge=(0, 1))
+        assert "color=red" in dot
+
+    def test_singlepath_supported(self):
+        from repro.analysis import embedding_to_dot
+        from repro.core import graycode_cycle_embedding
+
+        dot = embedding_to_dot(graycode_cycle_embedding(3), highlight_edge=(0, 1))
+        assert "penwidth=3" in dot
+
+    def test_unknown_edge(self):
+        import pytest
+
+        from repro.analysis import embedding_to_dot
+        from repro.core import embed_cycle_load1
+
+        with pytest.raises(KeyError):
+            embedding_to_dot(embed_cycle_load1(4), highlight_edge=("x", "y"))
+
+
+class TestGraphMetrics:
+    def test_hypercube_closed_forms(self):
+        from repro.analysis import hypercube_metrics
+
+        m = hypercube_metrics(6)
+        assert m["diameter"] == 6
+        assert m["bisection_links"] == 32
+        assert m["avg_distance"] == 3.0
+
+    def test_guest_metrics_cycle(self):
+        from repro.analysis import guest_metrics
+        from repro.networks import DirectedCycle
+
+        m = guest_metrics(DirectedCycle(16))
+        assert m["diameter"] == 8  # undirected view
+        assert m["nodes"] == 16
+
+    def test_guest_matches_hypercube_closed_form(self):
+        from repro.analysis import guest_metrics, hypercube_metrics
+        from repro.hypercube.graph import Hypercube
+        from repro.networks.base import ExplicitGraph
+
+        q = Hypercube(5)
+        guest = ExplicitGraph(range(q.num_nodes), list(q.edges()))
+        measured = guest_metrics(guest)
+        closed = hypercube_metrics(5)
+        assert measured["diameter"] == closed["diameter"]
+        assert abs(measured["avg_distance"] - closed["avg_distance"]) < 0.2
+
+    def test_pinout_comparison(self):
+        from repro.analysis import pinout_comparison
+
+        row = pinout_comparison(8)
+        assert row["hypercube"]["channels"] == 8
+        assert row["hypercube"]["wide_message_slowdown"] == 2.0
+        assert row["torus"]["diameter"] == 16
+        import pytest
+
+        with pytest.raises(ValueError):
+            pinout_comparison(7)
+
+
+class TestDimensionUsage:
+    def test_graycode_piles_on_dimension_zero(self):
+        from repro.analysis import dimension_usage
+        from repro.core import graycode_cycle_embedding
+
+        usage = dimension_usage(graycode_cycle_embedding(6))
+        assert usage[0] == 32  # half of all cycle edges
+        assert usage[0] == 2 * usage[1]
+
+    def test_theorem2_uses_dimensions_uniformly(self):
+        from repro.analysis import dimension_usage
+        from repro.core import embed_cycle_load2
+
+        usage = dimension_usage(embed_cycle_load2(8))
+        assert max(usage.values()) == min(usage.values())  # perfectly even
+
+    def test_multicopy_uniform(self):
+        from repro.analysis import dimension_usage
+        from repro.core import cycle_multicopy_embedding
+
+        usage = dimension_usage(cycle_multicopy_embedding(6))
+        assert set(usage.values()) == {64}  # every dim class saturated

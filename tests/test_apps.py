@@ -1,0 +1,140 @@
+"""Tests for the application layer (Sections 2 and 8.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.broadcast import cycle_neighbor_exchange
+from repro.apps.relaxation import GridRelaxation, relaxation_strategy_comparison
+
+
+class TestCycleExchange:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_multipath_beats_gray(self, n):
+        res = cycle_neighbor_exchange(n, m=30)
+        assert res["multipath"] < res["graycode"]
+        assert res["graycode"] == 30
+
+    def test_lower_bound_respected(self):
+        res = cycle_neighbor_exchange(8, m=24)
+        assert res["multipath"] >= 3  # at least one 3-step round
+
+    def test_rounds_formula(self):
+        res = cycle_neighbor_exchange(8, m=13)
+        # packets_per_edge = 6 at n=8 -> ceil(13/6) = 3 rounds of 3 steps
+        assert res["rounds"] == 3
+        assert res["multipath"] == 9
+
+    def test_single_packet(self):
+        res = cycle_neighbor_exchange(4, m=1)
+        assert res["multipath"] <= 3
+        assert res["graycode"] == 1
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            cycle_neighbor_exchange(4, 0)
+
+
+class TestRelaxationNumerics:
+    def test_converges_toward_harmonic_solution(self):
+        relax = GridRelaxation(24)
+        first = relax.step()
+        for _ in range(400):
+            last = relax.step()
+        assert last < first
+        # interior values bounded by the boundary condition
+        assert 0.0 <= relax.values.min() and relax.values.max() <= 1.0
+
+    def test_boundary_preserved(self):
+        relax = GridRelaxation(16)
+        relax.run(50)
+        assert np.allclose(relax.values[0, :], 1.0)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            GridRelaxation(2)
+
+
+class TestStrategyComparison:
+    def test_blocking_reduces_total_communication(self):
+        table = relaxation_strategy_comparison(256, 16)
+        assert (
+            table["blocked_multipath"]["total_values"]
+            < table["blocked_large_copy"]["total_values"]
+            < table["large_copy_points"]["total_values"]
+        )
+
+    def test_steps_verified_schedule(self):
+        table = relaxation_strategy_comparison(512, 16)
+        # steps come from a verified conflict-free schedule
+        assert table["blocked_multipath"]["steps"] > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            relaxation_strategy_comparison(256, 10)  # N not a power of two
+        with pytest.raises(ValueError):
+            relaxation_strategy_comparison(250, 16)  # M not divisible
+
+
+class TestTotalExchange:
+    def test_single_port_closed_form(self):
+        from repro.apps.total_exchange import single_port_exchange_steps
+
+        for n in (2, 4, 6):
+            assert single_port_exchange_steps(n) == n * 2 ** (n - 1)
+
+    def test_all_port_beats_single_port(self):
+        from repro.apps.total_exchange import total_exchange_comparison
+
+        row = total_exchange_comparison(5)
+        assert row["all_port"] < row["single_port"]
+
+    def test_ecube_uniform_load(self):
+        from repro.apps.total_exchange import ecube_link_load
+
+        assert ecube_link_load(4) == {8: 64}
+
+
+class TestCannonExport:
+    def test_public_api(self):
+        from repro.apps import cannon_matmul  # noqa: F401
+
+
+class TestBitonicSort:
+    def test_sorts_random(self):
+        import random
+
+        from repro.apps.bitonic import bitonic_sort
+
+        rng = random.Random(7)
+        vals = [rng.randint(0, 99) for _ in range(64)]
+        out, stats = bitonic_sort(vals)
+        assert out == sorted(vals)
+        assert stats["stages"] == 21
+
+    def test_sorts_adversarial(self):
+        from repro.apps.bitonic import bitonic_sort
+
+        for vals in ([3, 1], list(range(16))[::-1], [5] * 8):
+            out, _ = bitonic_sort(vals)
+            assert out == sorted(vals)
+
+    def test_stage_count(self):
+        from repro.apps.bitonic import bitonic_communication_steps
+
+        assert bitonic_communication_steps(4) == 10
+        assert bitonic_communication_steps(10) == 55
+
+    def test_invalid_size(self):
+        import pytest
+
+        from repro.apps.bitonic import bitonic_sort
+
+        with pytest.raises(ValueError):
+            bitonic_sort([1, 2, 3])
+
+    def test_link_crossings_count(self):
+        from repro.apps.bitonic import bitonic_sort
+
+        _, stats = bitonic_sort(list(range(8))[::-1])
+        # every stage uses all 2^n directed links of its dimension
+        assert stats["link_crossings"] == stats["stages"] * 8

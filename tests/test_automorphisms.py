@@ -1,0 +1,86 @@
+"""Tests for hypercube automorphisms and embedding relabeling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import embed_cycle_load1, graycode_cycle_embedding
+from repro.hypercube.automorphisms import (
+    HypercubeAutomorphism,
+    relabel_embedding,
+)
+from repro.hypercube.graph import Hypercube
+from repro.routing.schedule import multipath_packet_schedule
+
+perms4 = st.permutations(list(range(4)))
+
+
+class TestGroupLaws:
+    @given(perms4, st.integers(0, 15), st.integers(0, 15))
+    def test_bijection(self, perm, t, v):
+        auto = HypercubeAutomorphism(4, tuple(perm), t)
+        assert auto.inverse()(auto(v)) == v
+
+    @given(perms4, st.integers(0, 15), perms4, st.integers(0, 15), st.integers(0, 15))
+    def test_composition(self, p1, t1, p2, t2, v):
+        a = HypercubeAutomorphism(4, tuple(p1), t1)
+        b = HypercubeAutomorphism(4, tuple(p2), t2)
+        assert a.compose(b)(v) == a(b(v))
+
+    @given(perms4, st.integers(0, 15), st.integers(0, 15), st.integers(0, 3))
+    def test_preserves_adjacency(self, perm, t, v, d):
+        q = Hypercube(4)
+        auto = HypercubeAutomorphism(4, tuple(perm), t)
+        assert q.is_edge(auto(v), auto(v ^ (1 << d)))
+
+    def test_identity(self):
+        auto = HypercubeAutomorphism.identity(5)
+        assert all(auto(v) == v for v in range(32))
+
+    def test_translation_to(self):
+        auto = HypercubeAutomorphism.translation_to(5, 19)
+        assert auto(0) == 19
+
+    def test_rotation(self):
+        auto = HypercubeAutomorphism.rotation(4, 1)
+        assert auto(0b0001) == 0b0010
+        assert auto(0b1000) == 0b0001
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HypercubeAutomorphism(3, (0, 0, 1))
+        with pytest.raises(ValueError):
+            HypercubeAutomorphism(3, (0, 1, 2), 8)
+
+
+class TestRelabeling:
+    def test_metrics_invariant(self):
+        emb = embed_cycle_load1(6)
+        auto = HypercubeAutomorphism.translation_to(6, 45)
+        moved = relabel_embedding(emb, auto)
+        assert moved.width == emb.width
+        assert moved.dilation == emb.dilation
+        assert moved.congestion == emb.congestion
+        assert moved.vertex_map[0] == auto(emb.vertex_map[0])
+
+    def test_schedule_survives(self):
+        emb = embed_cycle_load1(6)
+        moved = relabel_embedding(
+            emb, HypercubeAutomorphism.rotation(6, 2)
+        )
+        sched = multipath_packet_schedule(moved, extra_direct_at=3)
+        sched.verify()
+        assert sched.makespan == 3
+
+    def test_single_path_embedding(self):
+        emb = graycode_cycle_embedding(5)
+        moved = relabel_embedding(
+            emb, HypercubeAutomorphism.translation_to(5, 7)
+        )
+        assert moved.congestion == 1
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            relabel_embedding(
+                graycode_cycle_embedding(4),
+                HypercubeAutomorphism.identity(5),
+            )

@@ -1,0 +1,79 @@
+"""Tests for the limited-buffer store-and-forward model."""
+
+import pytest
+
+from repro.hypercube.graph import Hypercube
+from repro.routing.bounded_buffers import BoundedBufferSimulator, BufferDeadlock
+from repro.routing.permutation import dimension_order_path, random_permutation
+from repro.routing.simulator import StoreForwardSimulator
+
+
+def _permutation_workload(sim, n=6, reps=2, seed=2):
+    perm = random_permutation(1 << n, seed=seed)
+    for u, v in enumerate(perm):
+        if u != v:
+            p = dimension_order_path(n, u, v)
+            for _ in range(reps):
+                sim.inject(p)
+
+
+class TestBasics:
+    def test_single_packet(self):
+        sim = BoundedBufferSimulator(Hypercube(4), 4)
+        sim.inject([0, 1, 3, 7])
+        assert sim.run() == 3
+
+    def test_zero_hop(self):
+        sim = BoundedBufferSimulator(Hypercube(3), 1)
+        sim.inject([5])
+        assert sim.run() == 0
+
+    def test_large_buffers_match_unbounded(self):
+        ref = StoreForwardSimulator(Hypercube(6))
+        bb = BoundedBufferSimulator(Hypercube(6), 64)
+        _permutation_workload(ref)
+        _permutation_workload(bb)
+        assert bb.run() == ref.run()
+
+    def test_release_steps(self):
+        sim = BoundedBufferSimulator(Hypercube(3), 2)
+        sim.inject([0, 1], release_step=7)
+        assert sim.run() == 7
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BoundedBufferSimulator(Hypercube(3), 0)
+        with pytest.raises(ValueError):
+            BoundedBufferSimulator(Hypercube(3), 2, injection_reserve=2)
+        sim = BoundedBufferSimulator(Hypercube(3), 2)
+        with pytest.raises(ValueError):
+            sim.inject([])
+
+
+class TestBackpressure:
+    def test_tiny_buffers_deadlock_without_reserve(self):
+        sim = BoundedBufferSimulator(Hypercube(6), 2)
+        _permutation_workload(sim, reps=4)
+        with pytest.raises(BufferDeadlock):
+            sim.run()
+
+    def test_injection_reserve_restores_progress(self):
+        sim = BoundedBufferSimulator(Hypercube(6), 4, injection_reserve=2)
+        _permutation_workload(sim, reps=4)
+        assert sim.run() > 0
+
+    def test_constant_buffers_near_unbounded_speed(self):
+        ref = StoreForwardSimulator(Hypercube(6))
+        bb = BoundedBufferSimulator(Hypercube(6), 8, injection_reserve=4)
+        _permutation_workload(ref, reps=4)
+        _permutation_workload(bb, reps=4)
+        t_ref, t_bb = ref.run(), bb.run()
+        assert t_bb <= 2 * t_ref
+
+    def test_chain_advance_through_freed_slot(self):
+        # two packets in a line: the downstream one frees its slot and the
+        # upstream one takes it in the same step
+        sim = BoundedBufferSimulator(Hypercube(3), 1)
+        sim.inject([1, 3])       # departs immediately
+        sim.inject([0, 1, 3])    # follows through node 1's single slot
+        assert sim.run() <= 3

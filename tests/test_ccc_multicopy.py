@@ -1,0 +1,109 @@
+"""Tests for Lemma 4 and Theorem 3 (CCC embeddings)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.ccc_multicopy import (
+    ccc_multicopy_embedding,
+    ccc_single_embedding,
+    level_cycle,
+    theorem3_claim,
+)
+from repro.hypercube.graph import Hypercube
+
+
+class TestLevelCycle:
+    @pytest.mark.parametrize("n,r", [(4, 2), (6, 3), (8, 3), (3, 2), (5, 3), (7, 3)])
+    def test_consecutive_distance(self, n, r):
+        seq = level_cycle(n, r)
+        assert len(seq) == n
+        assert len(set(seq)) == n
+        for a, b in zip(seq, seq[1:]):
+            assert (a ^ b).bit_count() == 1
+        wrap = (seq[-1] ^ seq[0]).bit_count()
+        assert wrap == (1 if n % 2 == 0 else 2)
+
+    def test_too_many_levels(self):
+        with pytest.raises(ValueError):
+            level_cycle(9, 3)
+
+
+class TestLemma4:
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_dilation(self, n):
+        emb = ccc_single_embedding(n)
+        emb.verify(max_load=1)
+        expected = 1 if n % 2 == 0 else 2
+        assert emb.dilation == expected
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_host_size(self, n):
+        emb = ccc_single_embedding(n)
+        r = max(1, (n - 1).bit_length())
+        assert emb.host.n == n + r
+
+    def test_straight_edges_stay_in_window(self):
+        emb = ccc_single_embedding(4)
+        # straight edges use only the top r dimensions with this window
+        n, r = 4, 2
+        for (u, v), path in emb.edge_paths.items():
+            if u[1] == v[1]:  # straight edge
+                for a, b in zip(path, path[1:]):
+                    assert emb.host.dimension_of(a, b) >= n
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_claims(self, n):
+        mc = ccc_multicopy_embedding(n)
+        mc.verify()
+        claim = theorem3_claim(n)
+        assert mc.k == claim["copies"]
+        assert mc.dilation == claim["dilation"]
+        assert mc.edge_congestion <= claim["edge_congestion"]
+
+    def test_edge_congestion_exactly_two(self):
+        # dimension-1 links carry two straight edges (levels n/2-1 and n-1)
+        assert ccc_multicopy_embedding(4).edge_congestion == 2
+
+    def test_cross_edge_congestion_at_most_one(self):
+        # Lemma 7: congestion due to cross-edges alone is at most 1
+        mc = ccc_multicopy_embedding(4)
+        counts = Counter()
+        for copy in mc.copies:
+            for (u, v), path in copy.edge_paths.items():
+                if u[0] == v[0]:  # cross edge (same level)
+                    for a, b in zip(path, path[1:]):
+                        counts[copy.host.edge_id(a, b)] += 1
+        assert max(counts.values()) == 1
+
+    def test_each_copy_is_a_bijection(self):
+        mc = ccc_multicopy_embedding(4)
+        for copy in mc.copies:
+            images = set(copy.vertex_map.values())
+            assert len(images) == copy.host.num_nodes
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            ccc_multicopy_embedding(6)
+
+    def test_node_load_is_n(self):
+        mc = ccc_multicopy_embedding(4)
+        assert mc.node_load == 4
+
+
+class TestSection54Undirected:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_congestion_at_most_four(self, n):
+        mc = ccc_multicopy_embedding(n, undirected=True)
+        mc.verify()
+        assert mc.edge_congestion <= 4
+
+    def test_exactly_four_at_n4(self):
+        assert ccc_multicopy_embedding(4, undirected=True).edge_congestion == 4
+
+    def test_guest_has_reverse_straight_edges(self):
+        mc = ccc_multicopy_embedding(4, undirected=True)
+        edges = set(mc.guest.edges())
+        assert ((1, 0), (0, 0)) in edges  # downward straight edge

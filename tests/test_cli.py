@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_embed_defaults(self):
+        args = build_parser().parse_args(["embed", "cycle"])
+        assert args.n == 8 and args.kind == "cycle"
+
+
+class TestCommands:
+    def test_embed_cycle(self, capsys):
+        assert main(["embed", "cycle", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "verified OK" in out and "width" in out
+
+    def test_embed_cycle2_wide(self, capsys):
+        assert main(["embed", "cycle2", "--n", "6", "--wide"]) == 0
+        assert "multiple-path" in capsys.readouterr().out
+
+    def test_embed_grid(self, capsys):
+        assert main(["embed", "grid", "--dims", "16x16", "--torus"]) == 0
+        assert "Q_8" in capsys.readouterr().out
+
+    def test_embed_ccc(self, capsys):
+        assert main(["embed", "ccc", "--n", "4"]) == 0
+        assert "multiple-copy" in capsys.readouterr().out
+
+    def test_embed_large_cycle(self, capsys):
+        assert main(["embed", "large-cycle", "--n", "6"]) == 0
+        assert "single-path" in capsys.readouterr().out
+
+    def test_embed_tree(self, capsys):
+        assert main(["embed", "tree", "--m", "2"]) == 0
+        assert "Q_6" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "multipath" in out and "large-copy" in out
+
+    def test_compare_odd_n_rejected(self, capsys):
+        assert main(["compare", "--n", "5"]) == 2
+
+    def test_figures(self, capsys):
+        assert main(["figures", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 4" in out
+
+    def test_broadcast(self, capsys):
+        assert main(["broadcast", "--n", "4", "--packets", "32"]) == 0
+        assert "binomial" in capsys.readouterr().out
+
+    def test_faults(self, capsys):
+        assert main(["faults", "--n", "6", "--prob", "0.02"]) == 0
+        assert "delivered" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_sweep_speedup(self, capsys):
+        assert main(["sweep", "speedup", "--n", "8"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_sweep_utilization(self, capsys):
+        assert main(["sweep", "utilization", "--n", "6"]) == 0
+        assert "busy_fraction" in capsys.readouterr().out
+
+    def test_sweep_broadcast(self, capsys):
+        assert main(["sweep", "broadcast", "--n", "4"]) == 0
+        assert "winner" in capsys.readouterr().out
+
+    def test_save_and_load_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "emb.json")
+        assert main(["save", "cycle", path, "--n", "6"]) == 0
+        assert main(["load", path]) == 0
+        assert "verified OK" in capsys.readouterr().out
+
+    def test_save_grid(self, tmp_path, capsys):
+        path = str(tmp_path / "grid.json")
+        assert main(["save", "grid", path, "--dims", "16x16", "--torus"]) == 0
+        assert main(["load", path]) == 0
+
+
+class TestValidate:
+    def test_validate_all_pass(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "10/10 claims verified" in out
+
+    def test_programmatic(self):
+        from repro.analysis import validate_claims
+
+        results = validate_claims()
+        assert len(results) == 10
+        assert all(r.ok for r in results)

@@ -1,0 +1,151 @@
+"""Tests for Theorem 4: the induced cross product transform."""
+
+import pytest
+
+from repro.core.butterfly_multicopy import butterfly_multicopy_embedding
+from repro.core.cross_product import (
+    induced_cross_product_embedding,
+    theorem4_claim,
+)
+from repro.core.cycle_multicopy import cycle_multicopy_embedding
+from repro.routing.schedule import measured_multipath_cost
+
+
+class TestWithCycleCopies:
+    def test_structure(self):
+        mc = cycle_multicopy_embedding(4)
+        x = induced_cross_product_embedding(mc)
+        x.verify()
+        assert x.host.n == 8
+        assert x.width == 4
+        assert x.load == 1
+        assert x.guest.num_vertices == 2**8
+        # each row and each column contributes |E(G)| = 16 edges
+        assert x.guest.num_edges == 2 * 16 * 16
+
+    def test_paper_example_cost(self):
+        # Section 6: cycle copies have c = 1, delta = 1 -> n-packet cost 3
+        mc = cycle_multicopy_embedding(4)
+        x = induced_cross_product_embedding(mc)
+        claim = theorem4_claim(mc)
+        assert claim["cost_upper"] == 3
+        assert measured_multipath_cost(x) <= claim["cost_upper"]
+
+    def test_all_paths_length_three(self):
+        mc = cycle_multicopy_embedding(4)
+        x = induced_cross_product_embedding(mc)
+        for paths in x.edge_paths.values():
+            assert all(len(p) == 4 for p in paths)
+
+    def test_rows_use_distinct_automorphs(self):
+        # the n neighbors of a row have pairwise distinct moments (Lemma 2);
+        # rows 1 and 2 (moments 0 and 1) must host different automorphs.
+        # note b(0) = 0, so rows 0 and 1 legitimately share an automorph.
+        mc = cycle_multicopy_embedding(4)
+        x = induced_cross_product_embedding(mc)
+        n = 4
+        row_edges = {}
+        for (u, v) in x.guest.edges():
+            if u >> n == v >> n:  # row edge
+                row_edges.setdefault(u >> n, set()).add((u & 15, v & 15))
+        assert row_edges[1] != row_edges[2]
+        assert row_edges[0] == row_edges[1]
+        # the neighborhood-of-a-row property: rows 1^2^j pairwise distinct
+        neighborhood = [frozenset(row_edges[1 ^ (1 << j)]) for j in range(n)]
+        assert len(set(neighborhood)) == n
+
+
+class TestWithButterflyCopies:
+    def test_dilation2_copies_supported(self):
+        mc = butterfly_multicopy_embedding(2, undirected=True)
+        x = induced_cross_product_embedding(mc)
+        x.verify()
+        assert x.width == mc.host.n
+        # base paths have length <= 2, widened to <= 4
+        assert x.dilation <= mc.dilation + 2
+
+    def test_cost_within_claim(self):
+        mc = butterfly_multicopy_embedding(2, undirected=False)
+        x = induced_cross_product_embedding(mc)
+        claim = theorem4_claim(mc)
+        # greedy store-and-forward is a constructive upper bound; allow the
+        # LMR constant-factor slack over the idealized claim
+        assert measured_multipath_cost(x) <= 2 * claim["cost_upper"]
+
+
+class TestErrors:
+    def test_empty_copies_rejected(self):
+        from repro.core.embedding import MultiCopyEmbedding
+        from repro.hypercube.graph import Hypercube
+        from repro.networks.cycle import DirectedCycle
+
+        mc = MultiCopyEmbedding(Hypercube(2), DirectedCycle(4), [])
+        with pytest.raises(ValueError):
+            induced_cross_product_embedding(mc)
+
+    def test_non_bijective_copies_rejected(self):
+        mc = cycle_multicopy_embedding(4)
+        mc.copies[0].vertex_map[0] = mc.copies[0].vertex_map[1]
+        with pytest.raises(ValueError):
+            induced_cross_product_embedding(mc)
+
+
+class TestGeneralizedCrossProduct:
+    def test_equal_factors_give_ordinary_product(self):
+        from repro.core.cross_product import generalized_cross_product
+        from repro.networks.cycle import DirectedCycle
+
+        c4 = DirectedCycle(4)
+        x = generalized_cross_product([c4] * 4, [c4] * 4)
+        # the ordinary cross product C4 x C4 = the 4x4 directed torus
+        assert x.num_vertices == 16
+        assert x.num_edges == 32
+        edges = set(x.edges())
+        assert ((0, 0), (0, 1)) in edges   # row edge
+        assert ((0, 0), (1, 0)) in edges   # column edge
+
+    def test_automorph_relabeling(self):
+        from repro.core.cross_product import automorph_graph
+        from repro.networks.cycle import DirectedCycle
+
+        phi = lambda v: v ^ 1  # swap pairs
+        g = automorph_graph(DirectedCycle(4), phi)
+        assert set(g.edges()) == {(1, 0), (0, 3), (3, 2), (2, 1)}
+
+    def test_x_guest_matches_abstract_definition(self):
+        # X(G) built by the embedding must equal the abstract generalized
+        # cross product of the moment-indexed automorphs
+        from repro.core.cross_product import (
+            automorph_graph,
+            generalized_cross_product,
+            induced_cross_product_embedding,
+        )
+        from repro.core.cycle_multicopy import cycle_multicopy_embedding
+        from repro.hypercube.moments import moment
+
+        mc = cycle_multicopy_embedding(4)
+        x = induced_cross_product_embedding(mc)
+        factors = []
+        for i in range(16):
+            phi = mc.copies[moment(i) % 4].vertex_map
+            factors.append(automorph_graph(mc.guest, lambda v, p=phi: p[v]))
+        abstract = generalized_cross_product(factors, factors)
+        # identify (i, j) with host node (i << 4) | j
+        abstract_edges = {
+            ((i1 << 4) | j1, (i2 << 4) | j2)
+            for ((i1, j1), (i2, j2)) in abstract.edges()
+        }
+        assert abstract_edges == set(x.guest.edges())
+
+    def test_mismatched_factors_rejected(self):
+        import pytest
+
+        from repro.core.cross_product import generalized_cross_product
+        from repro.networks.cycle import DirectedCycle
+
+        with pytest.raises(ValueError):
+            generalized_cross_product([DirectedCycle(4)], [DirectedCycle(4)] * 2)
+        with pytest.raises(ValueError):
+            generalized_cross_product(
+                [DirectedCycle(4)] * 4, [DirectedCycle(8)] * 4
+            )

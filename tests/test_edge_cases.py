@@ -1,0 +1,139 @@
+"""Edge-case coverage across the data model and substrates."""
+
+import pytest
+
+from repro.core import graycode_cycle_embedding
+from repro.core.embedding import Embedding
+from repro.hypercube.graph import Hypercube
+from repro.networks.cycle import DirectedCycle
+
+
+class TestSinglePathEmbeddingVerify:
+    def _emb(self):
+        return graycode_cycle_embedding(4)
+
+    def test_missing_vertex(self):
+        emb = self._emb()
+        del emb.vertex_map[3]
+        with pytest.raises(AssertionError):
+            emb.verify()
+
+    def test_image_out_of_range(self):
+        emb = self._emb()
+        emb.vertex_map[3] = 99
+        with pytest.raises(AssertionError):
+            emb.verify()
+
+    def test_missing_path(self):
+        emb = self._emb()
+        del emb.edge_paths[(0, 1)]
+        with pytest.raises(AssertionError):
+            emb.verify()
+
+    def test_wrong_endpoint(self):
+        emb = self._emb()
+        hu = emb.vertex_map[0]
+        wrong = hu ^ 8  # a neighbor that is not vertex 1's image
+        assert wrong != emb.vertex_map[1]
+        emb.edge_paths[(0, 1)] = (hu, wrong)
+        with pytest.raises(AssertionError):
+            emb.verify()
+
+    def test_load_parameter(self):
+        host = Hypercube(2)
+        guest = DirectedCycle(8)  # 8 vertices on 4 nodes: load 2
+        seq = [0, 1, 3, 2]  # gray order: consecutive hosts are adjacent
+        vmap = {i: seq[i % 4] for i in range(8)}
+        paths = {}
+        for i in range(8):
+            hu, hv = vmap[i], vmap[(i + 1) % 8]
+            paths[(i, (i + 1) % 8)] = (
+                (hu,) if hu == hv else (hu, hv)
+            )
+        emb = Embedding(host, guest, vmap, paths)
+        emb.verify()  # default allows ceil(8/4) = 2
+        with pytest.raises(AssertionError):
+            emb.verify(max_load=1)
+
+    def test_repr_contains_metrics(self):
+        assert "dilation" in repr(self._emb())
+
+
+class TestGraycodeScale:
+    def test_large_gray_array(self):
+        from repro.hypercube.graycode import gray, gray_array
+
+        arr = gray_array(16)
+        assert len(arr) == 65536
+        assert arr[12345] == gray(12345)
+
+    def test_transition_at_deep(self):
+        from repro.hypercube.graycode import transition_at, transitions_prime
+
+        seq = transitions_prime(16)
+        for j in (0, 1, 1000, 32766):
+            assert transition_at(j) == seq[j]
+
+
+class TestMomentScale:
+    def test_table_q16(self):
+        from repro.hypercube.moments import moment, moment_table
+
+        table = moment_table(16)
+        for v in (0, 1, 4097, 65535):
+            assert table[v] == moment(v)
+
+
+class TestScheduleInternals:
+    def test_link_usage_counts(self):
+        from repro.routing.schedule import PacketSchedule, ScheduledPacket
+
+        host = Hypercube(3)
+        sched = PacketSchedule(
+            host,
+            [
+                ScheduledPacket((0, 1, 3), (1, 2)),
+                ScheduledPacket((0, 2), (2,)),
+            ],
+        )
+        use = sched.link_usage()
+        assert use[(host.edge_id(0, 1), 1)] == 1
+        assert use[(host.edge_id(0, 2), 2)] == 1
+        assert sched.makespan == 2
+
+    def test_empty_schedule(self):
+        from repro.routing.schedule import PacketSchedule
+
+        sched = PacketSchedule(Hypercube(3), [])
+        sched.verify()
+        assert sched.makespan == 0
+        assert sched.busy_link_fraction() == 0.0
+
+
+class TestXRouterCache:
+    def test_inverse_cache_reused(self):
+        from repro.routing.x_routing import XRouter
+
+        router = XRouter(2)
+        a = router.piece_paths(0, 5)
+        b = router.piece_paths(0, 5)
+        assert a == b  # deterministic, cached inverses
+
+    def test_router_reuse_between_calls(self):
+        from repro.routing.permutation import random_permutation
+        from repro.routing.x_routing import XRouter, x_permutation_time
+
+        router = XRouter(2)
+        perm = random_permutation(64, seed=1)
+        t1 = x_permutation_time(2, perm, 8, router=router)
+        t2 = x_permutation_time(2, perm, 8, router=router)
+        assert t1 == t2
+
+
+class TestDecompositionScaleQ18:
+    @pytest.mark.slow
+    def test_q18(self):
+        from repro.hypercube.hamiltonian import hamiltonian_decomposition
+
+        dec = hamiltonian_decomposition(18)
+        assert len(dec.cycles) == 9

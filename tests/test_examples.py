@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "6")
+        assert "speedup" in out
+
+    def test_grid_relaxation(self):
+        out = run_example("grid_relaxation.py", "256", "16")
+        assert "blocked_multipath" in out
+
+    def test_fault_tolerant_routing(self):
+        out = run_example("fault_tolerant_routing.py", "6")
+        assert "delivery rate" in out
+
+    def test_wormhole_routing(self):
+        out = run_example("wormhole_routing.py", "2")
+        assert "speedup" in out
+
+    def test_fft(self):
+        out = run_example("fft_on_hypercube.py", "5")
+        assert "error" in out
+
+    def test_tree_reduction(self):
+        out = run_example("tree_reduction.py", "2")
+        assert "reduce result" in out
+
+    def test_bitonic_sort(self):
+        out = run_example("bitonic_sort.py", "5")
+        assert "sorted correctly: True" in out

@@ -1,0 +1,97 @@
+"""Tests for the vectorized store-and-forward engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hypercube.graph import Hypercube
+from repro.routing.fast_simulator import FastStoreForward
+from repro.routing.permutation import dimension_order_path
+from repro.routing.simulator import StoreForwardSimulator
+
+
+class TestBasics:
+    def test_single_packet(self):
+        sim = FastStoreForward(Hypercube(4))
+        sim.inject([0, 1, 3, 7])
+        assert sim.run() == 3
+
+    def test_empty(self):
+        assert FastStoreForward(Hypercube(3)).run() == 0
+
+    def test_zero_hop(self):
+        sim = FastStoreForward(Hypercube(3))
+        sim.inject([5])
+        assert sim.run() == 0
+
+    def test_contention_serializes(self):
+        sim = FastStoreForward(Hypercube(3))
+        for _ in range(5):
+            sim.inject([0, 1])
+        assert sim.run() == 5
+
+    def test_release_steps(self):
+        sim = FastStoreForward(Hypercube(3))
+        sim.inject([0, 4], release_step=10)
+        assert sim.run() == 10
+
+    def test_rejects_bad_path(self):
+        sim = FastStoreForward(Hypercube(3))
+        sim.inject([0, 3])  # two-bit jump
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(ValueError):
+            FastStoreForward(Hypercube(3)).inject([])
+
+    def test_priority_arbitration(self):
+        # packet 0 wins the step-1 tie on link 0->1; packet 1 crosses at
+        # step 2 while packet 0 takes its second hop: both finish at 2
+        sim = FastStoreForward(Hypercube(3))
+        sim.inject([0, 1, 3])
+        sim.inject([0, 1])
+        assert sim.run() == 2
+
+    def test_release_gap_skips_idle_steps(self):
+        sim = FastStoreForward(Hypercube(3))
+        sim.inject([0, 1], release_step=1)
+        sim.inject([2, 3], release_step=1000)
+        assert sim.run() == 1000
+
+
+class TestAgreement:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 31), st.integers(0, 31), st.integers(1, 4)),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_within_envelope_of_reference(self, spec):
+        host = Hypercube(5)
+        ref = StoreForwardSimulator(host)
+        fast = FastStoreForward(host)
+        count = 0
+        for u, v, rel in spec:
+            if u == v:
+                continue
+            p = dimension_order_path(5, u, v)
+            ref.inject(p, release_step=rel)
+            fast.inject(p, release_step=rel)
+            count += 1
+        if not count:
+            return
+        a, b = ref.run(), fast.run()
+        # both are work-conserving link-bound schedules
+        assert max(a, b) <= min(a, b) + count
+
+    def test_contention_free_exact_match(self):
+        host = Hypercube(6)
+        ref = StoreForwardSimulator(host)
+        fast = FastStoreForward(host)
+        for u in range(0, 64, 8):
+            p = [u, u ^ 1, u ^ 3, u ^ 7]
+            ref.inject(p)
+            fast.inject(p)
+        assert ref.run() == fast.run() == 3

@@ -1,0 +1,99 @@
+"""Tests for binary reflected gray codes (paper Section 3 definitions)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hypercube.graycode import (
+    gray,
+    gray_array,
+    gray_node_sequence,
+    gray_rank,
+    transition_at,
+    transitions,
+    transitions_prime,
+)
+
+
+class TestTransitionSequences:
+    def test_g_prime_1(self):
+        assert transitions_prime(1) == [0]
+
+    def test_g_prime_recurrence(self):
+        # G'_{i+1} = G'_i . i . G'_i
+        for k in range(1, 8):
+            prev = transitions_prime(k)
+            assert transitions_prime(k + 1) == prev + [k] + prev
+
+    def test_g_prime_length(self):
+        for k in range(1, 10):
+            assert len(transitions_prime(k)) == 2**k - 1
+
+    def test_g_k_appends_top_dimension(self):
+        for k in range(1, 10):
+            seq = transitions(k)
+            assert len(seq) == 2**k
+            assert seq[-1] == k - 1
+            assert seq[:-1] == transitions_prime(k)
+
+    def test_transition_at_matches_sequence(self):
+        seq = transitions_prime(10)
+        for j, d in enumerate(seq):
+            assert transition_at(j) == d
+
+    def test_dimension_usage_counts(self):
+        # dimension d < k-1 is used 2^(k-1-d) times; dimension k-1 twice
+        k = 8
+        seq = transitions(k)
+        for d in range(k - 1):
+            assert seq.count(d) == 2 ** (k - 1 - d)
+        assert seq.count(k - 1) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            transitions_prime(0)
+
+
+class TestGrayClosedForm:
+    def test_small_values(self):
+        assert [gray(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_rank_inverts_gray(self, i):
+        assert gray_rank(gray(i)) == i
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_gray_adjacent_codes_differ_in_one_bit(self, i):
+        diff = gray(i) ^ gray(i + 1)
+        assert diff != 0 and diff & (diff - 1) == 0
+
+    def test_gray_array_matches_scalar(self):
+        arr = gray_array(10)
+        assert [gray(i) for i in range(1024)] == list(arr)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray(-1)
+        with pytest.raises(ValueError):
+            gray_rank(-2)
+
+
+class TestNodeSequence:
+    @pytest.mark.parametrize("k", range(1, 11))
+    def test_hamiltonian_cycle(self, k):
+        seq = gray_node_sequence(k)
+        assert len(seq) == 2**k
+        assert len(set(seq)) == 2**k
+        assert seq[0] == 0
+        closed = seq + [seq[0]]
+        for u, v in zip(closed, closed[1:]):
+            diff = u ^ v
+            assert diff and diff & (diff - 1) == 0
+
+    @pytest.mark.parametrize("k", range(1, 11))
+    def test_matches_closed_form(self, k):
+        assert gray_node_sequence(k) == [gray(i) for i in range(2**k)]
+
+    def test_closing_edge_crosses_top_dimension(self):
+        for k in range(1, 10):
+            seq = gray_node_sequence(k)
+            assert seq[-1] ^ seq[0] == 1 << (k - 1)

@@ -1,0 +1,116 @@
+"""Tests for Lemma 1: Hamiltonian decompositions of hypercubes."""
+
+import pytest
+
+from repro.hypercube.graph import Hypercube
+from repro.hypercube.hamiltonian import (
+    directed_hamiltonian_decomposition,
+    hamiltonian_decomposition,
+    verify_hamiltonian_decomposition,
+)
+
+
+class TestLemma1Even:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10, 12])
+    def test_cycle_count(self, n):
+        dec = hamiltonian_decomposition(n)
+        assert len(dec.cycles) == n // 2
+        assert dec.matching is None
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8, 10])
+    def test_cycles_are_hamiltonian_and_edge_disjoint(self, n):
+        dec = hamiltonian_decomposition(n)
+        q = Hypercube(n)
+        seen = set()
+        for cyc in dec.cycles:
+            assert len(cyc) == q.num_nodes
+            assert len(set(cyc)) == q.num_nodes
+            closed = list(cyc) + [cyc[0]]
+            for u, v in zip(closed, closed[1:]):
+                assert q.is_edge(u, v)
+                e = frozenset((u, v))
+                assert e not in seen
+                seen.add(e)
+
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_covers_all_edges(self, n):
+        dec = hamiltonian_decomposition(n)
+        covered = set()
+        for cyc in dec.cycles:
+            closed = list(cyc) + [cyc[0]]
+            covered.update(frozenset((u, v)) for u, v in zip(closed, closed[1:]))
+        assert len(covered) == n * 2**n // 2
+
+
+class TestLemma1Odd:
+    @pytest.mark.parametrize("n", [1, 3, 5, 7, 9, 11])
+    def test_cycles_plus_matching(self, n):
+        dec = hamiltonian_decomposition(n)
+        assert len(dec.cycles) == n // 2
+        assert dec.matching is not None
+        assert len(dec.matching) == 2 ** (n - 1)
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_matching_is_perfect_and_disjoint(self, n):
+        dec = hamiltonian_decomposition(n)
+        q = Hypercube(n)
+        covered = set()
+        for u, v in dec.matching:
+            assert q.is_edge(u, v)
+            assert u not in covered and v not in covered
+            covered.update((u, v))
+        assert len(covered) == q.num_nodes
+
+
+class TestDirectedForm:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_directed_cycle_count(self, n):
+        cycles = directed_hamiltonian_decomposition(n)
+        assert len(cycles) == n  # 2 * (n // 2) for even n
+
+    def test_orientation_pairing(self):
+        # cycle 2i+1 is cycle 2i reversed (same start node)
+        cycles = directed_hamiltonian_decomposition(6)
+        for i in range(0, len(cycles), 2):
+            fwd, rev = cycles[i], cycles[i + 1]
+            assert fwd[0] == rev[0]
+            assert rev[1:] == list(reversed(fwd[1:]))
+
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_directed_edge_disjoint(self, n):
+        cycles = directed_hamiltonian_decomposition(n)
+        seen = set()
+        for cyc in cycles:
+            closed = cyc + [cyc[0]]
+            for u, v in zip(closed, closed[1:]):
+                assert (u, v) not in seen
+                seen.add((u, v))
+        assert len(seen) == n * 2**n  # all directed edges, n even
+
+
+class TestVerification:
+    def test_verifier_accepts_valid(self):
+        verify_hamiltonian_decomposition(hamiltonian_decomposition(6))
+
+    def test_verifier_rejects_duplicate_cycle(self):
+        from repro.hypercube.hamiltonian import HypercubeDecomposition
+
+        dec = hamiltonian_decomposition(4)
+        bad = HypercubeDecomposition(4, (dec.cycles[0], dec.cycles[0]))
+        with pytest.raises(AssertionError):
+            verify_hamiltonian_decomposition(bad)
+
+    def test_verifier_rejects_wrong_count(self):
+        from repro.hypercube.hamiltonian import HypercubeDecomposition
+
+        dec = hamiltonian_decomposition(4)
+        bad = HypercubeDecomposition(4, (dec.cycles[0],))
+        with pytest.raises(AssertionError):
+            verify_hamiltonian_decomposition(bad)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            hamiltonian_decomposition(0)
+
+    def test_cached(self):
+        assert hamiltonian_decomposition(6) is hamiltonian_decomposition(6)

@@ -1,0 +1,107 @@
+"""Tests for the directed hypercube model."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hypercube.graph import Hypercube
+
+
+class TestBasics:
+    def test_counts(self):
+        for n in range(0, 8):
+            q = Hypercube(n)
+            assert q.num_nodes == 2**n
+            assert q.num_edges == n * 2**n
+
+    def test_neighbor_involution(self):
+        q = Hypercube(5)
+        for u in range(q.num_nodes):
+            for d in range(5):
+                assert q.neighbor(q.neighbor(u, d), d) == u
+
+    def test_dimension_of(self):
+        q = Hypercube(4)
+        assert q.dimension_of(0b0000, 0b0100) == 2
+        assert q.dimension_of(0b1010, 0b1000) == 1
+        with pytest.raises(ValueError):
+            q.dimension_of(0, 3)  # differs in two bits
+        with pytest.raises(ValueError):
+            q.dimension_of(0, 0)
+
+    def test_is_edge(self):
+        q = Hypercube(3)
+        assert q.is_edge(0, 4)
+        assert q.is_edge(4, 0)
+        assert not q.is_edge(0, 3)
+        assert not q.is_edge(0, 0)
+        assert not q.is_edge(0, 8)
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Hypercube(-1)
+        with pytest.raises(ValueError):
+            Hypercube(31)
+
+    def test_out_of_range_node(self):
+        q = Hypercube(3)
+        with pytest.raises(ValueError):
+            q.neighbor(8, 0)
+        with pytest.raises(ValueError):
+            q.neighbor(0, 3)
+
+
+class TestEdgeIds:
+    @given(st.integers(min_value=1, max_value=10))
+    def test_edge_id_roundtrip(self, n):
+        q = Hypercube(n)
+        for u in (0, q.num_nodes // 2, q.num_nodes - 1):
+            for d in range(n):
+                v = q.neighbor(u, d)
+                assert q.edge_from_id(q.edge_id(u, v)) == (u, v)
+
+    def test_edge_ids_unique(self):
+        q = Hypercube(4)
+        ids = {q.edge_id(u, v) for u, v in q.edges()}
+        assert len(ids) == q.num_edges
+
+    def test_edge_array_matches_edges(self):
+        q = Hypercube(4)
+        arr = q.edge_array()
+        assert arr.shape == (q.num_edges, 2)
+        assert set(map(tuple, arr.tolist())) == set(q.edges())
+        assert arr.dtype == np.int64
+
+
+class TestPaths:
+    def test_distance(self):
+        q = Hypercube(6)
+        assert q.distance(0, 0b111111) == 6
+        assert q.distance(5, 5) == 0
+        assert q.distance(0b101, 0b100) == 1
+
+    def test_is_path(self):
+        q = Hypercube(4)
+        assert q.is_path([0, 1, 3, 7, 15])
+        assert not q.is_path([0, 3])
+        assert q.is_path([2])
+
+    def test_path_dimensions(self):
+        q = Hypercube(4)
+        assert q.path_dimensions([0, 1, 3, 7]) == [0, 1, 2]
+
+
+class TestNetworkxInterop:
+    def test_matches_networkx_hypercube(self):
+        q = Hypercube(4)
+        g = q.to_networkx()
+        ref = nx.hypercube_graph(4)
+        # relabel tuples -> ints
+        mapping = {node: sum(b << i for i, b in enumerate(node)) for node in ref}
+        ref = nx.relabel_nodes(ref, mapping)
+        assert set(g.nodes) == set(ref.nodes)
+        undirected = {frozenset(e) for e in g.edges}
+        assert undirected == {frozenset(e) for e in ref.edges}
+        # directed graph has both orientations
+        assert g.number_of_edges() == 2 * ref.number_of_edges()

@@ -1,0 +1,157 @@
+"""Tests for Rabin's IDA and the link-fault experiments."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import embed_cycle_load1, graycode_cycle_embedding
+from repro.fault import FaultyLinkModel, multipath_delivery_experiment
+from repro.fault.ida import cauchy_matrix, disperse, reconstruct
+from repro.hypercube.graph import Hypercube
+
+
+class TestCauchy:
+    def test_every_square_submatrix_invertible(self):
+        import numpy as np
+
+        from repro.fault.gf256 import GF256
+
+        w, m = 6, 3
+        a = cauchy_matrix(w, m)
+        for rows in itertools.combinations(range(w), m):
+            GF256.solve(a[list(rows), :], np.zeros(m, dtype=np.uint8))
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            cauchy_matrix(200, 100)
+        with pytest.raises(ValueError):
+            cauchy_matrix(0, 1)
+
+
+class TestIDA:
+    @given(
+        st.binary(min_size=0, max_size=200),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_any_m_pieces(self, message, m, extra):
+        w = m + extra
+        pieces = disperse(message, w, m)
+        assert len(pieces) == w
+        assert reconstruct(pieces[-m:], w, m) == message
+
+    def test_every_m_subset_reconstructs(self):
+        msg = b"hypercube"
+        w, m = 5, 3
+        pieces = disperse(msg, w, m)
+        for subset in itertools.combinations(pieces, m):
+            assert reconstruct(list(subset), w, m) == msg
+
+    def test_piece_size_overhead(self):
+        msg = b"z" * 300
+        pieces = disperse(msg, 6, 3)
+        # each piece ~ len/m plus the 4-byte length frame
+        assert len(pieces[0][1]) == -(-304 // 3)
+
+    def test_too_few_pieces(self):
+        pieces = disperse(b"abc", 4, 2)
+        with pytest.raises(ValueError):
+            reconstruct(pieces[:1], 4, 2)
+
+    def test_duplicate_pieces_do_not_count(self):
+        pieces = disperse(b"abc", 4, 2)
+        with pytest.raises(ValueError):
+            reconstruct([pieces[0], pieces[0]], 4, 2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            disperse(b"x", 2, 3)  # w < m
+        pieces = disperse(b"x", 3, 2)
+        with pytest.raises(ValueError):
+            reconstruct([(9, b"")], 3, 2)  # index out of range
+
+
+class TestFaultModel:
+    def test_no_faults(self):
+        host = Hypercube(5)
+        fm = FaultyLinkModel.random(host, 0.0, seed=1)
+        assert not fm.failed
+        assert fm.path_alive([0, 1, 3, 7])
+
+    def test_all_faults(self):
+        host = Hypercube(4)
+        fm = FaultyLinkModel.random(host, 1.0, seed=1)
+        assert len(fm.failed) == host.num_edges
+        assert not fm.path_alive([0, 1])
+        assert fm.path_alive([3])  # zero-hop path never fails
+
+    def test_symmetric_failures(self):
+        host = Hypercube(5)
+        fm = FaultyLinkModel.random(host, 0.3, seed=2)
+        for eid in fm.failed:
+            u, v = host.edge_from_id(eid)
+            assert host.edge_id(v, u) in fm.failed
+
+    def test_deterministic_by_seed(self):
+        host = Hypercube(5)
+        a = FaultyLinkModel.random(host, 0.2, seed=9)
+        b = FaultyLinkModel.random(host, 0.2, seed=9)
+        assert a.failed == b.failed
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FaultyLinkModel.random(Hypercube(3), 1.5)
+
+
+class TestDeliveryExperiment:
+    def test_no_faults_delivers_everything(self):
+        emb = embed_cycle_load1(6)
+        fm = FaultyLinkModel(emb.host, set())
+        report = multipath_delivery_experiment(emb, fm)
+        assert report.delivery_rate == 1.0
+
+    def test_total_failure(self):
+        emb = embed_cycle_load1(6)
+        fm = FaultyLinkModel.random(emb.host, 1.0, seed=0)
+        report = multipath_delivery_experiment(emb, fm)
+        assert report.delivery_rate == 0.0
+
+    def test_multipath_beats_single_at_moderate_faults(self):
+        emb = embed_cycle_load1(8)
+        gray = graycode_cycle_embedding(8)
+        wins = 0
+        for seed in range(3):
+            fm = FaultyLinkModel.random(emb.host, 0.03, seed=seed)
+            rep = multipath_delivery_experiment(emb, fm)
+            single = sum(
+                fm.path_alive(p) for p in gray.edge_paths.values()
+            ) / gray.guest.num_edges
+            wins += rep.delivery_rate >= single
+        assert wins >= 2
+
+    def test_pieces_needed_override(self):
+        emb = embed_cycle_load1(6)
+        fm = FaultyLinkModel(emb.host, set())
+        report = multipath_delivery_experiment(emb, fm, pieces_needed=1)
+        assert report.delivery_rate == 1.0
+
+
+class TestRedundancySweep:
+    def test_monotone_and_bounded(self):
+        from repro.fault import redundancy_tradeoff_sweep
+
+        emb = embed_cycle_load1(6)
+        rows = redundancy_tradeoff_sweep(emb, 0.08, trials=2)
+        assert len(rows) == emb.width
+        rates = [r["delivery_rate"] for r in rows]
+        assert rates == sorted(rates, reverse=True)
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_zero_faults_always_delivers(self):
+        from repro.fault import redundancy_tradeoff_sweep
+
+        emb = embed_cycle_load1(6)
+        rows = redundancy_tradeoff_sweep(emb, 0.0, trials=1)
+        assert all(r["delivery_rate"] == 1.0 for r in rows)

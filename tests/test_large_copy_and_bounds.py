@@ -1,0 +1,142 @@
+"""Tests for Corollary 3, Lemma 9 (large copies) and Lemma 3 (bounds)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import (
+    count_short_paths,
+    max_width_for_cost3,
+    min_dilation_for_width,
+    verify_no_two_hop_paths,
+)
+from repro.core.large_copy import (
+    large_butterfly_embedding,
+    large_ccc_embedding,
+    large_cycle_embedding,
+    large_fft_embedding,
+)
+
+
+class TestLargeCycle:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_corollary3(self, n):
+        emb = large_cycle_embedding(n)
+        emb.verify()
+        assert emb.guest.num_vertices == n * 2**n
+        assert emb.load == n
+        assert emb.dilation == 1
+        assert emb.congestion == 1
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_saturates_every_directed_link(self, n):
+        emb = large_cycle_embedding(n)
+        counts = emb.edge_congestion_counts()
+        assert len(counts) == emb.host.num_edges
+        assert set(counts.values()) == {1}
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ValueError):
+            large_cycle_embedding(5)
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_load_perfectly_balanced(self, n):
+        emb = large_cycle_embedding(n)
+        counts = Counter(emb.vertex_map.values())
+        assert set(counts.values()) == {n}
+
+
+class TestLemma9:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_ccc(self, n):
+        emb = large_ccc_embedding(n)
+        emb.verify()
+        assert emb.load == n
+        assert emb.dilation == 1
+        assert emb.congestion == 1
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_butterfly(self, n):
+        emb = large_butterfly_embedding(n)
+        emb.verify()
+        assert emb.load == n
+        assert emb.congestion <= 2
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_fft(self, n):
+        emb = large_fft_embedding(n)
+        emb.verify()
+        assert emb.load == n + 1
+        assert emb.congestion <= 2
+
+    def test_ccc_saturates_links(self):
+        emb = large_ccc_embedding(4)
+        counts = emb.edge_congestion_counts()
+        assert len(counts) == emb.host.num_edges
+
+
+class TestLemma3:
+    def test_min_dilation(self):
+        assert min_dilation_for_width(1) == 1
+        assert min_dilation_for_width(2) == 2
+        for w in (3, 4, 10):
+            assert min_dilation_for_width(w) == 3
+        with pytest.raises(ValueError):
+            min_dilation_for_width(0)
+
+    def test_max_width(self):
+        assert max_width_for_cost3(4) == 2
+        assert max_width_for_cost3(8) == 4
+        assert max_width_for_cost3(9) == 4
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_no_two_hop_paths(self, n):
+        assert verify_no_two_hop_paths(n)
+
+    def test_adjacent_path_census(self):
+        # between adjacent nodes of Q_n: 1 direct path, 0 of length 2,
+        # n-1 of length 3 (one per detour dimension)
+        for n in (3, 4, 5):
+            counts = count_short_paths(n, 0, 1, 3)
+            assert counts == {1: 1, 3: n - 1}
+
+    @given(st.integers(min_value=4, max_value=64))
+    def test_theorem2_width_meets_lemma3_bound(self, n):
+        # Theorem 2's achieved widths never exceed the Lemma 3 cap (cost 3)
+        from repro.core.cycle_multipath import theorem2_claim
+
+        claim = theorem2_claim(n)
+        if claim["cost"] == 3:
+            assert claim["width"] <= max_width_for_cost3(n)
+
+
+class TestUndirectedLargeCycle:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    def test_corollary3_undirected(self, n):
+        from repro.core.large_copy import large_cycle_embedding_undirected
+
+        emb = large_cycle_embedding_undirected(n)
+        emb.verify()
+        assert emb.guest.num_vertices == n * 2 ** (n - 1)
+        assert emb.dilation == 1
+        assert emb.congestion == 1
+        # both orientations of every link carry exactly one guest edge
+        counts = emb.edge_congestion_counts()
+        assert len(counts) == emb.host.num_edges
+        assert set(counts.values()) == {1}
+
+    def test_load_is_half_n(self):
+        from collections import Counter
+
+        from repro.core.large_copy import large_cycle_embedding_undirected
+
+        emb = large_cycle_embedding_undirected(6)
+        counts = Counter(emb.vertex_map.values())
+        assert set(counts.values()) == {3}  # n/2 visits per node
+
+    def test_odd_rejected(self):
+        from repro.core.large_copy import large_cycle_embedding_undirected
+
+        with pytest.raises(ValueError):
+            large_cycle_embedding_undirected(5)

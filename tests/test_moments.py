@@ -1,0 +1,68 @@
+"""Tests for moment labels (Definition 1 / Lemma 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hypercube.graph import Hypercube
+from repro.hypercube.moments import moment, moment_label_bits, moment_table
+
+
+class TestMoment:
+    def test_moment_of_zero(self):
+        assert moment(0) == 0
+
+    def test_single_bits(self):
+        # M(2^i) = b(i) = i
+        for i in range(12):
+            assert moment(1 << i) == i
+
+    def test_xor_of_set_bit_indices(self):
+        assert moment(0b101) == 0 ^ 2
+        assert moment(0b1101) == 0 ^ 2 ^ 3
+        assert moment(0b110) == 1 ^ 2
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1), st.integers(0, 15))
+    def test_flip_property(self, v, i):
+        # M(v ^ 2^i) = M(v) ^ b(i)
+        assert moment(v ^ (1 << i)) == moment(v) ^ i
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            moment(8, n=3)
+        with pytest.raises(ValueError):
+            moment(-1)
+
+
+class TestLemma2:
+    @pytest.mark.parametrize("n", range(2, 11))
+    def test_neighbors_have_distinct_moments(self, n):
+        q = Hypercube(n)
+        for u in range(0, q.num_nodes, max(1, q.num_nodes // 64)):
+            ms = [moment(v) for v in q.neighbors(u)]
+            assert len(set(ms)) == n
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_power_of_two_moment_alphabet(self, n):
+        # when n is a power of two, each neighborhood uses exactly the full
+        # alphabet [0, n)
+        q = Hypercube(n)
+        for u in range(q.num_nodes):
+            assert {moment(v) for v in q.neighbors(u)} == set(range(n))
+
+
+class TestMomentTable:
+    @pytest.mark.parametrize("n", range(1, 12))
+    def test_matches_scalar(self, n):
+        table = moment_table(n)
+        assert all(table[v] == moment(v) for v in range(2**n))
+
+    def test_label_bits(self):
+        assert moment_label_bits(1) == 1
+        assert moment_label_bits(2) == 1
+        assert moment_label_bits(3) == 2
+        assert moment_label_bits(4) == 2
+        assert moment_label_bits(5) == 3
+        assert moment_label_bits(8) == 3
+        assert moment_label_bits(9) == 4
+        with pytest.raises(ValueError):
+            moment_label_bits(0)

@@ -1,0 +1,79 @@
+"""Tests for Section 8.1's grid and tree multiple-copy embeddings."""
+
+import pytest
+
+from repro.core.grid_multicopy import grid_multicopy_embedding
+from repro.core.tree_multicopy import cbt_multicopy_embedding
+from repro.networks.grid import DirectedTorus
+
+
+class TestDirectedTorus:
+    def test_one_orientation_per_link(self):
+        t = DirectedTorus((4, 4))
+        t.validate()
+        edges = set(t.edges())
+        assert len(edges) == 2 * 16  # one per axis per vertex
+        for (u, v) in edges:
+            assert (v, u) not in edges
+
+    def test_degenerate_axis(self):
+        t = DirectedTorus((1, 4))
+        assert t.num_edges == 4
+
+
+class TestGridMulticopy:
+    @pytest.mark.parametrize("dims", [(16, 16), (16, 16, 16), (64,), (64, 64)])
+    def test_claims(self, dims):
+        mc = grid_multicopy_embedding(dims)
+        mc.verify()
+        a = dims[0].bit_length() - 1
+        assert mc.k == a
+        assert mc.dilation == 1
+        assert mc.edge_congestion == 1
+        assert mc.node_load == a
+
+    def test_copies_partition_used_links(self):
+        mc = grid_multicopy_embedding((16, 16))
+        seen = set()
+        for copy in mc.copies:
+            ids = set(copy.edge_congestion_counts())
+            assert not (ids & seen)
+            seen |= ids
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            grid_multicopy_embedding((16, 8))  # unequal sides
+        with pytest.raises(ValueError):
+            grid_multicopy_embedding((12, 12))  # not a power of two
+        with pytest.raises(ValueError):
+            grid_multicopy_embedding((8, 8))  # a = 3 odd
+        with pytest.raises(ValueError):
+            grid_multicopy_embedding(())
+
+
+class TestTreeMulticopy:
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_structure(self, m):
+        mc = cbt_multicopy_embedding(m)
+        mc.verify()
+        n = m + (m.bit_length() - 1)
+        assert mc.k == m
+        assert mc.guest.num_vertices == 2**n - 1
+        # O(1) constants (measured; recorded in EXPERIMENTS.md)
+        assert mc.dilation <= 2 * m
+        assert mc.edge_congestion <= 8
+        assert mc.copy_load_allowed <= 3
+
+    def test_bidirectional_edges_present(self):
+        mc = cbt_multicopy_embedding(2)
+        for copy in mc.copies:
+            for (u, v) in mc.guest.edges():
+                assert (u, v) in copy.edge_paths
+
+    def test_copies_differ(self):
+        mc = cbt_multicopy_embedding(4)
+        assert mc.copies[0].vertex_map != mc.copies[1].vertex_map
+
+    def test_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            cbt_multicopy_embedding(3)

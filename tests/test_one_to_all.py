@@ -1,0 +1,78 @@
+"""Tests for the one-to-all broadcast module (E14's substrate)."""
+
+import pytest
+
+from repro.apps.one_to_all import (
+    binomial_broadcast_time,
+    binomial_tree,
+    broadcast_comparison,
+    hamiltonian_broadcast_time,
+)
+from repro.hypercube.graph import Hypercube
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_spanning(self, n):
+        parent = binomial_tree(n)
+        assert len(parent) == 2**n - 1
+        host = Hypercube(n)
+        for v, p in parent.items():
+            assert host.is_edge(p, v)
+        # every node reaches the root
+        for v in parent:
+            cur, hops = v, 0
+            while cur != 0:
+                cur = parent[cur]
+                hops += 1
+                assert hops <= n
+            assert hops <= n
+
+    def test_other_root(self):
+        parent = binomial_tree(3, root=5)
+        assert 5 not in parent
+        assert len(parent) == 7
+
+    def test_depth_is_n(self):
+        parent = binomial_tree(4)
+        depth = {0: 0}
+        # heap-free depth computation
+        def d(v):
+            if v not in depth:
+                depth[v] = d(parent[v]) + 1
+            return depth[v]
+
+        assert max(d(v) for v in parent) == 4
+
+
+class TestBroadcastTimes:
+    def test_binomial_pipelined_formula(self):
+        for n in (3, 5):
+            for m in (1, 10, 100):
+                assert binomial_broadcast_time(n, m) == m + n - 1
+
+    def test_hamiltonian_formula_shape(self):
+        n, m = 6, 60
+        expected = (1 << n) - 1 + (-(-m // n) - 1)
+        assert abs(hamiltonian_broadcast_time(n, m) - expected) <= n
+
+    def test_single_packet(self):
+        assert binomial_broadcast_time(4, 1) == 4
+        assert hamiltonian_broadcast_time(4, 1) == 15
+
+    def test_other_root(self):
+        t0 = hamiltonian_broadcast_time(4, 16, root=0)
+        t5 = hamiltonian_broadcast_time(4, 16, root=5)
+        assert t0 == t5  # vertex-transitive
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            binomial_broadcast_time(4, 0)
+        with pytest.raises(ValueError):
+            hamiltonian_broadcast_time(5, 8)  # odd n
+
+    def test_comparison_rows(self):
+        rows = broadcast_comparison(4, (4, 400))
+        assert len(rows) == 2
+        assert rows[0][1] < rows[0][2]   # small M: tree wins
+        assert rows[1][1] > rows[1][2]   # large M: cycles win

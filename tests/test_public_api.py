@@ -1,0 +1,43 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        emb = repro.embed_cycle_load1(6)
+        emb.verify()
+        assert isinstance(emb, repro.MultiPathEmbedding)
+        assert isinstance(emb.host, repro.Hypercube)
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.apps
+        import repro.core
+        import repro.fault
+        import repro.hypercube
+        import repro.networks
+        import repro.routing
+
+        for mod in (
+            repro.analysis,
+            repro.apps,
+            repro.core,
+            repro.fault,
+            repro.hypercube,
+            repro.networks,
+        ):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+    def test_py_typed_marker_present(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()

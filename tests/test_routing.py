@@ -1,0 +1,234 @@
+"""Tests for the routing substrate: schedules, store-and-forward, wormhole."""
+
+import pytest
+
+from repro.core.cycle_multicopy import graycode_cycle_embedding
+from repro.hypercube.graph import Hypercube
+from repro.routing.schedule import (
+    PacketSchedule,
+    ScheduledPacket,
+    p_packet_cost_singlepath,
+    singlepath_cost_lower_bound,
+)
+from repro.routing.simulator import StoreForwardSimulator
+from repro.routing.wormhole import WormholeSimulator
+
+
+class TestScheduledPacket:
+    def test_valid(self):
+        ScheduledPacket((0, 1, 3), (1, 2))
+
+    def test_step_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ScheduledPacket((0, 1, 3), (1,))
+
+    def test_non_increasing_steps(self):
+        with pytest.raises(ValueError):
+            ScheduledPacket((0, 1, 3), (2, 2))
+
+    def test_steps_start_at_one(self):
+        with pytest.raises(ValueError):
+            ScheduledPacket((0, 1), (0,))
+
+
+class TestPacketSchedule:
+    def test_conflict_detection(self):
+        host = Hypercube(3)
+        sched = PacketSchedule(
+            host,
+            [ScheduledPacket((0, 1), (1,)), ScheduledPacket((0, 1), (1,))],
+        )
+        with pytest.raises(AssertionError):
+            sched.verify()
+
+    def test_same_link_different_steps_ok(self):
+        host = Hypercube(3)
+        sched = PacketSchedule(
+            host,
+            [ScheduledPacket((0, 1), (1,)), ScheduledPacket((0, 1), (2,))],
+        )
+        sched.verify()
+        assert sched.makespan == 2
+
+    def test_busy_fraction(self):
+        host = Hypercube(2)  # 8 directed links
+        sched = PacketSchedule(host, [ScheduledPacket((0, 1), (1,))])
+        assert sched.busy_link_fraction() == 1 / 8
+
+
+class TestStoreForward:
+    def test_single_packet_takes_path_length(self):
+        sim = StoreForwardSimulator(Hypercube(4))
+        sim.inject([0, 1, 3, 7, 15])
+        assert sim.run() == 4
+
+    def test_fifo_contention_serializes(self):
+        sim = StoreForwardSimulator(Hypercube(3))
+        for _ in range(5):
+            sim.inject([0, 1])
+        assert sim.run() == 5
+
+    def test_pipelining(self):
+        # packets released 1 apart down a 3-hop path finish 1 apart
+        sim = StoreForwardSimulator(Hypercube(3))
+        p1 = sim.inject([0, 1, 3, 7], release_step=1)
+        p2 = sim.inject([0, 1, 3, 7], release_step=2)
+        assert sim.run() == 4
+        assert p1.done_step == 3
+        assert p2.done_step == 4
+
+    def test_zero_hop_packet(self):
+        sim = StoreForwardSimulator(Hypercube(3))
+        p = sim.inject([5])
+        assert sim.run() == 0
+        assert p.done_step == 0
+
+    def test_release_delays(self):
+        sim = StoreForwardSimulator(Hypercube(3))
+        p = sim.inject([0, 4], release_step=10)
+        assert sim.run() == 10
+
+    def test_gray_baseline_cost_is_p(self):
+        emb = graycode_cycle_embedding(5)
+        for p in (1, 3, 9):
+            assert p_packet_cost_singlepath(emb, p) == p
+            assert singlepath_cost_lower_bound(emb, p) == p
+
+
+class TestWormhole:
+    def test_free_path_pipelines(self):
+        sim = WormholeSimulator(Hypercube(4))
+        sim.inject([0, 1, 3, 7, 15], num_flits=10)
+        # L + M - 1 steps
+        assert sim.run() == 4 + 10 - 1
+
+    def test_single_flit_is_store_and_forward(self):
+        sim = WormholeSimulator(Hypercube(4))
+        sim.inject([0, 1, 3, 7], num_flits=1)
+        assert sim.run() == 3
+
+    def test_blocking_serializes_on_shared_link(self):
+        host = Hypercube(3)
+        sim = WormholeSimulator(host)
+        w1 = sim.inject([0, 1, 3], num_flits=8)
+        w2 = sim.inject([5, 1, 3], num_flits=8)  # shares link 1->3
+        sim.run()
+        # second worm must wait for the first tail to release the link:
+        # worm1 holds 1->3 during steps 2..9, worm2 crosses after
+        assert w1.done_step == 2 + 8 - 1
+        assert w2.done_step is not None and w2.done_step >= 8 + 8
+
+    def test_larger_buffers_are_cut_through(self):
+        # with huge buffers a blocked worm compresses into the node and the
+        # link releases earlier
+        host = Hypercube(3)
+        slow = WormholeSimulator(host, buffer_capacity=1)
+        fast = WormholeSimulator(host, buffer_capacity=64)
+        for sim in (slow, fast):
+            sim.inject([0, 1, 3], num_flits=8)
+            sim.inject([5, 1, 3], num_flits=8)
+        assert fast.run() <= slow.run()
+
+    def test_invalid_args(self):
+        sim = WormholeSimulator(Hypercube(3))
+        with pytest.raises(ValueError):
+            sim.inject([0], num_flits=2)
+        with pytest.raises(ValueError):
+            sim.inject([0, 1], num_flits=0)
+        with pytest.raises(ValueError):
+            WormholeSimulator(Hypercube(3), buffer_capacity=0)
+
+
+class TestWormholeDeadlock:
+    def test_cyclic_wait_detected(self):
+        from repro.routing.wormhole import WormholeDeadlock, WormholeSimulator
+
+        host = Hypercube(2)
+        sim = WormholeSimulator(host)
+        # four worms chasing each other around the 4-cycle 0-1-3-2-0:
+        # each one's head needs the link its predecessor holds
+        sim.inject([0, 1, 3], num_flits=8)
+        sim.inject([1, 3, 2], num_flits=8)
+        sim.inject([3, 2, 0], num_flits=8)
+        sim.inject([2, 0, 1], num_flits=8)
+        with pytest.raises(WormholeDeadlock):
+            sim.run()
+
+    def test_cut_through_buffers_break_the_cycle(self):
+        from repro.routing.wormhole import WormholeSimulator
+
+        host = Hypercube(2)
+        sim = WormholeSimulator(host, buffer_capacity=8)
+        sim.inject([0, 1, 3], num_flits=8)
+        sim.inject([1, 3, 2], num_flits=8)
+        sim.inject([3, 2, 0], num_flits=8)
+        sim.inject([2, 0, 1], num_flits=8)
+        assert sim.run() > 0  # completes
+
+    def test_max_steps_guard(self):
+        from repro.routing.simulator import StoreForwardSimulator
+
+        sim = StoreForwardSimulator(Hypercube(3))
+        sim.inject([0, 1])
+        with pytest.raises(RuntimeError):
+            sim.run(max_steps=0)
+
+
+class TestPPacketCostMultipath:
+    def test_theorem1_rounds(self):
+        from repro.core import embed_cycle_load1
+        from repro.routing.schedule import p_packet_cost_multipath
+
+        emb = embed_cycle_load1(8)  # width 5 paths + schedules
+        assert p_packet_cost_multipath(emb, 5) == 3
+        assert p_packet_cost_multipath(emb, 10) == 6
+        assert p_packet_cost_multipath(emb, 11) == 9
+
+    def test_without_schedule_falls_back(self):
+        from repro.core.generic import shortest_path_embedding, widen_embedding
+        from repro.networks.cycle import DirectedCycle
+        from repro.routing.schedule import p_packet_cost_multipath
+
+        base = shortest_path_embedding(Hypercube(5), DirectedCycle(32))
+        wide = widen_embedding(base, 3)
+        assert p_packet_cost_multipath(wide, 6) >= 1
+
+    def test_invalid_p(self):
+        from repro.core import embed_cycle_load1
+        from repro.routing.schedule import p_packet_cost_multipath
+
+        with pytest.raises(ValueError):
+            p_packet_cost_multipath(embed_cycle_load1(4), 0)
+
+
+class TestPortLimit:
+    def test_single_port_serializes_node_sends(self):
+        # node 0 sends over 3 distinct dims: single-port takes 3 steps
+        sim = StoreForwardSimulator(Hypercube(3), port_limit=1)
+        for d in range(3):
+            sim.inject([0, 1 << d])
+        assert sim.run() == 3
+
+    def test_all_port_parallelizes(self):
+        sim = StoreForwardSimulator(Hypercube(3))
+        for d in range(3):
+            sim.inject([0, 1 << d])
+        assert sim.run() == 1
+
+    def test_port_limit_two(self):
+        sim = StoreForwardSimulator(Hypercube(3), port_limit=2)
+        for d in range(3):
+            sim.inject([0, 1 << d])
+        assert sim.run() == 2
+
+    def test_measured_matches_dimension_exchange_closed_form(self):
+        from repro.apps.total_exchange import single_port_exchange_steps
+
+        for n in (3, 4, 5):
+            assert single_port_exchange_steps(n, measured=True) == n * 2 ** (
+                n - 1
+            )
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            StoreForwardSimulator(Hypercube(3), port_limit=0)

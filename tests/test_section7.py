@@ -1,0 +1,118 @@
+"""Tests for Section 7: X routing, the dilated butterfly, disjoint paths."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.butterfly_multipath import butterfly_multipath_embedding
+from repro.hypercube.graph import Hypercube
+from repro.networks.butterfly import Butterfly
+from repro.routing.pathutils import edge_disjoint_paths
+from repro.routing.permutation import permutation_baseline_time, random_permutation
+from repro.routing.x_routing import XRouter, butterfly_route, x_permutation_time
+
+
+class TestEdgeDisjointPaths:
+    @given(
+        st.integers(min_value=3, max_value=9),
+        st.integers(min_value=0, max_value=511),
+        st.integers(min_value=0, max_value=511),
+        st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=60)
+    def test_construction(self, n, u, v, count):
+        size = 1 << n
+        u, v, count = u % size, v % size, min(count, n)
+        if u == v:
+            return
+        host = Hypercube(n)
+        paths = edge_disjoint_paths(n, u, v, count)
+        assert len(paths) == count
+        seen = set()
+        for p in paths:
+            assert p[0] == u and p[-1] == v
+            assert host.is_path(p)
+            ids = {(a, b) for a, b in zip(p, p[1:])}
+            assert not (ids & seen)
+            seen |= ids
+
+    def test_lengths(self):
+        paths = edge_disjoint_paths(6, 0, 0b111, 6)
+        lengths = sorted(len(p) - 1 for p in paths)
+        assert lengths == [3, 3, 3, 5, 5, 5]  # d rotations + (count-d) detours
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            edge_disjoint_paths(4, 3, 3, 2)
+        with pytest.raises(ValueError):
+            edge_disjoint_paths(4, 0, 1, 5)
+
+
+class TestButterflyRoute:
+    @given(st.integers(0, 3), st.integers(0, 15), st.integers(0, 3), st.integers(0, 15))
+    @settings(max_examples=40)
+    def test_route_valid(self, l1, c1, l2, c2):
+        m = 4
+        bf = Butterfly(m)
+        edges = set(bf.edges())
+        route = butterfly_route(m, (l1, c1), (l2, c2))
+        assert route[0] == (l1, c1) and route[-1] == (l2, c2)
+        for a, b in zip(route, route[1:]):
+            assert (a, b) in edges
+        assert len(route) - 1 <= 2 * m
+
+
+class TestXRouter:
+    def test_routes_and_disjointness(self):
+        router = XRouter(2)
+        for src, dst in [(0, 63), (12, 33), (1, 0)]:
+            paths = router.piece_paths(src, dst)
+            assert len(paths) == router.n
+            seen = set()
+            for p in paths:
+                assert p[0] == src and p[-1] == dst
+                assert router.host.is_path(p)
+                ids = {(a, b) for a, b in zip(p, p[1:])}
+                assert not (ids & seen)
+                seen |= ids
+
+    def test_self_route(self):
+        router = XRouter(2)
+        assert router.piece_paths(9, 9) == [(9,)]
+
+    def test_permutation_beats_baseline(self):
+        router = XRouter(2)
+        perm = random_permutation(64, seed=3)
+        base = permutation_baseline_time(6, perm, 64)
+        xr = x_permutation_time(2, perm, 64, router=router)
+        assert xr < base
+
+    def test_wrong_perm_size(self):
+        with pytest.raises(ValueError):
+            x_permutation_time(2, list(range(10)), 8)
+
+
+class TestDilatedButterfly:
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_structure(self, m):
+        emb = butterfly_multipath_embedding(m)
+        emb.verify()
+        n = emb.info["n"]
+        widths = [len(ps) for ps in emb.edge_paths.values() if len(ps[0]) > 1]
+        assert min(widths) == n
+        assert emb.info["cut_dilation"] <= 2 * n + 2
+        assert emb.load <= 2
+
+    def test_high_dilation_confined_to_cut_levels(self):
+        m = 4
+        emb = butterfly_multipath_embedding(m)
+        for (u, v), paths in emb.edge_paths.items():
+            level = u[0]
+            if level not in (m - 1, 2 * m - 1):
+                assert all(len(p) - 1 <= 4 for p in paths)
+
+    def test_guest_is_wrapped_2m_butterfly(self):
+        emb = butterfly_multipath_embedding(2)
+        assert emb.guest.num_vertices == 4 * 16
+        assert set(emb.edge_paths) == set(emb.guest.edges())

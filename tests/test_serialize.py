@@ -1,0 +1,124 @@
+"""Tests for embedding serialization."""
+
+import io
+
+import pytest
+
+from repro.core import (
+    ccc_single_embedding,
+    embed_cycle_load1,
+    embed_cycle_load2,
+    graycode_cycle_embedding,
+    large_cycle_embedding,
+)
+from repro.core.cycle_multicopy import cycle_multicopy_embedding
+from repro.core.serialize import dump, from_json, load, to_json
+from repro.routing.schedule import multipath_packet_schedule
+
+
+class TestRoundtrip:
+    def test_single_path(self):
+        emb = graycode_cycle_embedding(5)
+        back = from_json(to_json(emb))
+        assert back.host.n == emb.host.n
+        assert back.dilation == emb.dilation
+        assert back.congestion == emb.congestion
+        assert dict(back.vertex_map) == dict(emb.vertex_map)
+
+    def test_multipath_with_schedule(self):
+        emb = embed_cycle_load1(6)
+        back = from_json(to_json(emb))
+        assert back.width == emb.width
+        assert back.load_allowed == emb.load_allowed
+        assert back.step_of is not None
+        # the restored schedule is still conflict-free
+        sched = multipath_packet_schedule(back, extra_direct_at=3)
+        sched.verify()
+        assert sched.makespan == 3
+
+    def test_load2_roundtrip(self):
+        emb = embed_cycle_load2(5)
+        back = from_json(to_json(emb))
+        assert back.load == 2
+        assert back.width == emb.width
+
+    def test_tuple_vertices(self):
+        emb = ccc_single_embedding(3)
+        back = from_json(to_json(emb))
+        assert back.dilation == emb.dilation
+        assert all(isinstance(v, tuple) for v in back.vertex_map)
+
+    def test_large_copy(self):
+        emb = large_cycle_embedding(4)
+        back = from_json(to_json(emb))
+        assert back.load == 4
+        assert back.congestion == 1
+
+    def test_file_io(self):
+        emb = graycode_cycle_embedding(4)
+        buf = io.StringIO()
+        dump(emb, buf)
+        buf.seek(0)
+        assert load(buf).dilation == 1
+
+
+class TestErrors:
+    def test_multicopy_rejected(self):
+        with pytest.raises(TypeError):
+            to_json(cycle_multicopy_embedding(4))
+
+    def test_bad_version(self):
+        import json
+
+        emb = graycode_cycle_embedding(4)
+        payload = json.loads(to_json(emb))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            from_json(json.dumps(payload))
+
+    def test_tampered_data_fails_verification(self):
+        import json
+
+        emb = graycode_cycle_embedding(4)
+        payload = json.loads(to_json(emb))
+        payload["vertex_map"][0][1] = 99  # out of host range
+        with pytest.raises((AssertionError, ValueError)):
+            from_json(json.dumps(payload))
+
+
+class TestPropertyRoundtrips:
+    """Hypothesis: random generic embeddings survive serialization."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @given(
+        st.integers(min_value=3, max_value=6),
+        st.integers(min_value=4, max_value=30),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_tree_roundtrip(self, n, size, seed):
+        from repro.core.generic import shortest_path_embedding
+        from repro.hypercube.graph import Hypercube
+        from repro.networks.tree import random_binary_tree
+
+        tree = random_binary_tree(size, seed=seed)
+        emb = shortest_path_embedding(Hypercube(n), tree)
+        back = from_json(to_json(emb))
+        assert back.dilation == emb.dilation
+        assert back.congestion == emb.congestion
+        assert back.load == emb.load
+        assert dict(back.vertex_map) == dict(emb.vertex_map)
+
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=8, deadline=None)
+    def test_widened_roundtrip(self, width):
+        from repro.core.generic import shortest_path_embedding, widen_embedding
+        from repro.hypercube.graph import Hypercube
+        from repro.networks.cycle import DirectedCycle
+
+        base = shortest_path_embedding(Hypercube(5), DirectedCycle(32))
+        wide = widen_embedding(base, width)
+        back = from_json(to_json(wide))
+        assert back.width == width
+        back.verify()

@@ -1,0 +1,54 @@
+"""Tests for the parameter-sweep harness."""
+
+from repro.analysis import (
+    broadcast_crossover_sweep,
+    cycle_speedup_sweep,
+    fault_tolerance_sweep,
+    format_rows,
+    utilization_sweep,
+)
+
+
+class TestCycleSpeedup:
+    def test_speedup_nondecreasing(self):
+        rows = cycle_speedup_sweep([4, 8], m=48)
+        assert rows[0]["speedup"] <= rows[1]["speedup"]
+        assert all(r["multipath_steps"] < r["gray_steps"] for r in rows)
+
+    def test_gray_cost_is_m(self):
+        rows = cycle_speedup_sweep([6], m=17)
+        assert rows[0]["gray_steps"] == 17
+
+
+class TestUtilization:
+    def test_full_when_n_mod4_zero(self):
+        rows = utilization_sweep([4, 8])
+        assert all(r["busy_fraction"] == 1.0 for r in rows)
+
+    def test_partial_otherwise(self):
+        rows = utilization_sweep([5, 6, 7])
+        assert all(r["busy_fraction"] < 1.0 for r in rows)
+
+
+class TestFaultSweep:
+    def test_monotone_in_fault_rate(self):
+        rows = fault_tolerance_sweep(6, [0.0, 0.1, 0.5], trials=2)
+        rates = [r["multipath_ida"] for r in rows]
+        assert rates[0] == 1.0
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestBroadcastSweep:
+    def test_crossover_exists(self):
+        rows = broadcast_crossover_sweep(6, [4, 4096])
+        assert rows[0]["winner"] == "tree"
+        assert rows[-1]["winner"] == "cycles"
+
+
+class TestFormat:
+    def test_renders(self):
+        text = format_rows(cycle_speedup_sweep([4], m=8))
+        assert "speedup" in text and "\n" in text
+
+    def test_empty(self):
+        assert format_rows([]) == "(empty sweep)"

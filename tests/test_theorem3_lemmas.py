@@ -1,0 +1,124 @@
+"""Lemma-by-lemma checks of Section 5's congestion argument.
+
+Theorem 3's proof rests on Lemmas 5-8; each is verified here directly on
+the constructed embeddings (not just via the final congestion number), so a
+regression in the window machinery is pinpointed to the lemma it breaks.
+"""
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.core.ccc_multicopy import ccc_multicopy_embedding
+
+
+@pytest.fixture(scope="module", params=[4, 8])
+def multicopy(request):
+    return ccc_multicopy_embedding(request.param)
+
+
+class TestLemma5:
+    def test_at_most_one_embedding_per_level_per_node(self, multicopy):
+        # "For any level i and any hypercube node v at most one of the n
+        # embeddings maps a level-i CCC vertex to v."
+        n = multicopy.guest.n
+        for level in range(n):
+            seen = defaultdict(set)
+            for k, copy in enumerate(multicopy.copies):
+                for c in range(1 << n):
+                    host = copy.vertex_map[(level, c)]
+                    assert k not in seen[host]
+                    seen[host].add(k)
+                    assert len(seen[host]) <= 1
+
+
+class TestLemma7:
+    def test_cross_edge_congestion_at_most_one(self, multicopy):
+        counts = Counter()
+        for copy in multicopy.copies:
+            for (u, v), path in copy.edge_paths.items():
+                if u[0] == v[0]:  # cross edge (levels equal)
+                    for a, b in zip(path, path[1:]):
+                        counts[copy.host.edge_id(a, b)] += 1
+        assert max(counts.values()) == 1
+
+    def test_dimension_one_carries_no_cross_edges(self, multicopy):
+        host = multicopy.host
+        for copy in multicopy.copies:
+            for (u, v), path in copy.edge_paths.items():
+                if u[0] == v[0]:
+                    for a, b in zip(path, path[1:]):
+                        assert host.dimension_of(a, b) != 1
+
+
+class TestLemma8:
+    def test_straight_edge_congestion(self, multicopy):
+        # at most one embedding per dimension != 1; at most two on dim 1
+        host = multicopy.host
+        counts = Counter()
+        for copy in multicopy.copies:
+            for (u, v), path in copy.edge_paths.items():
+                if u[0] != v[0]:  # straight edge
+                    for a, b in zip(path, path[1:]):
+                        counts[(host.dimension_of(a, b), host.edge_id(a, b))] += 1
+        for (dim, _eid), c in counts.items():
+            assert c <= (2 if dim == 1 else 1)
+
+    def test_dim1_straight_edges_at_levels_half_and_top(self, multicopy):
+        # "dimension 1 is used for straight-edges at level n/2 - 1 and n - 1"
+        n = multicopy.guest.n
+        host = multicopy.host
+        for copy in multicopy.copies:
+            levels = set()
+            for (u, v), path in copy.edge_paths.items():
+                if u[0] != v[0]:
+                    for a, b in zip(path, path[1:]):
+                        if host.dimension_of(a, b) == 1:
+                            levels.add(u[0])
+            assert levels == {n // 2 - 1, n - 1}
+
+
+class TestWindowStructure:
+    def test_all_windows_contain_dimension_one(self, multicopy):
+        # W^k(0) = 1 for every copy: dimension 1 never hosts cross edges and
+        # is the only dimension shared by ALL windows
+        n = multicopy.guest.n
+        r = n.bit_length() - 1
+        for k in range(n):
+            window = [1] + [(1 << i) + (k >> (r - i)) for i in range(1, r)]
+            assert window[0] == 1
+            assert len(set(window)) == r
+
+    def test_tier_structure(self, multicopy):
+        # W^k(i) lies in tier i: 2^i <= W^k(i) < 2^{i+1}
+        n = multicopy.guest.n
+        r = n.bit_length() - 1
+        for k in range(n):
+            for i in range(1, r):
+                w = (1 << i) + (k >> (r - i))
+                assert (1 << i) <= w < (1 << (i + 1))
+
+    def test_observation4_window_prefixes(self, multicopy):
+        # lambda(W^k1, W^k2) = lambda(k1, k2) + 1
+        n = multicopy.guest.n
+        r = n.bit_length() - 1
+
+        def window(k):
+            return [1] + [(1 << i) + (k >> (r - i)) for i in range(1, r)]
+
+        def lcp(a, b):
+            out = 0
+            for x, y in zip(a, b):
+                if x != y:
+                    break
+                out += 1
+            return out
+
+        def bit_lcp(k1, k2, bits):
+            s1 = format(k1, f"0{bits}b")
+            s2 = format(k2, f"0{bits}b")
+            return lcp(s1, s2)
+
+        for k1 in range(n):
+            for k2 in range(k1 + 1, n):
+                assert lcp(window(k1), window(k2)) == bit_lcp(k1, k2, r) + 1

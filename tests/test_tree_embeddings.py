@@ -1,0 +1,133 @@
+"""Tests for Theorem 5 and Section 6.2 (tree embeddings)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.butterfly_multicopy import butterfly_multicopy_embedding
+from repro.core.tree_multipath import (
+    arbitrary_tree_embedding,
+    cbt_to_butterfly_map,
+    theorem5_embedding,
+    tree_to_cbt_map,
+)
+from repro.networks.tree import CompleteBinaryTree, random_binary_tree
+
+
+class TestButterflyMulticopy:
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_directed(self, m):
+        mc = butterfly_multicopy_embedding(m)
+        mc.verify()
+        assert mc.k == m
+        assert mc.dilation == 2
+        assert mc.edge_congestion <= 4  # CCC congestion 2 x route sharing 2
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_undirected(self, m):
+        mc = butterfly_multicopy_embedding(m, undirected=True)
+        mc.verify()
+        assert mc.edge_congestion <= 8  # Section 5.4: at most doubled
+
+
+class TestCBTToButterfly:
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_shape(self, m):
+        vmap, routes = cbt_to_butterfly_map(m)
+        n = m + (m.bit_length() - 1)
+        assert len(vmap) == 2**n - 1
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_leaf_injectivity(self, m):
+        # Theorem 5 needs each X column to receive at most one row-tree leaf
+        vmap, _ = cbt_to_butterfly_map(m)
+        n = m + (m.bit_length() - 1)
+        leaves = [vmap[v] for v in range(1 << (n - 1), 1 << n)]
+        assert len(set(leaves)) == len(leaves)
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_load_is_constant(self, m):
+        vmap, _ = cbt_to_butterfly_map(m)
+        assert max(Counter(vmap.values()).values()) <= 3
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_subtree_edges_have_dilation_one(self, m):
+        vmap, routes = cbt_to_butterfly_map(m)
+        for (parent, child), route in routes.items():
+            if parent >= m:
+                assert len(route) == 2
+
+    def test_routes_are_butterfly_walks(self):
+        from repro.networks.butterfly import Butterfly
+
+        m = 4
+        _, routes = cbt_to_butterfly_map(m)
+        bf = Butterfly(m, undirected=True)
+        edges = set(bf.edges())
+        for route in routes.values():
+            for a, b in zip(route, route[1:]):
+                assert (a, b) in edges
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            cbt_to_butterfly_map(3)
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_valid_and_width(self, m):
+        emb = theorem5_embedding(m)
+        emb.verify()
+        n = m + (m.bit_length() - 1)
+        assert emb.host.n == 2 * n
+        assert emb.guest.num_vertices == 2 ** (2 * n) - 1
+        # every edge with movement carries the full width n
+        widths = [
+            len(ps) for ps in emb.edge_paths.values() if len(ps[0]) > 1
+        ]
+        assert min(widths) == n
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_load_constant(self, m):
+        emb = theorem5_embedding(m)
+        assert emb.info["load"] <= 4
+
+    def test_bidirectional_edges_present(self):
+        emb = theorem5_embedding(2)
+        tree = emb.guest
+        for (u, v) in tree.edges():
+            assert (u, v) in emb.edge_paths
+            assert (v, u) in emb.edge_paths
+
+
+class TestTreeToCBT:
+    @pytest.mark.parametrize("size,levels", [(7, 3), (50, 6), (500, 9)])
+    def test_mapping_complete(self, size, levels):
+        tree = random_binary_tree(size, seed=1)
+        mapping = tree_to_cbt_map(tree, levels)
+        assert set(mapping) == set(tree.vertices())
+        assert all(1 <= h < (1 << levels) for h in mapping.values())
+
+    def test_load_small(self):
+        tree = random_binary_tree(500, seed=3)
+        mapping = tree_to_cbt_map(tree, 9)
+        assert max(Counter(mapping.values()).values()) <= 8
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            tree_to_cbt_map(random_binary_tree(20, seed=0), 4)
+
+
+class TestArbitraryTrees:
+    def test_small(self):
+        emb = arbitrary_tree_embedding(random_binary_tree(50, seed=2), 2)
+        emb.verify()
+        assert emb.load <= 6
+
+    def test_larger(self):
+        emb = arbitrary_tree_embedding(random_binary_tree(1000, seed=2), 4)
+        emb.verify()
+        # width O(n) with a few paths lost to greedy conflicts
+        n = emb.info["n"]
+        widths = [len(ps) for ps in emb.edge_paths.values() if len(ps[0]) > 1]
+        assert min(widths) >= n // 2
