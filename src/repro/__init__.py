@@ -15,7 +15,9 @@ Subpackages:
 * :mod:`repro.routing`   — schedules and simulators (the cost model);
 * :mod:`repro.fault`     — GF(256), Rabin IDA, link-fault experiments;
 * :mod:`repro.apps`      — the motivating applications (Sections 2, 8.3);
-* :mod:`repro.analysis`  — reports, comparisons, and the paper's figures.
+* :mod:`repro.analysis`  — reports, comparisons, and the paper's figures;
+* :mod:`repro.service`   — cached embedding registry + concurrent
+  routing-request engine (the serving layer).
 
 Quickstart::
 

@@ -1,7 +1,8 @@
-"""Command-line interface: build, verify and report on embeddings.
+"""Command-line interface: build, verify, cache, route and report.
 
 Usage examples::
 
+    python -m repro --version
     python -m repro figures --n 8
     python -m repro embed cycle --n 8
     python -m repro embed cycle2 --n 10 --wide
@@ -14,6 +15,12 @@ Usage examples::
     python -m repro sweep utilization --n 10
     python -m repro save cycle emb.json --n 8 && python -m repro load emb.json
     python -m repro validate
+    python -m repro cache build cycle --ns 6,8,10     # warm the registry
+    python -m repro cache ls
+    python -m repro cache stats
+    python -m repro cache clear
+    python -m repro route cycle --n 8 --edge 0 1      # w disjoint host paths
+    python -m repro route cycle --n 8 --edge 0 1 --faults 0.05
 """
 
 from __future__ import annotations
@@ -25,11 +32,50 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+def _version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Construction parameters shared by ``cache build`` and ``route``."""
+    parser.add_argument(
+        "kind", choices=["cycle", "cycle2", "grid", "ccc", "tree", "large-cycle"]
+    )
+    parser.add_argument("--n", type=int, default=8, help="hypercube dimension")
+    parser.add_argument("--m", type=int, default=2, help="butterfly levels (tree)")
+    parser.add_argument("--dims", type=str, default="16x16", help="grid sides, AxBxC")
+    parser.add_argument("--torus", action="store_true", help="wraparound grid")
+    parser.add_argument("--wide", action="store_true", help="Theorem 2 width variant")
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="registry directory (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+
+def _spec_from_args(args, n=None):
+    from repro.service import EmbeddingSpec
+
+    n = args.n if n is None else n
+    if args.kind == "cycle2":
+        return EmbeddingSpec.make("cycle2", n=n, wide=args.wide)
+    if args.kind == "grid":
+        dims = tuple(int(x) for x in args.dims.lower().split("x"))
+        return EmbeddingSpec.make("grid", dims=dims, torus=args.torus)
+    if args.kind == "tree":
+        return EmbeddingSpec.make("tree", m=args.m)
+    return EmbeddingSpec.make(args.kind, n=n)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Routing Multiple Paths in Hypercubes (Greenberg & "
         "Bhatt, SPAA 1990) — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -76,6 +122,44 @@ def build_parser() -> argparse.ArgumentParser:
     lod.add_argument("path", help="input file")
 
     sub.add_parser("validate", help="re-certify every theorem claim")
+
+    cache = sub.add_parser("cache", help="manage the embedding registry")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cb = cache_sub.add_parser("build", help="build embeddings into the cache")
+    _add_spec_arguments(cb)
+    cb.add_argument(
+        "--ns", type=str, default=None,
+        help="comma-separated sweep of --n values built as one batch",
+    )
+    cb.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for batch builds (0 = in-process serial)",
+    )
+    for name, help_text in [
+        ("ls", "list cached artifacts"),
+        ("clear", "remove every cached artifact"),
+        ("stats", "print registry counters, timers and tier occupancy"),
+    ]:
+        p = cache_sub.add_parser(name, help=help_text)
+        p.add_argument("--cache-dir", type=str, default=None)
+
+    rt = sub.add_parser(
+        "route", help="serve the disjoint host paths for one guest edge"
+    )
+    _add_spec_arguments(rt)
+    rt.add_argument(
+        "--edge", nargs=2, default=None, metavar=("U", "V"),
+        help="guest edge endpoints (python literals; default: first edge)",
+    )
+    rt.add_argument(
+        "--faults", type=float, default=None,
+        help="inject random link faults with this probability",
+    )
+    rt.add_argument("--seed", type=int, default=0)
+    rt.add_argument(
+        "--pieces", type=int, default=None,
+        help="IDA pieces needed to reconstruct (default 1: max tolerance)",
+    )
 
     return parser
 
@@ -253,6 +337,93 @@ def _cmd_validate(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_cache(args) -> int:
+    import json as _json
+    import time
+
+    from repro.service import BuildEngine, EmbeddingRegistry
+
+    registry = EmbeddingRegistry(cache_dir=args.cache_dir)
+    if args.cache_command == "build":
+        if args.ns:
+            ns = [int(x) for x in args.ns.split(",")]
+            specs = [_spec_from_args(args, n=n) for n in ns]
+        else:
+            specs = [_spec_from_args(args)]
+        engine = BuildEngine(registry, max_workers=args.workers)
+        start = time.perf_counter()
+        embeddings = engine.build_batch(specs)
+        elapsed = time.perf_counter() - start
+        for spec, emb in zip(specs, embeddings):
+            print(f"  {spec.describe():<36} -> {emb!r}")
+        rate = len(specs) / elapsed if elapsed else float("inf")
+        print(
+            f"{len(specs)} artifact(s) ready in {elapsed:.3f}s "
+            f"({rate:.1f} req/s) under {registry.cache_dir}"
+        )
+        return 0
+    if args.cache_command == "ls":
+        rows = registry.ls()
+        if not rows:
+            print(f"cache empty ({registry.cache_dir})")
+            return 0
+        for row in rows:
+            print(
+                f"  {row['key']:<14} {row['construction']:<36} "
+                f"v{row['package_version']:<8} {row['bytes']:>9} B"
+            )
+        print(f"{len(rows)} artifact(s) in {registry.cache_dir}")
+        return 0
+    if args.cache_command == "clear":
+        removed = registry.clear()
+        print(f"removed {removed} artifact(s) from {registry.cache_dir}")
+        return 0
+    # stats
+    print(_json.dumps(registry.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_route(args) -> int:
+    import ast
+
+    from repro.service import FaultSet, RoutingService, EmbeddingRegistry
+
+    service = RoutingService(registry=EmbeddingRegistry(cache_dir=args.cache_dir))
+    spec = _spec_from_args(args)
+    emb = service.get_embedding(spec)
+    if args.edge is not None:
+        try:
+            edge = tuple(ast.literal_eval(x) for x in args.edge)
+        except (ValueError, SyntaxError):
+            print(
+                f"--edge expects python literals (e.g. 0 1 or '(0, 0)' "
+                f"'(0, 1)'), got {args.edge!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        edge = next(iter(
+            emb.copies[0].edge_paths if hasattr(emb, "copies") else emb.edge_paths
+        ))
+    paths = service.route(spec, edge)
+    print(f"{spec.describe()}: guest edge {edge} -> {len(paths)} host path(s)")
+    for i, path in enumerate(paths):
+        print(f"  [{i}] {' -> '.join(map(str, path))}")
+    if args.faults is not None:
+        faults = FaultSet.random(emb.host, args.faults, seed=args.seed)
+        outcome = service.route_fault_tolerant(
+            spec, edge, pieces_needed=args.pieces, faults=faults
+        )
+        status = "delivered" if outcome.delivered else "LOST"
+        print(
+            f"fault injection p={args.faults}: {status} via "
+            f"{len(outcome.alive_paths)}/{outcome.width} surviving paths "
+            f"(need {outcome.pieces_needed}, overhead {outcome.overhead:.1f}x)"
+        )
+        return 0 if outcome.delivered else 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -265,6 +436,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "save": _cmd_save,
         "load": _cmd_load,
         "validate": _cmd_validate,
+        "cache": _cmd_cache,
+        "route": _cmd_route,
     }
     return handlers[args.command](args)
 

@@ -20,6 +20,12 @@ __all__ = ["to_json", "from_json", "dump", "load"]
 FORMAT_VERSION = 1
 
 
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
 def _encode_vertex(v: Any):
     if isinstance(v, tuple):
         return list(v)
@@ -42,8 +48,17 @@ def _guest_payload(guest: GuestGraph) -> Dict[str, Any]:
     }
 
 
-def to_json(emb: Union[Embedding, MultiPathEmbedding]) -> str:
-    """Serialize a (multi-path) embedding to a JSON string."""
+def to_json(
+    emb: Union[Embedding, MultiPathEmbedding], construction: str = ""
+) -> str:
+    """Serialize a (multi-path) embedding to a JSON string.
+
+    The payload records the package ``__version__`` and a ``construction``
+    name (defaulting to the embedding's own name) so caching layers — e.g.
+    :mod:`repro.service.registry` — can invalidate artifacts on version
+    bumps without a format-version break: old files that lack the fields
+    still load.
+    """
     if isinstance(emb, MultiCopyEmbedding):
         raise TypeError(
             "serialize the individual copies of a MultiCopyEmbedding"
@@ -51,6 +66,8 @@ def to_json(emb: Union[Embedding, MultiPathEmbedding]) -> str:
     multipath = isinstance(emb, MultiPathEmbedding)
     payload: Dict[str, Any] = {
         "format_version": FORMAT_VERSION,
+        "package_version": _package_version(),
+        "construction": construction or emb.name,
         "style": "multipath" if multipath else "single",
         "host_dim": emb.host.n,
         "name": emb.name,
@@ -79,8 +96,15 @@ def to_json(emb: Union[Embedding, MultiPathEmbedding]) -> str:
     return json.dumps(payload)
 
 
-def from_json(text: str) -> Union[Embedding, MultiPathEmbedding]:
-    """Restore an embedding serialized with :func:`to_json` (and verify it)."""
+def from_json(
+    text: str, verify: bool = True
+) -> Union[Embedding, MultiPathEmbedding]:
+    """Restore an embedding serialized with :func:`to_json` (and verify it).
+
+    ``verify=False`` skips the structural re-check; only callers that have
+    an independent integrity guarantee (e.g. the registry's checksum over a
+    payload that was verified at build time) should use it.
+    """
     payload = json.loads(text)
     if payload.get("format_version") != FORMAT_VERSION:
         raise ValueError(
@@ -130,7 +154,8 @@ def from_json(text: str) -> Union[Embedding, MultiPathEmbedding]:
         emb = Embedding(
             host, guest, vertex_map, edge_paths, name=payload.get("name", "")
         )
-    emb.verify()
+    if verify:
+        emb.verify()
     return emb
 
 
@@ -139,6 +164,6 @@ def dump(emb, fp: IO[str]) -> None:
     fp.write(to_json(emb))
 
 
-def load(fp: IO[str]):
+def load(fp: IO[str], verify: bool = True):
     """Read an embedding from an open text file."""
-    return from_json(fp.read())
+    return from_json(fp.read(), verify=verify)

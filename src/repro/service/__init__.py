@@ -1,0 +1,55 @@
+"""repro.service — cached embedding registry + routing-request engine.
+
+The serving layer over :mod:`repro.core` / :mod:`repro.routing` /
+:mod:`repro.fault`: constructions are deterministic and dominate runtime,
+so the service memoizes them (memory LRU over a checksummed disk tier),
+builds cache misses concurrently in worker processes, and answers routing
+requests — plain and fault-tolerant — over the precomputed edge-disjoint
+path sets.
+
+Quickstart::
+
+    from repro.service import EmbeddingSpec, RoutingService
+
+    svc = RoutingService()
+    spec = EmbeddingSpec.make("cycle", n=8)
+    emb = svc.get_embedding(spec)          # built once, cached forever
+    paths = svc.route(spec, (0, 1))        # w edge-disjoint host paths
+    out = svc.route_fault_tolerant(spec, (0, 1), b"payload")
+    print(svc.stats())
+
+Modules:
+
+* :mod:`repro.service.specs`    — request vocabulary + cache keys;
+* :mod:`repro.service.registry` — two-tier content-addressed cache;
+* :mod:`repro.service.engine`   — concurrent batch construction;
+* :mod:`repro.service.api`     — the :class:`RoutingService` facade;
+* :mod:`repro.service.metrics` — counters/timers + ``snapshot()``.
+"""
+
+from repro.service.api import DeliveryOutcome, FaultSet, RoutingService, disjoint_paths
+from repro.service.engine import BuildEngine
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import (
+    EmbeddingRegistry,
+    decode_embedding,
+    default_cache_dir,
+    encode_embedding,
+)
+from repro.service.specs import CONSTRUCTION_VERSION, EmbeddingSpec, build_spec
+
+__all__ = [
+    "BuildEngine",
+    "CONSTRUCTION_VERSION",
+    "DeliveryOutcome",
+    "EmbeddingRegistry",
+    "EmbeddingSpec",
+    "FaultSet",
+    "RoutingService",
+    "ServiceMetrics",
+    "build_spec",
+    "decode_embedding",
+    "default_cache_dir",
+    "disjoint_paths",
+    "encode_embedding",
+]

@@ -1,0 +1,168 @@
+"""`RoutingService` — the request-serving facade over the paper's machinery.
+
+One object answers the three service questions:
+
+* :meth:`RoutingService.get_embedding` — a verified construction, memoized
+  through the two-tier registry;
+* :meth:`RoutingService.route` — the ``w`` edge-disjoint host paths an
+  embedding provides for a guest edge (the paper's Section 2/7 payload);
+* :meth:`RoutingService.route_fault_tolerant` — IDA-dispersed delivery
+  over those paths that transparently fails over to the surviving subset
+  under a :class:`FaultSet`, exactly the Section 1 application.
+
+Everything is observable via :meth:`RoutingService.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
+from repro.fault.faults import FaultyLinkModel
+from repro.fault.ida import disperse, reconstruct
+from repro.service.engine import BuildEngine
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import EmbeddingRegistry
+from repro.service.specs import EmbeddingSpec
+
+__all__ = ["RoutingService", "FaultSet", "DeliveryOutcome"]
+
+# The service-level name for a set of failed directed links; the fault
+# machinery's model is exactly that, so it *is* the type.
+FaultSet = FaultyLinkModel
+
+
+@dataclass
+class DeliveryOutcome:
+    """Result of one fault-tolerant delivery over the disjoint paths."""
+
+    delivered: bool
+    message: Optional[bytes]
+    width: int
+    alive_paths: Tuple[int, ...]  # indices of paths untouched by faults
+    failed_paths: Tuple[int, ...]
+    pieces_needed: int
+
+    @property
+    def overhead(self) -> float:
+        """IDA bandwidth overhead ``w/m`` paid for this tolerance level."""
+        return self.width / self.pieces_needed if self.pieces_needed else 0.0
+
+
+def disjoint_paths(emb, guest_edge) -> Tuple[Tuple[int, ...], ...]:
+    """The host paths ``emb`` provides for ``guest_edge``.
+
+    Width-w embeddings return their w edge-disjoint paths; classical
+    embeddings return their single path; multi-copy embeddings return one
+    path per copy (k alternative routes).  A guest edge given against the
+    stored orientation resolves to the reversed paths — the hypercube is
+    directed, and the reverse of edge-disjoint paths is edge-disjoint.
+    """
+    u, v = guest_edge
+    if isinstance(emb, MultiCopyEmbedding):
+        out = []
+        for copy in emb.copies:
+            out.extend(disjoint_paths(copy, (u, v)))
+        return tuple(out)
+    paths = emb.edge_paths.get((u, v))
+    if paths is None:
+        reverse = emb.edge_paths.get((v, u))
+        if reverse is None:
+            sample = next(iter(emb.edge_paths), None)
+            raise KeyError(
+                f"guest edge {guest_edge!r} not in embedding "
+                f"(edges look like {sample!r})"
+            )
+        if isinstance(emb, MultiPathEmbedding):
+            return tuple(tuple(reversed(p)) for p in reverse)
+        return (tuple(reversed(reverse)),)
+    if isinstance(emb, MultiPathEmbedding):
+        return tuple(tuple(p) for p in paths)
+    return (tuple(paths),)
+
+
+class RoutingService:
+    """Facade: memoized embeddings + routing requests + fault tolerance."""
+
+    def __init__(
+        self,
+        registry: Optional[EmbeddingRegistry] = None,
+        engine: Optional[BuildEngine] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if metrics is None:
+            metrics = registry.metrics if registry is not None else ServiceMetrics()
+        self.metrics = metrics
+        self.registry = registry if registry is not None else EmbeddingRegistry(
+            metrics=metrics
+        )
+        self.engine = engine if engine is not None else BuildEngine(
+            self.registry, metrics=self.metrics
+        )
+
+    # -- embeddings ------------------------------------------------------------
+
+    def get_embedding(self, spec: EmbeddingSpec):
+        """Verified embedding for ``spec`` (cache-aside through the registry)."""
+        with self.metrics.time("get_embedding"):
+            return self.registry.get_or_build(spec)
+
+    def warm(self, specs: Iterable[EmbeddingSpec], parallel: bool = True) -> int:
+        """Prefetch a batch of specs through the concurrent engine."""
+        return self.engine.warm(specs, parallel=parallel)
+
+    # -- routing -------------------------------------------------------------------
+
+    def route(self, spec: EmbeddingSpec, guest_edge) -> Tuple[Tuple[int, ...], ...]:
+        """The disjoint host paths serving ``guest_edge`` under ``spec``."""
+        with self.metrics.time("route"):
+            emb = self.get_embedding(spec)
+            paths = disjoint_paths(emb, guest_edge)
+        self.metrics.incr("routes")
+        return paths
+
+    def route_fault_tolerant(
+        self,
+        spec: EmbeddingSpec,
+        guest_edge,
+        message: bytes = b"routing multiple paths in hypercubes",
+        faults: Optional[FaultSet] = None,
+        pieces_needed: Optional[int] = None,
+    ) -> DeliveryOutcome:
+        """Deliver ``message`` across the disjoint paths despite ``faults``.
+
+        The message is IDA-dispersed into one piece per path; any
+        ``pieces_needed`` surviving paths reconstruct it, so delivery
+        tolerates ``w - pieces_needed`` failed paths.  The default
+        ``pieces_needed=1`` (full dispersal redundancy, overhead ``w``)
+        survives up to ``w - 1`` failures — raise it to trade bandwidth
+        for tolerance, per the paper's Section 1 trade-off.
+        """
+        paths = self.route(spec, guest_edge)
+        w = len(paths)
+        m = 1 if pieces_needed is None else pieces_needed
+        if not 1 <= m <= w:
+            raise ValueError(f"pieces_needed must be in [1, {w}], got {m}")
+        alive = tuple(
+            i
+            for i, p in enumerate(paths)
+            if faults is None or faults.path_alive(p)
+        )
+        failed = tuple(i for i in range(w) if i not in alive)
+        pieces = disperse(message, w, m)
+        survivors = [pieces[i] for i in alive]
+        if len(survivors) >= m:
+            recovered = reconstruct(survivors, w, m)
+            if recovered != message:
+                raise AssertionError("IDA reconstruction mismatch")
+            self.metrics.incr("deliveries")
+            return DeliveryOutcome(True, recovered, w, alive, failed, m)
+        self.metrics.incr("delivery_failures")
+        return DeliveryOutcome(False, None, w, alive, failed, m)
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters, timers and tier occupancy for this service instance."""
+        return self.registry.stats()

@@ -1,0 +1,147 @@
+"""Concurrent batch construction of embeddings.
+
+Independent constructions (a sweep of ``n``, or a mixed
+cycle/grid/CCC/tree workload) are embarrassingly parallel, so the engine
+fans cache misses out to a ``ProcessPoolExecutor``.  Each worker builds
+the construction, **verifies** it (`.verify()` — the same invariants the
+theorems certify), and returns the encoded artifact text; only verified
+artifacts are admitted to the registry.
+
+Requests for the same cache key are deduplicated twice: within a batch
+(one build per unique key) and across concurrent callers (an in-flight
+table shares the pending future instead of building again).
+
+Environments where process pools are unavailable (restricted sandboxes)
+degrade gracefully to in-process serial builds — same results, no
+parallelism.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional
+
+from repro.service.metrics import ServiceMetrics
+from repro.service.registry import EmbeddingRegistry, make_artifact
+from repro.service.specs import EmbeddingSpec, build_spec
+
+__all__ = ["BuildEngine", "build_artifact_text"]
+
+
+def build_artifact_text(spec: EmbeddingSpec) -> str:
+    """Worker entry point: build + verify + encode one artifact.
+
+    Module-level so it pickles to worker processes; returns text rather
+    than the embedding object to keep inter-process traffic cheap and to
+    guarantee what lands on disk is exactly what was verified.
+    """
+    emb = build_spec(spec)
+    emb.verify()
+    return make_artifact(spec, emb)
+
+
+class BuildEngine:
+    """Fan out cache-missing constructions to worker processes."""
+
+    def __init__(
+        self,
+        registry: EmbeddingRegistry,
+        max_workers: Optional[int] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        self.registry = registry
+        self.max_workers = max_workers
+        self.metrics = metrics if metrics is not None else registry.metrics
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+
+    def build_batch(
+        self, specs: Iterable[EmbeddingSpec], parallel: bool = True
+    ) -> List:
+        """Resolve every spec (cache hit or fresh build); preserves order.
+
+        Duplicate specs in the batch resolve to one build.  Worker
+        exceptions (bad parameters, failed verification) propagate to the
+        caller after the rest of the batch settles.
+        """
+        specs = list(specs)
+        unique: Dict[str, EmbeddingSpec] = {}
+        for s in specs:
+            key = s.cache_key()
+            if key in unique:
+                self.metrics.incr("batch_dedup")
+            else:
+                unique[key] = s
+
+        resolved: Dict[str, object] = {}
+        to_build: Dict[str, EmbeddingSpec] = {}
+        for key, s in unique.items():
+            emb = self.registry.get(s)
+            if emb is not None:
+                resolved[key] = emb
+            else:
+                to_build[key] = s
+
+        if to_build:
+            built = None
+            if parallel and self.max_workers != 0 and len(to_build) > 1:
+                built = self._build_parallel(to_build)
+            if built is None:
+                for key, s in to_build.items():
+                    resolved[key] = self.registry.get_or_build(s)
+            else:
+                resolved.update(built)
+
+        return [resolved[s.cache_key()] for s in specs]
+
+    def warm(self, specs: Iterable[EmbeddingSpec], parallel: bool = True) -> int:
+        """Prefetch a batch into the cache; returns the batch size."""
+        return len(self.build_batch(specs, parallel=parallel))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build_parallel(
+        self, to_build: Dict[str, EmbeddingSpec]
+    ) -> Optional[Dict[str, object]]:
+        workers = self.max_workers or min(len(to_build), os.cpu_count() or 2)
+        try:
+            executor = ProcessPoolExecutor(max_workers=workers)
+        except Exception:
+            self.metrics.incr("pool_unavailable")
+            return None
+        futures: Dict[str, Future] = {}
+        owned: List[str] = []
+        results: Dict[str, object] = {}
+        error: Optional[BaseException] = None
+        try:
+            with executor:
+                with self._lock:
+                    for key, s in to_build.items():
+                        fut = self._inflight.get(key)
+                        if fut is None:
+                            fut = executor.submit(build_artifact_text, s)
+                            self._inflight[key] = fut
+                            owned.append(key)
+                        else:
+                            self.metrics.incr("inflight_dedup")
+                        futures[key] = fut
+                with self.metrics.time("parallel_batch"):
+                    for key, fut in futures.items():
+                        try:
+                            text = fut.result()
+                        except BaseException as err:  # noqa: BLE001
+                            self.metrics.incr("build_errors")
+                            error = error or err
+                            continue
+                        spec = to_build[key]
+                        results[key] = self.registry.admit_artifact(spec, text)
+                        self.metrics.incr("builds")
+        finally:
+            with self._lock:
+                for key in owned:
+                    self._inflight.pop(key, None)
+        if error is not None:
+            raise error
+        return results

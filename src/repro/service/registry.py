@@ -1,0 +1,308 @@
+"""Content-addressed embedding registry: in-memory LRU over a disk tier.
+
+Constructions dominate runtime (DESIGN.md profiling) and are fully
+deterministic, so the service memoizes them.  An artifact is keyed by
+:meth:`EmbeddingSpec.cache_key` — ``(guest kind, params, construction
+version)`` hashed to a stable content address — and stored as one JSON
+file built on :mod:`repro.core.serialize`.
+
+Safety model: an artifact is only written after the embedding verified at
+build time, and the file carries a SHA-256 checksum of the exact payload
+text that was verified.  On load the registry checks artifact version,
+key, package version and checksum; any mismatch (truncation, corruption,
+stale version) is treated as a cache *miss* — the bad file is removed and
+the caller rebuilds + reverifies.  The registry therefore never serves an
+unverified artifact, and never crashes on a damaged cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
+from repro.core.serialize import from_json, to_json
+from repro.hypercube.graph import Hypercube
+from repro.service.metrics import ServiceMetrics
+from repro.service.specs import EmbeddingSpec, build_spec
+
+__all__ = [
+    "EmbeddingRegistry",
+    "encode_embedding",
+    "decode_embedding",
+    "default_cache_dir",
+    "ARTIFACT_VERSION",
+]
+
+ARTIFACT_VERSION = 1
+
+AnyEmbedding = Union[Embedding, MultiPathEmbedding, MultiCopyEmbedding]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/embeddings``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "embeddings"
+
+
+def encode_embedding(emb: AnyEmbedding, construction: str = "") -> str:
+    """Embedding -> payload text.  Multi-copy wraps its copies' payloads."""
+    if isinstance(emb, MultiCopyEmbedding):
+        return json.dumps(
+            {
+                "style": "multicopy",
+                "host_dim": emb.host.n,
+                "name": emb.name,
+                "copy_load_allowed": emb.copy_load_allowed,
+                "copies": [
+                    json.loads(to_json(c, construction=construction))
+                    for c in emb.copies
+                ],
+            }
+        )
+    return to_json(emb, construction=construction)
+
+
+def decode_embedding(text: str, verify: bool = True) -> AnyEmbedding:
+    """Payload text -> embedding (inverse of :func:`encode_embedding`)."""
+    payload = json.loads(text)
+    if payload.get("style") != "multicopy":
+        return from_json(text, verify=verify)
+    copies = [
+        from_json(json.dumps(c), verify=False) for c in payload["copies"]
+    ]
+    if not copies:
+        raise ValueError("multicopy payload has no copies")
+    emb = MultiCopyEmbedding(
+        Hypercube(payload["host_dim"]),
+        copies[0].guest,
+        copies,
+        name=payload.get("name", ""),
+        copy_load_allowed=payload.get("copy_load_allowed", 1),
+    )
+    if verify:
+        emb.verify()
+    return emb
+
+
+def _checksum(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def make_artifact(spec: EmbeddingSpec, emb: AnyEmbedding) -> str:
+    """Wrap a *verified* embedding as registry artifact text."""
+    payload = encode_embedding(emb, construction=spec.describe())
+    return json.dumps(
+        {
+            "artifact_version": ARTIFACT_VERSION,
+            "key": spec.cache_key(),
+            "spec": {"kind": spec.kind, "params": spec.param_dict()},
+            "package_version": _package_version(),
+            "construction": spec.describe(),
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+    )
+
+
+class EmbeddingRegistry:
+    """Two-tier (memory LRU + disk) cache of verified embeddings."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        memory_capacity: int = 32,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if memory_capacity < 0:
+            raise ValueError("memory_capacity must be >= 0")
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.memory_capacity = memory_capacity
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, AnyEmbedding]" = OrderedDict()
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, spec: EmbeddingSpec) -> Path:
+        return self.cache_dir / f"{spec.cache_key()}.json"
+
+    # -- memory tier -----------------------------------------------------------
+
+    def _memory_get(self, key: str) -> Optional[AnyEmbedding]:
+        with self._lock:
+            emb = self._memory.get(key)
+            if emb is not None:
+                self._memory.move_to_end(key)
+            return emb
+
+    def _memory_put(self, key: str, emb: AnyEmbedding) -> None:
+        if self.memory_capacity == 0:
+            return
+        with self._lock:
+            self._memory[key] = emb
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_capacity:
+                self._memory.popitem(last=False)
+                self.metrics.incr("memory_evictions")
+
+    # -- disk tier ---------------------------------------------------------------
+
+    def _disk_load(self, spec: EmbeddingSpec) -> Optional[AnyEmbedding]:
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            artifact = json.loads(path.read_text())
+            if artifact.get("artifact_version") != ARTIFACT_VERSION:
+                raise ValueError("artifact version mismatch")
+            if artifact.get("key") != spec.cache_key():
+                raise ValueError("artifact key mismatch")
+            if artifact.get("package_version") != _package_version():
+                raise ValueError("package version mismatch")
+            payload = artifact["payload"]
+            if artifact.get("checksum") != _checksum(payload):
+                raise ValueError("payload checksum mismatch")
+            # the checksum certifies these are the exact bytes written
+            # after the build-time verify, so decoding skips the re-check
+            return decode_embedding(payload, verify=False)
+        except Exception:
+            # damaged / stale / truncated: recover by rebuilding, not crashing
+            self.metrics.incr("disk_corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    # -- public API ------------------------------------------------------------
+
+    def get(self, spec: EmbeddingSpec) -> Optional[AnyEmbedding]:
+        """Cached embedding for ``spec``, or ``None`` on a full miss."""
+        key = spec.cache_key()
+        emb = self._memory_get(key)
+        if emb is not None:
+            self.metrics.incr("memory_hits")
+            return emb
+        self.metrics.incr("memory_misses")
+        with self.metrics.time("disk_load"):
+            emb = self._disk_load(spec)
+        if emb is not None:
+            self.metrics.incr("disk_hits")
+            self._memory_put(key, emb)
+            return emb
+        self.metrics.incr("disk_misses")
+        return None
+
+    def put(self, spec: EmbeddingSpec, emb: AnyEmbedding) -> AnyEmbedding:
+        """Admit a *verified* embedding: write the artifact atomically."""
+        return self.admit_artifact(spec, make_artifact(spec, emb), emb)
+
+    def admit_artifact(
+        self,
+        spec: EmbeddingSpec,
+        artifact_text: str,
+        emb: Optional[AnyEmbedding] = None,
+    ) -> AnyEmbedding:
+        """Write pre-encoded artifact text (engine workers encode remotely)."""
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(artifact_text)
+        os.replace(tmp, path)
+        if emb is None:
+            emb = decode_embedding(
+                json.loads(artifact_text)["payload"], verify=False
+            )
+        self._memory_put(spec.cache_key(), emb)
+        self.metrics.incr("artifacts_written")
+        return emb
+
+    def get_or_build(self, spec: EmbeddingSpec) -> AnyEmbedding:
+        """Serve from cache, else build + verify + admit."""
+        emb = self.get(spec)
+        if emb is not None:
+            return emb
+        with self.metrics.time("build"):
+            emb = build_spec(spec)
+        with self.metrics.time("verify"):
+            emb.verify()
+        self.metrics.incr("builds")
+        self.put(spec, emb)
+        return emb
+
+    def __contains__(self, spec: EmbeddingSpec) -> bool:
+        key = spec.cache_key()
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self.path_for(spec).exists()
+
+    def ls(self) -> List[Dict[str, Any]]:
+        """Metadata of every readable on-disk artifact (unreadable skipped)."""
+        if not self.cache_dir.exists():
+            return []
+        rows = []
+        for path in sorted(self.cache_dir.glob("*.json")):
+            try:
+                artifact = json.loads(path.read_text())
+                rows.append(
+                    {
+                        "key": artifact.get("key", path.stem)[:12],
+                        "construction": artifact.get("construction", "?"),
+                        "package_version": artifact.get("package_version", "?"),
+                        "bytes": path.stat().st_size,
+                        "file": path.name,
+                    }
+                )
+            except Exception:
+                rows.append(
+                    {
+                        "key": path.stem[:12],
+                        "construction": "<unreadable>",
+                        "package_version": "?",
+                        "bytes": path.stat().st_size,
+                        "file": path.name,
+                    }
+                )
+        return rows
+
+    def clear(self) -> int:
+        """Drop both tiers; returns the number of disk artifacts removed."""
+        with self._lock:
+            self._memory.clear()
+        removed = 0
+        if self.cache_dir.exists():
+            for path in self.cache_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> dict:
+        """Metrics snapshot plus tier occupancy."""
+        snap = self.metrics.snapshot()
+        with self._lock:
+            snap["memory_entries"] = len(self._memory)
+        snap["disk_entries"] = (
+            len(list(self.cache_dir.glob("*.json")))
+            if self.cache_dir.exists()
+            else 0
+        )
+        snap["cache_dir"] = str(self.cache_dir)
+        return snap

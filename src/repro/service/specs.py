@@ -1,0 +1,108 @@
+"""Embedding request specifications — the service layer's vocabulary.
+
+An :class:`EmbeddingSpec` names a paper construction plus its parameters
+(`(guest kind, params)`); together with the construction version it yields
+a deterministic, content-addressed cache key.  The spec is the unit every
+service component speaks: the registry keys artifacts by it, the engine
+fans batches of them out to worker processes, and the CLI parses its
+arguments into one.
+
+Keys are stable across processes and machines: they hash the canonical
+JSON of ``(kind, sorted params, construction version)`` — nothing
+time-, path- or interpreter-dependent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = ["EmbeddingSpec", "build_spec", "CONSTRUCTION_VERSION", "KINDS"]
+
+# Bump when any construction changes its output for the same parameters;
+# old cache entries then miss (different key) instead of serving stale
+# geometry.
+CONSTRUCTION_VERSION = 1
+
+# Guest families the service can build, mirroring ``repro embed``.
+KINDS = ("cycle", "cycle2", "grid", "ccc", "tree", "large-cycle")
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-stable form: tuples become lists, dicts sort by key."""
+    if isinstance(value, tuple):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _canonical(value[k]) for k in sorted(value)}
+    return value
+
+
+@dataclass(frozen=True)
+class EmbeddingSpec:
+    """An immutable, hashable request for one embedding.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs so specs are
+    usable as dict keys and pickle cheaply to worker processes.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    @classmethod
+    def make(cls, kind: str, **params: Any) -> "EmbeddingSpec":
+        if kind not in KINDS:
+            raise ValueError(f"unknown guest kind {kind!r}; expected one of {KINDS}")
+        return cls(kind, tuple(sorted(params.items())))
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def cache_key(self) -> str:
+        """Deterministic content address of this request."""
+        doc = {
+            "kind": self.kind,
+            "params": _canonical(self.param_dict()),
+            "construction_version": CONSTRUCTION_VERSION,
+        }
+        text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def describe(self) -> str:
+        args = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}({args})"
+
+
+def build_spec(spec: EmbeddingSpec):
+    """Construct the embedding a spec names (unverified — callers verify).
+
+    Dispatches to the paper constructions; raises ``ValueError`` on an
+    unknown kind and propagates each construction's own parameter errors.
+    """
+    p = spec.param_dict()
+    if spec.kind == "cycle":
+        from repro.core import embed_cycle_load1
+
+        return embed_cycle_load1(p["n"])
+    if spec.kind == "cycle2":
+        from repro.core import embed_cycle_load2
+
+        return embed_cycle_load2(p["n"], prefer_width=p.get("wide", False))
+    if spec.kind == "grid":
+        from repro.core import embed_grid_multipath
+
+        return embed_grid_multipath(tuple(p["dims"]), torus=p.get("torus", False))
+    if spec.kind == "ccc":
+        from repro.core import ccc_multicopy_embedding
+
+        return ccc_multicopy_embedding(p["n"])
+    if spec.kind == "tree":
+        from repro.core import theorem5_embedding
+
+        return theorem5_embedding(p["m"])
+    if spec.kind == "large-cycle":
+        from repro.core import large_cycle_embedding
+
+        return large_cycle_embedding(p["n"])
+    raise ValueError(f"unknown guest kind {spec.kind!r}")

@@ -88,6 +88,77 @@ class TestNewCommands:
         assert main(["load", path]) == 0
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestCacheCommands:
+    def test_build_ls_stats_clear(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(["cache", "build", "cycle", "--n", "6"] + cache) == 0
+        assert "artifact(s) ready" in capsys.readouterr().out
+        assert main(["cache", "ls"] + cache) == 0
+        out = capsys.readouterr().out
+        assert "cycle(n=6)" in out and "1 artifact(s)" in out
+        assert main(["cache", "stats"] + cache) == 0
+        assert '"disk_entries": 1' in capsys.readouterr().out
+        assert main(["cache", "clear"] + cache) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_build_sweep_batch(self, tmp_path, capsys):
+        rc = main(
+            ["cache", "build", "cycle", "--ns", "4,6", "--workers", "0",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "2 artifact(s)" in capsys.readouterr().out
+
+    def test_ls_empty(self, tmp_path, capsys):
+        assert main(["cache", "ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "cache empty" in capsys.readouterr().out
+
+
+class TestRouteCommand:
+    def test_route_explicit_edge(self, tmp_path, capsys):
+        rc = main(
+            ["route", "cycle", "--n", "6", "--edge", "0", "1",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "host path(s)" in out and "[0]" in out
+
+    def test_route_default_edge_with_faults(self, tmp_path, capsys):
+        rc = main(
+            ["route", "cycle", "--n", "6", "--faults", "0.0",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_route_grid_tuple_edge(self, tmp_path, capsys):
+        rc = main(
+            ["route", "grid", "--dims", "4x4", "--torus",
+             "--edge", "(0, 0)", "(0, 1)", "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        assert "host path(s)" in capsys.readouterr().out
+
+    def test_route_uses_warm_cache(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path)]
+        assert main(["cache", "build", "cycle", "--n", "6"] + cache) == 0
+        capsys.readouterr()
+        assert main(["route", "cycle", "--n", "6", "--edge", "0", "1"]
+                    + cache) == 0
+        assert "host path(s)" in capsys.readouterr().out
+
+
 class TestValidate:
     def test_validate_all_pass(self, capsys):
         assert main(["validate"]) == 0

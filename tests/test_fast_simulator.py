@@ -59,6 +59,67 @@ class TestBasics:
         assert sim.run() == 1000
 
 
+class TestReleaseFastForward:
+    """The idle-step fast-forward branch: no packet ready -> jump to the
+    next release instead of stepping one tick at a time."""
+
+    def test_all_packets_far_in_future(self):
+        sim = FastStoreForward(Hypercube(4))
+        sim.inject([0, 1, 3], release_step=100_000)
+        sim.inject([4, 5, 7], release_step=100_000)
+        # contention-free: both arrive two steps after the joint release
+        assert sim.run() == 100_001
+
+    def test_staggered_far_releases_jump_twice(self):
+        sim = FastStoreForward(Hypercube(4))
+        sim.inject([0, 1], release_step=10_000)
+        sim.inject([2, 3], release_step=20_000)
+        sim.inject([4, 5], release_step=30_000)
+        # three separate idle gaps, each fast-forwarded
+        assert sim.run() == 30_000
+
+    def test_fast_forward_lands_on_contention(self):
+        # both packets want link 0->1 at the same far-future step: the
+        # jump must not skip the arbitration
+        sim = FastStoreForward(Hypercube(3))
+        sim.inject([0, 1], release_step=5_000)
+        sim.inject([0, 1, 3], release_step=5_000)
+        assert sim.run() == 5_002  # loser crosses at 5001, then hops again
+
+    def test_active_packet_blocks_fast_forward(self):
+        # a long path keeps the network busy across another packet's
+        # pre-release window: no jump may occur while work remains
+        sim = FastStoreForward(Hypercube(3))
+        sim.inject([0, 1, 3, 7, 6], release_step=1)
+        sim.inject([0, 1], release_step=3)
+        assert sim.run() == 4
+
+    def test_agreement_with_reference_far_future(self):
+        host = Hypercube(4)
+        ref = StoreForwardSimulator(host)
+        fast = FastStoreForward(host)
+        workload = [
+            ([0, 1, 3], 4_000),
+            ([8, 9, 11], 4_000),
+            ([4, 6], 4_500),
+        ]
+        for path, rel in workload:
+            ref.inject(path, release_step=rel)
+            fast.inject(path, release_step=rel)
+        # contention-free, so the two arbitration policies agree exactly
+        assert ref.run() == fast.run() == 4_500
+
+    def test_agreement_with_reference_staggered(self):
+        host = Hypercube(4)
+        ref = StoreForwardSimulator(host)
+        fast = FastStoreForward(host)
+        for i, rel in enumerate((1_000, 2_000, 3_000)):
+            path = [4 * i, 4 * i ^ 1, 4 * i ^ 3]
+            ref.inject(path, release_step=rel)
+            fast.inject(path, release_step=rel)
+        assert ref.run() == fast.run() == 3_001
+
+
 class TestAgreement:
     @given(
         st.lists(

@@ -62,6 +62,43 @@ class TestRoundtrip:
         assert load(buf).dilation == 1
 
 
+class TestVersionMetadata:
+    def test_payload_records_package_version_and_construction(self):
+        import json
+
+        from repro import __version__
+
+        payload = json.loads(
+            to_json(graycode_cycle_embedding(4), construction="graycode(n=4)")
+        )
+        assert payload["package_version"] == __version__
+        assert payload["construction"] == "graycode(n=4)"
+
+    def test_construction_defaults_to_embedding_name(self):
+        import json
+
+        emb = graycode_cycle_embedding(4)
+        assert json.loads(to_json(emb))["construction"] == emb.name
+
+    def test_old_files_without_metadata_still_load(self):
+        import json
+
+        payload = json.loads(to_json(graycode_cycle_embedding(4)))
+        del payload["package_version"]
+        del payload["construction"]
+        back = from_json(json.dumps(payload))  # format v1 round-trip intact
+        assert back.dilation == 1
+
+    def test_verify_flag_skips_recheck(self):
+        import json
+
+        payload = json.loads(to_json(graycode_cycle_embedding(4)))
+        payload["vertex_map"][0][1] = 99  # invalid, but verify is off
+        emb = from_json(json.dumps(payload), verify=False)
+        with pytest.raises(AssertionError):
+            emb.verify()
+
+
 class TestErrors:
     def test_multicopy_rejected(self):
         with pytest.raises(TypeError):

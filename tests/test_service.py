@@ -1,0 +1,334 @@
+"""Tests for the service layer: registry, engine, facade, metrics."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    BuildEngine,
+    EmbeddingRegistry,
+    EmbeddingSpec,
+    FaultSet,
+    RoutingService,
+    ServiceMetrics,
+    build_spec,
+    decode_embedding,
+    encode_embedding,
+    disjoint_paths,
+)
+
+
+def cycle_spec(n=6):
+    return EmbeddingSpec.make("cycle", n=n)
+
+
+class TestSpecs:
+    def test_key_is_deterministic(self):
+        assert cycle_spec().cache_key() == cycle_spec().cache_key()
+
+    def test_key_ignores_param_order(self):
+        a = EmbeddingSpec.make("grid", dims=(4, 4), torus=True)
+        b = EmbeddingSpec.make("grid", torus=True, dims=(4, 4))
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_separates_params(self):
+        assert cycle_spec(6).cache_key() != cycle_spec(8).cache_key()
+        assert (
+            cycle_spec(6).cache_key()
+            != EmbeddingSpec.make("large-cycle", n=6).cache_key()
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingSpec.make("hypertorus", n=4)
+
+    def test_build_dispatch(self):
+        emb = build_spec(EmbeddingSpec.make("grid", dims=(4, 4), torus=True))
+        emb.verify()
+        assert emb.guest.num_vertices == 16
+
+    def test_specs_hash_and_pickle(self):
+        import pickle
+
+        spec = EmbeddingSpec.make("tree", m=2)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, EmbeddingSpec.make("tree", m=2)}) == 1
+
+
+class TestEncodeDecode:
+    def test_multipath_roundtrip(self):
+        emb = build_spec(cycle_spec(6))
+        back = decode_embedding(encode_embedding(emb))
+        assert back.width == emb.width
+        assert dict(back.vertex_map) == dict(emb.vertex_map)
+
+    def test_multicopy_roundtrip(self):
+        emb = build_spec(EmbeddingSpec.make("ccc", n=4))
+        back = decode_embedding(encode_embedding(emb))
+        assert back.k == emb.k
+        assert back.edge_congestion == emb.edge_congestion
+        back.verify()
+
+
+class TestRegistry:
+    def test_miss_then_build_then_memory_hit(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        spec = cycle_spec()
+        assert reg.get(spec) is None
+        emb = reg.get_or_build(spec)
+        assert reg.get(spec) is emb  # identical object from the LRU tier
+        assert reg.metrics.count("memory_hits") == 1
+        assert reg.metrics.count("builds") == 1
+
+    def test_disk_tier_across_instances(self, tmp_path):
+        EmbeddingRegistry(cache_dir=tmp_path).get_or_build(cycle_spec())
+        fresh = EmbeddingRegistry(cache_dir=tmp_path)
+        emb = fresh.get(cycle_spec())
+        assert emb is not None and emb.width >= 3
+        assert fresh.metrics.count("disk_hits") == 1
+        assert fresh.metrics.count("builds") == 0
+
+    def test_lru_eviction(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path, memory_capacity=2)
+        specs = [cycle_spec(n) for n in (4, 6, 8)]
+        for s in specs:
+            reg.get_or_build(s)
+        assert reg.metrics.count("memory_evictions") == 1
+        # oldest evicted from memory but still on disk
+        reg.get(specs[0])
+        assert reg.metrics.count("disk_hits") == 1
+
+    def test_truncated_artifact_triggers_rebuild(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        spec = cycle_spec()
+        reg.get_or_build(spec)
+        path = reg.path_for(spec)
+        path.write_text(path.read_text()[:80])  # corrupt on disk
+        fresh = EmbeddingRegistry(cache_dir=tmp_path)
+        assert fresh.get(spec) is None  # recovered, not crashed
+        assert fresh.metrics.count("disk_corrupt") == 1
+        emb = fresh.get_or_build(spec)  # rebuild + reverify + re-admit
+        emb.verify()
+        assert fresh.metrics.count("builds") == 1
+        # the re-written artifact is valid again
+        assert EmbeddingRegistry(cache_dir=tmp_path).get(spec) is not None
+
+    def test_payload_tamper_detected_by_checksum(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        spec = cycle_spec()
+        reg.get_or_build(spec)
+        path = reg.path_for(spec)
+        artifact = json.loads(path.read_text())
+        artifact["payload"] = artifact["payload"].replace('"style"', '"Style"', 1)
+        path.write_text(json.dumps(artifact))
+        fresh = EmbeddingRegistry(cache_dir=tmp_path)
+        assert fresh.get(spec) is None
+        assert fresh.metrics.count("disk_corrupt") == 1
+
+    def test_stale_package_version_rebuilds(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        spec = cycle_spec()
+        reg.get_or_build(spec)
+        path = reg.path_for(spec)
+        artifact = json.loads(path.read_text())
+        artifact["package_version"] = "0.0.1"
+        path.write_text(json.dumps(artifact))
+        fresh = EmbeddingRegistry(cache_dir=tmp_path)
+        assert fresh.get(spec) is None  # stale -> miss -> rebuild path
+
+    def test_ls_clear_contains(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        spec = cycle_spec()
+        assert spec not in reg
+        reg.get_or_build(spec)
+        assert spec in reg
+        rows = reg.ls()
+        assert len(rows) == 1 and "cycle" in rows[0]["construction"]
+        assert reg.clear() == 1
+        assert reg.ls() == [] and spec not in reg
+
+    def test_multicopy_through_disk(self, tmp_path):
+        spec = EmbeddingSpec.make("ccc", n=4)
+        EmbeddingRegistry(cache_dir=tmp_path).get_or_build(spec)
+        back = EmbeddingRegistry(cache_dir=tmp_path).get(spec)
+        assert back.k == 4
+        back.verify()
+
+    def test_stats_reports_tiers(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        reg.get_or_build(cycle_spec())
+        snap = reg.stats()
+        assert snap["disk_entries"] == 1
+        assert snap["memory_entries"] == 1
+        assert snap["counters"]["builds"] == 1
+        assert snap["timers"]["build"]["count"] == 1
+
+
+class TestEngine:
+    def test_batch_preserves_order_and_dedups(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        engine = BuildEngine(reg, max_workers=0)  # in-process
+        specs = [cycle_spec(6), cycle_spec(8), cycle_spec(6)]
+        out = engine.build_batch(specs)
+        assert [e.host.n for e in out] == [6, 8, 6]
+        assert out[0] is out[2]
+        assert reg.metrics.count("batch_dedup") == 1
+        assert reg.metrics.count("builds") == 2
+
+    def test_parallel_workers_populate_disk(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        engine = BuildEngine(reg, max_workers=2)
+        specs = [cycle_spec(6), EmbeddingSpec.make("grid", dims=(4, 4))]
+        out = engine.build_batch(specs)
+        assert len(out) == 2 and all(e is not None for e in out)
+        assert len(reg.ls()) == 2
+        # second batch is all cache hits: no further builds
+        before = reg.metrics.count("builds")
+        engine.build_batch(specs)
+        assert reg.metrics.count("builds") == before
+
+    def test_worker_errors_propagate(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        engine = BuildEngine(reg, max_workers=2)
+        bad = [EmbeddingSpec.make("ccc", n=3), EmbeddingSpec.make("ccc", n=5)]
+        with pytest.raises(ValueError):
+            engine.build_batch(bad)
+        assert reg.metrics.count("build_errors") >= 1
+
+    def test_warm(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        assert BuildEngine(reg, max_workers=0).warm([cycle_spec()]) == 1
+        assert cycle_spec() in reg
+
+
+class TestRoutingService:
+    def _service(self, tmp_path):
+        return RoutingService(registry=EmbeddingRegistry(cache_dir=tmp_path))
+
+    def test_route_returns_disjoint_paths(self, tmp_path):
+        svc = self._service(tmp_path)
+        spec = cycle_spec(8)
+        paths = svc.route(spec, (0, 1))
+        emb = svc.get_embedding(spec)
+        assert len(paths) == emb.width
+        used = set()
+        for p in paths:
+            for a, b in zip(p, p[1:]):
+                eid = emb.host.edge_id(a, b)
+                assert eid not in used  # pairwise edge-disjoint
+                used.add(eid)
+
+    def test_route_reversed_edge(self, tmp_path):
+        svc = self._service(tmp_path)
+        spec = cycle_spec(6)
+        fwd = svc.route(spec, (0, 1))
+        rev = svc.route(spec, (1, 0))
+        assert rev == tuple(tuple(reversed(p)) for p in fwd)
+
+    def test_route_unknown_edge_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            self._service(tmp_path).route(cycle_spec(6), (0, 5))
+
+    def test_route_multicopy_gives_one_path_per_copy(self, tmp_path):
+        svc = self._service(tmp_path)
+        spec = EmbeddingSpec.make("ccc", n=4)
+        emb = svc.get_embedding(spec)
+        edge = next(iter(emb.copies[0].edge_paths))
+        assert len(svc.route(spec, edge)) == emb.k
+
+    def test_fault_tolerant_survives_w_minus_1_failures(self, tmp_path):
+        svc = self._service(tmp_path)
+        spec = cycle_spec(8)
+        emb = svc.get_embedding(spec)
+        paths = svc.route(spec, (0, 1))
+        w = len(paths)
+        assert w >= 4
+        # kill every path but the last: fail the first link of each
+        failed = {
+            emb.host.edge_id(p[0], p[1]) for p in paths[:-1] if len(p) > 1
+        }
+        faults = FaultSet(emb.host, failed)
+        out = svc.route_fault_tolerant(
+            spec, (0, 1), b"survive", faults=faults
+        )
+        assert out.delivered and out.message == b"survive"
+        assert len(out.failed_paths) == w - 1
+        assert out.alive_paths == (w - 1,)
+
+    def test_fault_tolerant_loses_when_all_paths_die(self, tmp_path):
+        svc = self._service(tmp_path)
+        spec = cycle_spec(8)
+        emb = svc.get_embedding(spec)
+        paths = svc.route(spec, (0, 1))
+        failed = {emb.host.edge_id(p[0], p[1]) for p in paths}
+        out = svc.route_fault_tolerant(
+            spec, (0, 1), b"gone", faults=FaultSet(emb.host, failed)
+        )
+        assert not out.delivered and out.message is None
+        assert svc.metrics.count("delivery_failures") == 1
+
+    def test_pieces_needed_tradeoff(self, tmp_path):
+        svc = self._service(tmp_path)
+        spec = cycle_spec(8)
+        emb = svc.get_embedding(spec)
+        paths = svc.route(spec, (0, 1))
+        w = len(paths)
+        kill = lambda k: FaultSet(  # noqa: E731
+            emb.host,
+            {emb.host.edge_id(p[0], p[1]) for p in paths[:k] if len(p) > 1},
+        )
+        # need m=3 pieces: tolerates w-3 failures, not w-2
+        assert svc.route_fault_tolerant(
+            spec, (0, 1), b"x", faults=kill(w - 3), pieces_needed=3
+        ).delivered
+        assert not svc.route_fault_tolerant(
+            spec, (0, 1), b"x", faults=kill(w - 2), pieces_needed=3
+        ).delivered
+
+    def test_no_faults_default_delivers(self, tmp_path):
+        out = self._service(tmp_path).route_fault_tolerant(
+            cycle_spec(6), (0, 1), b"clear skies"
+        )
+        assert out.delivered and out.message == b"clear skies"
+        assert out.failed_paths == ()
+
+    def test_bad_pieces_needed_rejected(self, tmp_path):
+        svc = self._service(tmp_path)
+        with pytest.raises(ValueError):
+            svc.route_fault_tolerant(
+                cycle_spec(6), (0, 1), b"x", pieces_needed=99
+            )
+
+    def test_stats_surface(self, tmp_path):
+        svc = self._service(tmp_path)
+        svc.route(cycle_spec(6), (0, 1))
+        snap = svc.stats()
+        assert snap["counters"]["routes"] == 1
+        assert snap["timers"]["get_embedding"]["count"] == 1
+
+    def test_disjoint_paths_single_embedding(self, tmp_path):
+        svc = self._service(tmp_path)
+        spec = EmbeddingSpec.make("large-cycle", n=4)
+        emb = svc.get_embedding(spec)
+        edge = next(iter(emb.edge_paths))
+        assert len(disjoint_paths(emb, edge)) == 1
+
+
+class TestMetrics:
+    def test_counters_and_timers(self):
+        m = ServiceMetrics()
+        m.incr("hits")
+        m.incr("hits", 2)
+        m.observe("lat", 0.5)
+        with m.time("lat"):
+            pass
+        snap = m.snapshot()
+        assert snap["counters"]["hits"] == 3
+        assert snap["timers"]["lat"]["count"] == 2
+        assert snap["timers"]["lat"]["max_s"] >= 0.5
+
+    def test_reset(self):
+        m = ServiceMetrics()
+        m.incr("x")
+        m.reset()
+        assert m.snapshot() == {"counters": {}, "timers": {}}
