@@ -15,19 +15,24 @@ from repro.routing.permutation import dimension_order_path, random_permutation
 from repro.routing.simulator import StoreForwardSimulator
 
 
-def _load(sim, n=6, reps=4):
+def _paths(n=6, reps=4):
     perm = random_permutation(1 << n, seed=2)
-    for u, v in enumerate(perm):
-        if u != v:
-            p = dimension_order_path(n, u, v)
-            for _ in range(reps):
-                sim.inject(p)
+    return [
+        dimension_order_path(n, u, v)
+        for u, v in enumerate(perm)
+        if u != v
+        for _ in range(reps)
+    ]
+
+
+def _load(sim, n=6, reps=4):
+    for p in _paths(n, reps):
+        sim.inject(p)
 
 
 def test_e16_buffer_sweep(benchmark):
     ref = StoreForwardSimulator(Hypercube(6))
-    _load(ref)
-    unbounded = ref.run()
+    unbounded = ref.run(_paths()).makespan
 
     rows = [("unbounded", "-", unbounded)]
     for B, R in ((2, 0), (2, 1), (3, 2), (4, 2), (8, 4), (16, 4)):

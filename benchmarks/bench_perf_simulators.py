@@ -24,9 +24,7 @@ def test_perf_reference_engine(benchmark):
 
     def run():
         sim = StoreForwardSimulator(Hypercube(10))
-        for path, rel in work:
-            sim.inject(path, release_step=rel)
-        return sim.run()
+        return sim.run(work).makespan
 
     makespan = benchmark(run)
     assert makespan > 0
@@ -37,9 +35,7 @@ def test_perf_vectorized_engine(benchmark):
 
     def run():
         sim = FastStoreForward(Hypercube(10))
-        for path, rel in work:
-            sim.inject(path, release_step=rel)
-        return sim.run()
+        return sim.run(work).makespan
 
     makespan = benchmark(run)
     assert makespan > 0
@@ -49,12 +45,8 @@ def test_engines_agree_within_envelope():
     rows = []
     for n, reps in ((8, 4), (10, 4), (12, 4)):
         work = _workload(n, reps)
-        ref = StoreForwardSimulator(Hypercube(n))
-        fast = FastStoreForward(Hypercube(n))
-        for path, rel in work:
-            ref.inject(path, release_step=rel)
-            fast.inject(path, release_step=rel)
-        a, b = ref.run(), fast.run()
+        a = StoreForwardSimulator(Hypercube(n)).run(work).makespan
+        b = FastStoreForward(Hypercube(n)).run(work).makespan
         rows.append((n, len(work), a, b))
         # FIFO vs static-priority arbitration: same congestion+dilation
         # envelope, so makespans stay within a small factor

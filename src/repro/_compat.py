@@ -1,0 +1,27 @@
+"""Deprecation machinery for the pre-obs APIs.
+
+Everything deprecated in this package warns with
+:class:`ReproDeprecationWarning`, a distinct :class:`DeprecationWarning`
+subclass, so CI can harden *our* migration specifically::
+
+    python -m pytest -W error::repro._compat.ReproDeprecationWarning
+
+without tripping on unrelated DeprecationWarnings from third-party
+packages.  The shims themselves are exercised only in
+``tests/test_deprecation_shims.py``, which captures the warnings.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["ReproDeprecationWarning", "warn_deprecated"]
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated repro API was used; see the message for the new one."""
+
+
+def warn_deprecated(message: str, stacklevel: int = 3) -> None:
+    """Emit one :class:`ReproDeprecationWarning` pointing at the caller."""
+    warnings.warn(message, ReproDeprecationWarning, stacklevel=stacklevel)

@@ -33,12 +33,13 @@ def _checks() -> List[tuple]:
         from repro.routing.schedule import multipath_packet_schedule
 
         emb = embed_cycle_load1(8)
-        emb.verify()
+        report = emb.verify(strict=False)
         sched = multipath_packet_schedule(emb, extra_direct_at=3)
         sched.verify()
+        width = report.metrics.get("width", 0)
         return (
-            emb.width >= 4 and sched.makespan == 3,
-            f"width {emb.width}, cost {sched.makespan}",
+            report.ok and width >= 4 and sched.makespan == 3,
+            f"width {width}, cost {sched.makespan}",
         )
 
     def theorem2():
@@ -46,13 +47,14 @@ def _checks() -> List[tuple]:
         from repro.routing.schedule import multipath_packet_schedule
 
         emb = embed_cycle_load2(8)
-        emb.verify()
+        report = emb.verify(strict=False)
         sched = multipath_packet_schedule(emb)
         sched.verify()
         busy = sched.busy_link_fraction()
+        width = report.metrics.get("width", 0)
         return (
-            emb.width == 4 and sched.makespan == 3 and busy == 1.0,
-            f"width {emb.width}, cost {sched.makespan}, busy {busy:.2f}",
+            report.ok and width == 4 and sched.makespan == 3 and busy == 1.0,
+            f"width {width}, cost {sched.makespan}, busy {busy:.2f}",
         )
 
     def lemma3():
@@ -68,19 +70,26 @@ def _checks() -> List[tuple]:
         from repro.routing.schedule import multipath_packet_schedule
 
         emb = embed_grid_multipath((16, 16), torus=True)
-        emb.verify()
+        report = emb.verify(strict=False)
         sched = multipath_packet_schedule(emb)
         sched.verify()
-        return sched.makespan == 6, f"bidirectional phase {sched.makespan}"
+        return (
+            report.ok and sched.makespan == 6,
+            f"bidirectional phase {sched.makespan}",
+        )
 
     def theorem3():
         from repro.core import ccc_multicopy_embedding
 
         mc = ccc_multicopy_embedding(4)
-        mc.verify()
+        report = mc.verify(strict=False)
+        congestion = report.metrics.get("edge_congestion")
         return (
-            mc.k == 4 and mc.dilation == 1 and mc.edge_congestion == 2,
-            f"{mc.k} copies, congestion {mc.edge_congestion}",
+            report.ok
+            and report.metrics.get("k") == 4
+            and report.metrics.get("dilation") == 1
+            and congestion == 2,
+            f"{report.metrics.get('k')} copies, congestion {congestion}",
         )
 
     def theorem4():
@@ -91,9 +100,13 @@ def _checks() -> List[tuple]:
         from repro.routing.schedule import measured_multipath_cost
 
         x = induced_cross_product_embedding(cycle_multicopy_embedding(4))
-        x.verify()
+        report = x.verify(strict=False)
         cost = measured_multipath_cost(x)
-        return x.width == 4 and cost == 3, f"width {x.width}, cost {cost}"
+        width = report.metrics.get("width", 0)
+        return (
+            report.ok and width == 4 and cost == 3,
+            f"width {width}, cost {cost}",
+        )
 
     def theorem5():
         from repro.core import theorem5_embedding
@@ -112,9 +125,11 @@ def _checks() -> List[tuple]:
         from repro.core import large_cycle_embedding
 
         emb = large_cycle_embedding(6)
-        emb.verify()
+        report = emb.verify(strict=False)
         return (
-            emb.dilation == 1 and emb.congestion == 1,
+            report.ok
+            and report.metrics.get("dilation") == 1
+            and report.metrics.get("congestion") == 1,
             "dilation 1, congestion 1",
         )
 
@@ -124,6 +139,31 @@ def _checks() -> List[tuple]:
         msg = b"routing multiple paths"
         pieces = disperse(msg, 5, 3)
         return reconstruct(pieces[2:], 5, 3) == msg, "5 pieces, any 3 rebuild"
+
+    def instrumentation():
+        # a simulated one-packet-per-path delivery must measure exactly the
+        # structural congestion the embedding certifies: the recorder's
+        # per-link transmission counts equal edge_congestion_counts()
+        from repro.core import embed_cycle_load1
+        from repro.obs import LinkRecorder
+        from repro.routing.simulator import StoreForwardSimulator
+
+        emb = embed_cycle_load1(8)
+        schedule = [p for paths in emb.edge_paths.values() for p in paths]
+        rec = LinkRecorder(host=emb.host)
+        res = StoreForwardSimulator(emb.host).run(schedule, recorder=rec)
+        counts_match = rec.link_congestion_counts() == dict(
+            emb.edge_congestion_counts()
+        )
+        arrivals = sum(rec.step_histogram().values())
+        return (
+            counts_match
+            and rec.congestion == emb.congestion
+            and arrivals == res.delivered == len(schedule)
+            and rec.makespan == res.makespan,
+            f"recorded congestion {rec.congestion} == structural "
+            f"{emb.congestion}, {arrivals} arrivals",
+        )
 
     return [
         ("Lemma 1 (Hamiltonian decomposition)", lemma1),
@@ -136,6 +176,7 @@ def _checks() -> List[tuple]:
         ("Theorem 5 (binary trees)", theorem5),
         ("Corollary 3 (large cycle)", corollary3),
         ("Section 1 (IDA)", ida),
+        ("Instrumentation (measured == structural congestion)", instrumentation),
     ]
 
 

@@ -78,24 +78,22 @@ def cannon_communication_steps(P: int, block_packets: int) -> Dict[str, int]:
     mc = grid_multicopy_embedding((P, P))
     host = mc.host
     copy_a, copy_b = mc.copies[0], mc.copies[1]
-    sim = StoreForwardSimulator(host)
+    overlapped = []
     for (u, v), path in copy_a.edge_paths.items():
         if u[0] == v[0]:  # row-direction edge: the A shift
-            for t in range(block_packets):
-                sim.inject(path, release_step=t + 1)
+            overlapped.extend((path, t + 1) for t in range(block_packets))
     for (u, v), path in copy_b.edge_paths.items():
         if u[1] == v[1]:  # column-direction edge: the B shift
-            for t in range(block_packets):
-                sim.inject(path, release_step=t + 1)
-    both = sim.run()
+            overlapped.extend((path, t + 1) for t in range(block_packets))
+    both = StoreForwardSimulator(host).run(overlapped).makespan
 
     # baseline: both shifts forced onto a single copy's links
-    sim2 = StoreForwardSimulator(host)
+    forced = []
     for (u, v), path in copy_a.edge_paths.items():
         for t in range(block_packets):
-            sim2.inject(path, release_step=t + 1)
-            sim2.inject(path, release_step=t + 1)  # second shift, same links
-    single = sim2.run()
+            forced.append((path, t + 1))
+            forced.append((path, t + 1))  # second shift, same links
+    single = StoreForwardSimulator(host).run(forced).makespan
     return {
         "overlapped_steps": both,
         "single_copy_steps": single,

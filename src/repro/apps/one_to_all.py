@@ -102,13 +102,12 @@ def hamiltonian_broadcast_time(n: int, packets: int, root: int = 0) -> int:
         raise ValueError("Lemma 1's directed form needs even n")
     cycles = directed_hamiltonian_decomposition(n)
     per_piece = -(-packets // len(cycles))
-    sim = StoreForwardSimulator(Hypercube(n))
+    schedule = []
     for cyc in cycles:
         start = cyc.index(root)
         path = [cyc[(start + t) % len(cyc)] for t in range(len(cyc))]
-        for t in range(per_piece):
-            sim.inject(path, release_step=t + 1)
-    return sim.run()
+        schedule.extend((path, t + 1) for t in range(per_piece))
+    return StoreForwardSimulator(Hypercube(n)).run(schedule).makespan
 
 
 def broadcast_comparison(n: int, packet_counts) -> List[Tuple[int, int, int]]:

@@ -124,7 +124,7 @@ def _measured_interleaved_block_steps(
     def proc(x: int, y: int) -> int:
         return (seq[x % N] << a) | seq[y % N]
 
-    sim = FastStoreForward(host)
+    schedule = []
     for x in range(S):
         for y in range(S):
             here = proc(x, y)
@@ -133,9 +133,9 @@ def _measured_interleaved_block_steps(
                     continue
                 there = proc(nx, ny)
                 for t in range(boundary_packets):
-                    sim.inject([here, there], release_step=t + 1)
-                    sim.inject([there, here], release_step=t + 1)
-    return sim.run()
+                    schedule.append(([here, there], t + 1))
+                    schedule.append(([there, here], t + 1))
+    return FastStoreForward(host).run(schedule).makespan
 
 
 def relaxation_strategy_comparison(M: int, N: int) -> Dict[str, Dict[str, float]]:

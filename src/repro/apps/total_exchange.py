@@ -41,12 +41,13 @@ def single_port_exchange_steps(n: int, measured: bool = True) -> int:
     from repro.routing.simulator import StoreForwardSimulator
 
     host = Hypercube(n)
-    sim = StoreForwardSimulator(host, port_limit=1)
-    for s in range(host.num_nodes):
-        for t in range(host.num_nodes):
-            if s != t:
-                sim.inject(dimension_order_path(n, s, t))
-    return sim.run()
+    schedule = [
+        dimension_order_path(n, s, t)
+        for s in range(host.num_nodes)
+        for t in range(host.num_nodes)
+        if s != t
+    ]
+    return StoreForwardSimulator(host, port_limit=1).run(schedule).makespan
 
 
 def ecube_link_load(n: int) -> Dict[int, int]:
@@ -72,12 +73,13 @@ def ecube_link_load(n: int) -> Dict[int, int]:
 def all_port_exchange_steps(n: int) -> int:
     """Measured completion of the all-port exchange on the simulator."""
     host = Hypercube(n)
-    sim = FastStoreForward(host)
-    for s in range(host.num_nodes):
-        for t in range(host.num_nodes):
-            if s != t:
-                sim.inject(dimension_order_path(n, s, t))
-    return sim.run()
+    schedule = [
+        dimension_order_path(n, s, t)
+        for s in range(host.num_nodes)
+        for t in range(host.num_nodes)
+        if s != t
+    ]
+    return FastStoreForward(host).run(schedule).makespan
 
 
 def total_exchange_comparison(n: int) -> Dict[str, int]:

@@ -21,6 +21,9 @@ Usage examples::
     python -m repro cache clear
     python -m repro route cycle --n 8 --edge 0 1      # w disjoint host paths
     python -m repro route cycle --n 8 --edge 0 1 --faults 0.05
+    python -m repro obs report cycle --n 8            # instrumented delivery
+    python -m repro obs trace cycle --n 8             # profiled build spans
+    python -m repro obs export cycle --n 8 --format json
 """
 
 from __future__ import annotations
@@ -159,6 +162,35 @@ def build_parser() -> argparse.ArgumentParser:
     rt.add_argument(
         "--pieces", type=int, default=None,
         help="IDA pieces needed to reconstruct (default 1: max tolerance)",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="instrumented simulation: report, trace, export"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    orep = obs_sub.add_parser(
+        "report",
+        help="simulate a one-packet-per-path delivery and report link stats",
+    )
+    otr = obs_sub.add_parser(
+        "trace", help="build with profiling enabled and print the span tree"
+    )
+    oex = obs_sub.add_parser(
+        "export", help="run the instrumented delivery and export the snapshot"
+    )
+    for p in (orep, otr, oex):
+        _add_spec_arguments(p)
+        p.add_argument(
+            "--packets", type=int, default=1,
+            help="packets per path (released one per step)",
+        )
+    oex.add_argument(
+        "--format", choices=["json", "csv"], default="json",
+        help="export format",
+    )
+    oex.add_argument(
+        "--output", type=str, default=None,
+        help="write to this file instead of stdout",
     )
 
     return parser
@@ -424,6 +456,113 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _all_paths(emb):
+    """Every host path the embedding provides, flattened across styles."""
+    if hasattr(emb, "copies"):  # multicopy: one path per guest edge per copy
+        return [p for c in emb.copies for p in c.edge_paths.values()]
+    paths = []
+    for entry in emb.edge_paths.values():
+        if entry and isinstance(entry[0], (tuple, list)):  # multipath bundle
+            paths.extend(entry)
+        else:
+            paths.append(entry)
+    return paths
+
+
+def _obs_delivery(args):
+    """Build the spec'd embedding and simulate an instrumented delivery."""
+    from repro.obs import LinkRecorder
+    from repro.routing.simulator import StoreForwardSimulator
+    from repro.service.specs import build_spec
+
+    spec = _spec_from_args(args)
+    emb = build_spec(spec)
+    emb.verify()
+    schedule = [
+        (path, t + 1)
+        for path in _all_paths(emb)
+        for t in range(args.packets)
+    ]
+    recorder = LinkRecorder(host=emb.host)
+    result = StoreForwardSimulator(emb.host).run(schedule, recorder=recorder)
+    return spec, emb, recorder, result
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "trace":
+        from repro.obs import enable_profiling, profile_span, profiling_tracer
+        from repro.service.specs import build_spec
+
+        registry = enable_profiling()
+        spec = _spec_from_args(args)
+        with profile_span("obs.trace", kind=args.kind):
+            emb = build_spec(spec)
+            with profile_span("verify"):
+                emb.verify()
+        print(f"{spec.describe()} -> {emb!r}")
+        tree = profiling_tracer().format_tree()
+        print(tree if tree else "(no spans recorded)")
+        timers = registry.snapshot()["timers"]
+        if timers:
+            print()
+            width = max(len(n) for n in timers)
+            for name, t in sorted(timers.items()):
+                print(
+                    f"  {name.ljust(width)}  x{t['count']}  "
+                    f"total {t['total_s']:.4f}s  mean {t['mean_s']:.4f}s"
+                )
+        return 0
+
+    spec, emb, rec, result = _obs_delivery(args)
+    if args.obs_command == "report":
+        structural = getattr(emb, "congestion", None)
+        if structural is None:
+            structural = getattr(emb, "edge_congestion", "?")
+        print(
+            f"{spec.describe()}: delivered {result.delivered} packet(s) "
+            f"in {result.makespan} step(s) [{result.engine}]"
+        )
+        print(
+            f"  link congestion  measured {rec.congestion}  "
+            f"structural {structural}"
+        )
+        print(f"  links used       {len(rec.link_transmissions)}")
+        print("  busiest links:")
+        for eid, count in rec.busiest_links(5):
+            u, v = emb.host.edge_from_id(eid)
+            print(f"    {u:>5} -> {v:<5}  {count} packet(s)")
+        print("  arrivals by step:")
+        for step, count in rec.step_histogram().items():
+            print(f"    step {step:>4}  {count}")
+        return 0
+
+    # export
+    from repro.obs import collect_snapshot, snapshot_to_csv, snapshot_to_json
+
+    snap = collect_snapshot(
+        recorder=rec,
+        meta={
+            "spec": spec.describe(),
+            "packets_per_path": args.packets,
+            "engine": result.engine,
+            "makespan": result.makespan,
+            "delivered": result.delivered,
+        },
+    )
+    text = (
+        snapshot_to_json(snap)
+        if args.format == "json"
+        else snapshot_to_csv(snap)
+    )
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -438,6 +577,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "cache": _cmd_cache,
         "route": _cmd_route,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

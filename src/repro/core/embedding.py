@@ -23,6 +23,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.core.verification import InvariantCheck, VerificationReport
 from repro.hypercube.graph import Hypercube
 from repro.networks.base import GuestGraph
 
@@ -81,29 +82,75 @@ class Embedding:
 
     # -- verification ----------------------------------------------------------
 
-    def verify(self, max_load: Optional[int] = None) -> None:
-        """Raise AssertionError unless this is a valid embedding."""
+    def verify(
+        self, max_load: Optional[int] = None, strict: bool = True
+    ) -> VerificationReport:
+        """Verify the embedding; returns a :class:`VerificationReport`.
+
+        Invariants, in dependency order: every guest vertex is mapped into
+        the host ("vertex-map"), no host node carries more than ``max_load``
+        guest vertices ("load"), every guest edge has a path with the right
+        endpoints ("edge-paths"), and every hop is a directed hypercube edge
+        ("hops-are-edges").  Verification stops at the first failure.
+
+        With ``strict=True`` (the default, the historical behavior) a failed
+        report raises ``AssertionError`` with the failing invariant's
+        detail; ``strict=False`` always returns the report.  A passing
+        report carries the measured load/dilation/congestion/expansion under
+        ``.metrics``.
+        """
         if max_load is None:
             max_load = math.ceil(self.guest.num_vertices / self.host.num_nodes)
-        images = Counter()
+        checks: List[InvariantCheck] = []
+
+        def fail(name: str, detail: str) -> VerificationReport:
+            checks.append(InvariantCheck(name, False, detail))
+            report = VerificationReport(self.name or "embedding", tuple(checks))
+            return report.raise_if_failed() if strict else report
+
+        images: Counter = Counter()
         for v in self.guest.vertices():
             if v not in self.vertex_map:
-                raise AssertionError(f"guest vertex {v} is unmapped")
+                return fail("vertex-map", f"guest vertex {v} is unmapped")
             node = self.vertex_map[v]
             if not 0 <= node < self.host.num_nodes:
-                raise AssertionError(f"image {node} of {v} out of host range")
+                return fail(
+                    "vertex-map", f"image {node} of {v} out of host range"
+                )
             images[node] += 1
-        if images and max(images.values()) > max_load:
-            raise AssertionError(
-                f"load {max(images.values())} exceeds allowed {max_load}"
-            )
+        checks.append(InvariantCheck("vertex-map", True))
+        measured_load = max(images.values()) if images else 0
+        if measured_load > max_load:
+            return fail("load", f"load {measured_load} exceeds allowed {max_load}")
+        checks.append(
+            InvariantCheck("load", True, f"load {measured_load} <= {max_load}")
+        )
         for (u, v) in self.guest.edges():
             path = self.edge_paths.get((u, v))
             if path is None:
-                raise AssertionError(f"guest edge ({u}, {v}) has no path")
+                return fail("edge-paths", f"guest edge ({u}, {v}) has no path")
             if path[0] != self.vertex_map[u] or path[-1] != self.vertex_map[v]:
-                raise AssertionError(f"path for ({u}, {v}) has wrong endpoints")
-            _path_edge_ids(self.host, path)  # validates hops
+                return fail(
+                    "edge-paths", f"path for ({u}, {v}) has wrong endpoints"
+                )
+        checks.append(InvariantCheck("edge-paths", True))
+        for (u, v) in self.guest.edges():
+            try:
+                _path_edge_ids(self.host, self.edge_paths[(u, v)])
+            except ValueError as err:
+                return fail("hops-are-edges", f"path for ({u}, {v}): {err}")
+        checks.append(InvariantCheck("hops-are-edges", True))
+        return VerificationReport(
+            self.name or "embedding",
+            tuple(checks),
+            metrics={
+                "load": measured_load,
+                "max_load_allowed": max_load,
+                "dilation": self.dilation,
+                "congestion": self.congestion,
+                "expansion": self.expansion,
+            },
+        )
 
     def __repr__(self) -> str:
         tag = f" {self.name!r}" if self.name else ""
@@ -174,54 +221,100 @@ class MultiPathEmbedding:
 
     # -- verification -------------------------------------------------------------
 
-    def verify(self) -> None:
-        """Raise AssertionError unless this is a valid width-w embedding.
+    def verify(self, strict: bool = True) -> VerificationReport:
+        """Verify the width-w embedding; returns a :class:`VerificationReport`.
 
         The hop checks are vectorized (numpy) — profiling showed per-hop
         Python calls dominating large constructions; the batched version
-        checks the same three invariants: every hop is a hypercube edge,
-        endpoints match the vertex images, and no guest edge's path bundle
-        reuses a directed host edge (within or across its paths).
+        checks the same invariants the scalar one did: every guest vertex is
+        mapped within the allowed load ("vertex-map", "load"), every guest
+        edge has paths with the right endpoints ("edge-paths"), every hop is
+        a hypercube edge ("hops-are-edges"), and no guest edge's path bundle
+        reuses a directed host edge within or across its paths
+        ("edge-disjoint").  The passing report's ``.metrics`` (width,
+        dilation, congestion, ...) reuse the verification arrays — the
+        congestion count comes from the same edge-id vector the disjointness
+        check sorted, not a second traversal.
+
+        ``strict=True`` (default) raises ``AssertionError`` at the first
+        failed invariant, preserving the historical contract.
         """
         import numpy as np
+
+        checks: List[InvariantCheck] = []
+
+        def fail(name: str, detail: str) -> VerificationReport:
+            checks.append(InvariantCheck(name, False, detail))
+            report = VerificationReport(
+                self.name or "multipath-embedding", tuple(checks)
+            )
+            return report.raise_if_failed() if strict else report
+
+        def done(metrics: Dict) -> VerificationReport:
+            return VerificationReport(
+                self.name or "multipath-embedding", tuple(checks), metrics
+            )
 
         images = Counter(self.vertex_map.values())
         for v in self.guest.vertices():
             if v not in self.vertex_map:
-                raise AssertionError(f"guest vertex {v} is unmapped")
-        if images and max(images.values()) > self.load_allowed:
-            raise AssertionError(
-                f"load {max(images.values())} exceeds allowed {self.load_allowed}"
+                return fail("vertex-map", f"guest vertex {v} is unmapped")
+        checks.append(InvariantCheck("vertex-map", True))
+        measured_load = max(images.values()) if images else 0
+        if measured_load > self.load_allowed:
+            return fail(
+                "load",
+                f"load {measured_load} exceeds allowed {self.load_allowed}",
             )
+        checks.append(
+            InvariantCheck(
+                "load", True, f"load {measured_load} <= {self.load_allowed}"
+            )
+        )
         heads: List[int] = []
         tails: List[int] = []
         group: List[int] = []  # guest-edge index per hop
+        min_width = None
         for idx, (u, v) in enumerate(self.guest.edges()):
             paths = self.edge_paths.get((u, v))
             if not paths:
-                raise AssertionError(f"guest edge ({u}, {v}) has no paths")
+                return fail("edge-paths", f"guest edge ({u}, {v}) has no paths")
+            if min_width is None or len(paths) < min_width:
+                min_width = len(paths)
             hu, hv = self.vertex_map[u], self.vertex_map[v]
             for p in paths:
                 if p[0] != hu or p[-1] != hv:
-                    raise AssertionError(
-                        f"path for ({u}, {v}) has wrong endpoints: {p}"
+                    return fail(
+                        "edge-paths",
+                        f"path for ({u}, {v}) has wrong endpoints: {p}",
                     )
                 heads.extend(p[:-1])
                 tails.extend(p[1:])
                 group.extend([idx] * (len(p) - 1))
+        checks.append(InvariantCheck("edge-paths", True))
+        base_metrics = {
+            "width": min_width or 0,
+            "load": measured_load,
+            "max_load_allowed": self.load_allowed,
+            "expansion": self.expansion,
+        }
         if not heads:
-            return
+            checks.append(InvariantCheck("hops-are-edges", True))
+            checks.append(InvariantCheck("edge-disjoint", True))
+            return done({**base_metrics, "dilation": 0, "congestion": 0})
         us = np.asarray(heads, dtype=np.int64)
         vs = np.asarray(tails, dtype=np.int64)
         gs = np.asarray(group, dtype=np.int64)
         if us.min() < 0 or max(us.max(), vs.max()) >= self.host.num_nodes:
-            raise AssertionError("path node out of host range")
+            return fail("hops-are-edges", "path node out of host range")
         x = us ^ vs
         if np.any(x == 0) or np.any(x & (x - 1)):
             bad = int(np.nonzero((x == 0) | (x & (x - 1)) != 0)[0][0])
-            raise AssertionError(
-                f"({heads[bad]}, {tails[bad]}) is not a hypercube edge"
+            return fail(
+                "hops-are-edges",
+                f"({heads[bad]}, {tails[bad]}) is not a hypercube edge",
             )
+        checks.append(InvariantCheck("hops-are-edges", True))
         dims = np.log2(x.astype(np.float64)).astype(np.int64)
         eids = us * self.host.n + dims
         keys = gs * np.int64(self.host.num_edges) + eids
@@ -229,10 +322,21 @@ class MultiPathEmbedding:
             # locate one offender for the error message
             uniq, counts = np.unique(keys, return_counts=True)
             key = int(uniq[np.argmax(counts > 1)])
-            raise AssertionError(
+            return fail(
+                "edge-disjoint",
                 f"guest edge #{key // self.host.num_edges} reuses directed "
-                f"host edge {key % self.host.num_edges} across its paths"
+                f"host edge {key % self.host.num_edges} across its paths",
             )
+        checks.append(InvariantCheck("edge-disjoint", True))
+        # every (guest edge, host edge) pair is unique past this point, so a
+        # bincount of the edge-id vector IS the per-host-edge congestion
+        return done(
+            {
+                **base_metrics,
+                "dilation": self.dilation,
+                "congestion": int(np.bincount(eids).max()),
+            }
+        )
 
     def __repr__(self) -> str:
         tag = f" {self.name!r}" if self.name else ""
@@ -281,13 +385,41 @@ class MultiCopyEmbedding:
             counts.update(copy.vertex_map.values())
         return max(counts.values()) if counts else 0
 
-    def verify(self) -> None:
-        """Each copy must be a valid embedding within the per-copy load."""
+    def verify(self, strict: bool = True) -> VerificationReport:
+        """Verify every copy; returns a :class:`VerificationReport`.
+
+        Each copy must be a valid embedding within the per-copy load; its
+        invariants appear in the report prefixed ``copy{i}:``.  Verification
+        stops at the first failing copy.  ``strict=True`` (default) raises
+        ``AssertionError`` with the historical ``copy {i}: ...`` message.
+        """
+        checks: List[InvariantCheck] = []
         for i, copy in enumerate(self.copies):
-            try:
-                copy.verify(max_load=self.copy_load_allowed)
-            except AssertionError as err:
-                raise AssertionError(f"copy {i}: {err}") from err
+            sub = copy.verify(max_load=self.copy_load_allowed, strict=False)
+            checks.extend(
+                InvariantCheck(
+                    f"copy{i}:{c.name}",
+                    c.passed,
+                    f"copy {i}: {c.detail}" if not c.passed else c.detail,
+                )
+                for c in sub.checks
+            )
+            if not sub.ok:
+                report = VerificationReport(
+                    self.name or "multicopy-embedding", tuple(checks)
+                )
+                return report.raise_if_failed() if strict else report
+        return VerificationReport(
+            self.name or "multicopy-embedding",
+            tuple(checks),
+            metrics={
+                "k": self.k,
+                "dilation": self.dilation,
+                "edge_congestion": self.edge_congestion,
+                "node_load": self.node_load,
+                "copy_load_allowed": self.copy_load_allowed,
+            },
+        )
 
     def __repr__(self) -> str:
         tag = f" {self.name!r}" if self.name else ""

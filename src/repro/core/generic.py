@@ -14,6 +14,7 @@ against.  This module provides:
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.core.embedding import Embedding, MultiPathEmbedding
@@ -33,13 +34,28 @@ def shortest_path_embedding(
     """Embed any guest with dimension-order shortest-path routes.
 
     Without an explicit ``placement``, guest vertices are assigned host
-    nodes round-robin in iteration order (load ``ceil(|V|/|W|)``).  The
-    result is verified before being returned.
+    nodes round-robin in iteration order (load ``ceil(|V|/|W|)``).  When
+    that default placement must overload the host (more guest vertices than
+    host nodes), a ``UserWarning`` is emitted instead of silently piling
+    vertices up, and the measured load is recorded in the verification
+    report attached to the returned embedding (``emb.verification``).
+    The result is verified before being returned.
     """
+    overloaded = placement is None and guest.num_vertices > host.num_nodes
     if placement is None:
         placement = {
             v: i % host.num_nodes for i, v in enumerate(guest.vertices())
         }
+    if overloaded:
+        load = -(-guest.num_vertices // host.num_nodes)
+        warnings.warn(
+            f"shortest_path_embedding: guest has {guest.num_vertices} "
+            f"vertices but Q_{host.n} has only {host.num_nodes} nodes; "
+            f"default round-robin placement overloads every host node up "
+            f"to load {load} — pass an explicit placement to control it",
+            UserWarning,
+            stacklevel=2,
+        )
     edge_paths: Dict[Tuple, Tuple[int, ...]] = {}
     for (u, v) in guest.edges():
         hu, hv = placement[u], placement[v]
@@ -47,7 +63,7 @@ def shortest_path_embedding(
     emb = Embedding(
         host, guest, dict(placement), edge_paths, name="shortest-path"
     )
-    emb.verify()
+    emb.verification = emb.verify(strict=False).raise_if_failed()
     return emb
 
 
@@ -82,5 +98,5 @@ def widen_embedding(emb: Embedding, width: int) -> MultiPathEmbedding:
         name=f"widened-{emb.name or 'embedding'}",
         load_allowed=load,
     )
-    wide.verify()
+    wide.verification = wide.verify(strict=False).raise_if_failed()
     return wide

@@ -1,0 +1,81 @@
+"""Structured verification reports (the new shape of ``verify()``).
+
+Historically every ``verify()`` in this package either returned ``None`` or
+raised ``AssertionError`` at the first broken invariant — fine for tests,
+useless for a service that wants to *report* what it checked.  A
+:class:`VerificationReport` keeps both audiences happy: it lists each
+invariant with pass/fail and detail, carries the measured embedding
+quantities (load, dilation, congestion, width, ...), and
+:meth:`VerificationReport.raise_if_failed` reproduces the old raising
+behavior — which ``verify(strict=True)``, the default, still invokes, so
+sixty-odd existing call sites keep their exception semantics unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = ["InvariantCheck", "VerificationReport"]
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One verified invariant: name, pass/fail, human-readable detail."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one embedding.
+
+    ``checks`` lists the invariants in the order they ran; verification
+    stops at the first failure (later invariants assume earlier ones), so a
+    failed report ends with its failing check.  ``metrics`` holds the
+    measured quantities (load, dilation, congestion, width, ...) — present
+    only when every structural check passed, since a broken embedding has
+    no trustworthy measurements.
+    """
+
+    subject: str
+    checks: Tuple[InvariantCheck, ...]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    @property
+    def failures(self) -> Tuple[InvariantCheck, ...]:
+        return tuple(c for c in self.checks if not c.passed)
+
+    def check(self, name: str) -> InvariantCheck:
+        """The named invariant's result (KeyError if it never ran)."""
+        for c in self.checks:
+            if c.name == name:
+                return c
+        raise KeyError(f"no invariant named {name!r} in this report")
+
+    def raise_if_failed(self) -> "VerificationReport":
+        """Raise ``AssertionError`` on the first failed invariant (legacy)."""
+        for c in self.checks:
+            if not c.passed:
+                raise AssertionError(c.detail or c.name)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "metrics": dict(self.metrics),
+        }

@@ -1,0 +1,85 @@
+"""JSON/CSV exporters over recorded observability data.
+
+:func:`collect_snapshot` merges whatever sources a run produced — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.recorder.LinkRecorder`, a
+:class:`~repro.obs.trace.Tracer` — into one plain dict;
+:func:`snapshot_to_json` / :func:`snapshot_to_csv` render it.  The CSV
+form is long/tidy (``section,series,field,value``) so spreadsheet and
+pandas consumers need no schema knowledge.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Optional
+
+__all__ = ["collect_snapshot", "snapshot_to_json", "snapshot_to_csv"]
+
+
+def collect_snapshot(
+    registry: Optional[Any] = None,
+    recorder: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Merge metric/link/trace sources into one export-ready dict."""
+    snap: Dict[str, Any] = {}
+    if meta:
+        snap["meta"] = dict(meta)
+    if registry is not None:
+        snap["metrics"] = registry.snapshot()
+    if recorder is not None and getattr(recorder, "enabled", False):
+        snap["links"] = recorder.snapshot()
+    if tracer is not None:
+        trace = tracer.to_dict()
+        if trace.get("spans"):
+            snap["trace"] = trace
+    return snap
+
+
+def snapshot_to_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _rows(snapshot: Dict[str, Any]):
+    for key, value in sorted((snapshot.get("meta") or {}).items()):
+        yield ("meta", key, "", value)
+    metrics = snapshot.get("metrics") or {}
+    for section in ("counters", "gauges"):
+        for series, value in sorted((metrics.get(section) or {}).items()):
+            yield (section, series, "", value)
+    for series, summary in sorted((metrics.get("histograms") or {}).items()):
+        for field, value in summary.items():
+            if field == "buckets":
+                for bucket, count in value.items():
+                    yield ("histograms", series, f"le_{bucket}", count)
+            else:
+                yield ("histograms", series, field, value)
+    links = snapshot.get("links") or {}
+    for scalar in ("congestion", "delivered", "makespan"):
+        if scalar in links:
+            yield ("links", scalar, "", links[scalar])
+    for eid, entry in sorted(
+        (links.get("links") or {}).items(), key=lambda kv: int(kv[0])
+    ):
+        for field, value in entry.items():
+            if field == "edge":
+                value = f"{value[0]}->{value[1]}"
+            yield ("link", eid, field, value)
+    for step, count in sorted(
+        (links.get("step_histogram") or {}).items(), key=lambda kv: int(kv[0])
+    ):
+        yield ("step_histogram", step, "arrivals", count)
+
+
+def snapshot_to_csv(snapshot: Dict[str, Any]) -> str:
+    """Long/tidy CSV: one ``section,series,field,value`` row per datum."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["section", "series", "field", "value"])
+    for row in _rows(snapshot):
+        writer.writerow(row)
+    return out.getvalue()

@@ -1,0 +1,120 @@
+"""Opt-in profiling hooks around the library's hot paths.
+
+Construction builders, the service facade and the simulators wrap their
+hot sections in :func:`profile_span`.  Disabled (the default) that is a
+single module-global truth test returning a shared null context — no
+timing, no allocation, nothing on the trace.  Enabled (``REPRO_PROFILE=1``
+in the environment, or :func:`enable_profiling`), every wrapped section
+records a ``perf_counter`` sample into a timer histogram on the profiling
+registry *and* a span on the profiling tracer, so one run yields both the
+aggregate latency distribution and the nested who-called-what tree
+(``repro obs trace`` prints it).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from functools import wraps
+from typing import Any, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "profiling_registry",
+    "profiling_tracer",
+    "profile_span",
+    "profiled",
+]
+
+_enabled = bool(os.environ.get("REPRO_PROFILE"))
+_registry: Optional[MetricsRegistry] = None
+_tracer: Optional[Tracer] = None
+
+
+class _NullContext:
+    """Reusable no-op context (``contextlib.nullcontext`` sans allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+def enable_profiling(
+    registry: Optional[MetricsRegistry] = None, tracer: Optional[Tracer] = None
+) -> MetricsRegistry:
+    """Turn the hot-path hooks on; returns the registry samples land in."""
+    global _enabled, _registry, _tracer
+    _registry = registry if registry is not None else (_registry or MetricsRegistry())
+    _tracer = tracer if tracer is not None else (_tracer or Tracer())
+    _enabled = True
+    return _registry
+
+
+def disable_profiling() -> None:
+    """Turn the hooks back into no-ops (recorded data is kept)."""
+    global _enabled
+    _enabled = False
+
+
+def profiling_enabled() -> bool:
+    return _enabled
+
+
+def profiling_registry() -> Optional[MetricsRegistry]:
+    """The registry profiling samples land in (None when never enabled)."""
+    return _registry
+
+
+def profiling_tracer() -> Optional[Tracer]:
+    """The tracer profiling spans land in (None when never enabled)."""
+    return _tracer
+
+
+@contextmanager
+def _recording_span(name: str, attrs: dict) -> Iterator[None]:
+    registry, tracer = _registry, _tracer
+    if registry is None or tracer is None:
+        registry = enable_profiling()
+        tracer = _tracer
+    with tracer.span(name, **attrs) as s:  # type: ignore[union-attr]
+        try:
+            yield
+        finally:
+            registry.observe(name, s.duration)
+
+
+def profile_span(name: str, **attrs: Any):
+    """A span context when profiling is on; a shared no-op otherwise."""
+    if not _enabled:
+        return _NULL_CONTEXT
+    return _recording_span(name, attrs)
+
+
+def profiled(name: Optional[str] = None):
+    """Decorator form of :func:`profile_span` (lazy per-call check)."""
+
+    def deco(fn):
+        label = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with _recording_span(label, {}):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco

@@ -10,9 +10,20 @@ send one message packet over each outgoing link.  This subpackage provides
   simulator for baselines and randomized routing;
 * :mod:`repro.routing.wormhole` — cut-through/wormhole routing (Section 7);
 * :mod:`repro.routing.permutation` — randomized permutation routing on the
-  embedded CCC/butterfly copies (Section 7).
+  embedded CCC/butterfly copies (Section 7);
+* :mod:`repro.routing.api` — the unified :class:`Simulator` protocol shared
+  by the reference and vectorized engines: ``run(schedule, max_steps=...,
+  recorder=...) -> SimResult``, with optional per-link instrumentation via
+  :mod:`repro.obs`.
 """
 
+from repro.routing.api import (
+    SimRequest,
+    SimResult,
+    Simulator,
+    normalize_schedule,
+)
+from repro.routing.fast_simulator import FastStoreForward
 from repro.routing.schedule import (
     PacketSchedule,
     ScheduledPacket,
@@ -22,9 +33,14 @@ from repro.routing.schedule import (
 from repro.routing.simulator import StoreForwardSimulator
 
 __all__ = [
+    "FastStoreForward",
     "PacketSchedule",
     "ScheduledPacket",
-    "multipath_packet_schedule",
-    "p_packet_cost_singlepath",
+    "SimRequest",
+    "SimResult",
+    "Simulator",
     "StoreForwardSimulator",
+    "multipath_packet_schedule",
+    "normalize_schedule",
+    "p_packet_cost_singlepath",
 ]

@@ -15,16 +15,28 @@ same congestion+dilation envelope otherwise (asserted in tests).
 
 Following the hpc-parallel guidance: the hot loop does no Python-level
 per-packet work — a ``lexsort`` groups packets by requested link and a
-boolean diff picks each link's winner.
+boolean diff picks each link's winner.  Recording follows the same rule:
+with a recorder the engine accumulates per-link winner counts into one
+numpy array and bulk-dumps it after the run; with ``recorder=None`` the
+only cost is a single ``is None`` test per step (the <5% disabled-overhead
+budget in ISSUE.md).
+
+Implements the unified :class:`repro.routing.api.Simulator` protocol; the
+pre-obs ``inject(...); run() -> int`` style works behind a deprecation
+shim.  Unit service time only — atomic M-packet messages need the
+reference engine.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro._compat import warn_deprecated
 from repro.hypercube.graph import Hypercube
+from repro.obs.profile import profile_span
+from repro.routing.api import ScheduleItem, SimResult, normalize_schedule
 
 __all__ = ["FastStoreForward"]
 
@@ -32,31 +44,100 @@ __all__ = ["FastStoreForward"]
 class FastStoreForward:
     """Batch store-and-forward simulator over ``Q_n``."""
 
+    engine = "fast-store-forward"
+
     def __init__(self, host: Hypercube):
         self.host = host
         self._paths: List[Sequence[int]] = []
         self._releases: List[int] = []
 
     def inject(self, path: Sequence[int], release_step: int = 1) -> None:
-        """Queue one unit packet along ``path``."""
+        """Queue one unit packet along ``path``.
+
+        .. deprecated:: pass a schedule to :meth:`run` instead.
+        """
         if len(path) < 1:
             raise ValueError("packet path must contain at least one node")
         self._paths.append(tuple(path))
         self._releases.append(release_step)
 
-    def run(self, max_steps: int = 10_000_000) -> int:
-        """Run to completion; returns the last arrival step."""
-        if not self._paths:
-            return 0
-        num = len(self._paths)
-        lengths = np.array([len(p) - 1 for p in self._paths], dtype=np.int64)
-        max_len = int(lengths.max()) if num else 0
+    def run(
+        self,
+        schedule: Optional[Union[int, Iterable[ScheduleItem]]] = None,
+        *,
+        max_steps: int = 10_000_000,
+        recorder: Optional[Any] = None,
+    ):
+        """Run a packet schedule to completion.
+
+        With a ``schedule``, returns a :class:`repro.routing.api.SimResult`
+        and (when ``recorder`` is given) bulk-records per-link transmission
+        counts and per-packet delivery steps.  Schedules with
+        ``service_time != 1`` raise ``ValueError`` — use the reference
+        :class:`~repro.routing.simulator.StoreForwardSimulator` for atomic
+        multi-packet messages.
+
+        Calling with no schedule (or a bare int ``max_steps``) runs packets
+        previously added via :meth:`inject` and returns the last arrival
+        step as an int — the deprecated pre-obs signature.
+        """
+        if schedule is None or isinstance(schedule, int):
+            warn_deprecated(
+                "FastStoreForward.inject()/run() -> int is deprecated; "
+                "pass a schedule to run() and read SimResult.makespan"
+            )
+            if isinstance(schedule, int):
+                max_steps = schedule
+            paths, releases = self._paths, self._releases
+            self._paths, self._releases = [], []
+            done_step, steps = self._run_arrays(paths, releases, max_steps, recorder)
+            return int(done_step.max()) if done_step.size else 0
+
+        requests = normalize_schedule(schedule)
+        if any(r.service_time != 1 for r in requests):
+            raise ValueError(
+                "FastStoreForward supports unit service time only; "
+                "use StoreForwardSimulator for atomic multi-packet messages"
+            )
+        paths = [r.path for r in requests]
+        releases = [r.release_step for r in requests]
+        with profile_span("sim.fast_store_forward", packets=len(paths)):
+            done_step, steps = self._run_arrays(
+                paths, releases, max_steps, recorder
+            )
+        makespan = int(done_step.max()) if done_step.size else 0
+        return SimResult(
+            makespan=makespan,
+            delivered=len(requests),
+            injected=len(requests),
+            steps=steps,
+            done_steps=tuple(int(d) for d in done_step),
+            engine=self.engine,
+            recorder=recorder,
+        )
+
+    def _run_arrays(
+        self,
+        paths: List[Sequence[int]],
+        releases: List[int],
+        max_steps: int,
+        recorder: Optional[Any],
+    ) -> Tuple[np.ndarray, int]:
+        """Vectorized step loop; returns (per-packet done steps, steps run)."""
+        num = len(paths)
+        if num == 0:
+            return np.zeros(0, dtype=np.int64), 0
+        lengths = np.array([len(p) - 1 for p in paths], dtype=np.int64)
+        done_step = np.zeros(num, dtype=np.int64)
+        max_len = int(lengths.max())
         if max_len == 0:
-            return 0
+            if recorder:
+                recorder.add_deliveries(done_step)
+            return done_step, 0
         # edge-id matrix, -1 padded
         edges = np.full((num, max_len), -1, dtype=np.int64)
         n = self.host.n
-        for i, p in enumerate(self._paths):
+        for i, p in enumerate(paths):
             arr = np.asarray(p, dtype=np.int64)
             dims = np.log2((arr[:-1] ^ arr[1:]).astype(np.float64)).astype(
                 np.int64
@@ -66,10 +147,13 @@ class FastStoreForward:
             edges[i, : len(p) - 1] = arr[:-1] * n + dims
 
         hop = np.zeros(num, dtype=np.int64)
-        release = np.asarray(self._releases, dtype=np.int64)
+        release = np.asarray(releases, dtype=np.int64)
         priority = np.arange(num, dtype=np.int64)
-        done_step = np.zeros(num, dtype=np.int64)
         active = lengths > 0
+        # per-directed-link winner tallies, allocated only when recording
+        link_counts = (
+            np.zeros(self.host.num_nodes * n, dtype=np.int64) if recorder else None
+        )
 
         step = 0
         remaining = int(active.sum())
@@ -91,10 +175,16 @@ class FastStoreForward:
             head[0] = True
             np.not_equal(sorted_links[1:], sorted_links[:-1], out=head[1:])
             winners = idx[order[head]]
+            if link_counts is not None:
+                link_counts[sorted_links[head]] += 1  # winner links are unique
             hop[winners] += 1
             finished = winners[hop[winners] == lengths[winners]]
             if finished.size:
                 active[finished] = False
                 done_step[finished] = step
                 remaining -= int(finished.size)
-        return int(done_step.max())
+        if recorder:
+            used = np.nonzero(link_counts)[0]
+            recorder.add_link_counts(used, link_counts[used])
+            recorder.add_deliveries(done_step)
+        return done_step, step

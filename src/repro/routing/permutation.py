@@ -150,19 +150,18 @@ def permutation_baseline_time(
             if u != v:
                 wsim.inject(dimension_order_path(n, u, v), packets)
         return wsim.run()
-    sim = StoreForwardSimulator(host)
+    schedule = []
     for u, v in enumerate(perm):
         if u == v:
             continue
         path = dimension_order_path(n, u, v)
         if mode == "message":
-            sim.inject(path, service_time=packets)
+            schedule.append((path, 1, packets))
         elif mode == "packet":
-            for t in range(packets):
-                sim.inject(path, release_step=t + 1)
+            schedule.extend((path, t + 1) for t in range(packets))
         else:
             raise ValueError(f"unknown mode {mode!r}")
-    return sim.run()
+    return StoreForwardSimulator(host).run(schedule).makespan
 
 
 def permutation_multicopy_time(
@@ -206,17 +205,16 @@ def permutation_multicopy_time(
             for copy in mc.copies:
                 wsim.inject(ccc_copy_host_path(copy, n, u, v, rng), per_piece)
         return wsim.run()
-    sim = StoreForwardSimulator(host)
+    schedule = []
     for u, v in enumerate(perm):
         if u == v:
             continue
         for copy in mc.copies:
             path = ccc_copy_host_path(copy, n, u, v, rng)
             if mode == "message":
-                sim.inject(path, service_time=per_piece)
+                schedule.append((path, 1, per_piece))
             elif mode == "packet":
-                for t in range(per_piece):
-                    sim.inject(path, release_step=t + 1)
+                schedule.extend((path, t + 1) for t in range(per_piece))
             else:
                 raise ValueError(f"unknown mode {mode!r}")
-    return sim.run()
+    return StoreForwardSimulator(host).run(schedule).makespan

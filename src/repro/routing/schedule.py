@@ -127,11 +127,12 @@ def p_packet_cost_singlepath(emb: Embedding, p: int) -> int:
     """
     from repro.routing.simulator import StoreForwardSimulator
 
-    sim = StoreForwardSimulator(emb.host)
-    for path in emb.edge_paths.values():
-        for t in range(p):
-            sim.inject(path, release_step=t + 1)
-    return sim.run()
+    schedule = [
+        (path, t + 1)
+        for path in emb.edge_paths.values()
+        for t in range(p)
+    ]
+    return StoreForwardSimulator(emb.host).run(schedule).makespan
 
 
 def measured_multipath_cost(emb: MultiPathEmbedding) -> int:
@@ -142,11 +143,8 @@ def measured_multipath_cost(emb: MultiPathEmbedding) -> int:
     """
     from repro.routing.simulator import StoreForwardSimulator
 
-    sim = StoreForwardSimulator(emb.host)
-    for paths in emb.edge_paths.values():
-        for p in paths:
-            sim.inject(p)
-    return sim.run()
+    schedule = [p for paths in emb.edge_paths.values() for p in paths]
+    return StoreForwardSimulator(emb.host).run(schedule).makespan
 
 
 def p_packet_cost_multipath(emb: MultiPathEmbedding, p: int) -> int:
@@ -162,14 +160,14 @@ def p_packet_cost_multipath(emb: MultiPathEmbedding, p: int) -> int:
     if emb.step_of is None:
         from repro.routing.simulator import StoreForwardSimulator
 
-        sim = StoreForwardSimulator(emb.host)
-        for paths in emb.edge_paths.values():
-            for path in paths:
-                if len(path) < 2:
-                    continue
-                for t in range(-(-p // max(1, len(paths)))):
-                    sim.inject(path, release_step=t + 1)
-        return sim.run()
+        schedule = [
+            (path, t + 1)
+            for paths in emb.edge_paths.values()
+            for path in paths
+            if len(path) >= 2
+            for t in range(-(-p // max(1, len(paths))))
+        ]
+        return StoreForwardSimulator(emb.host).run(schedule).makespan
     base = PacketSchedule(emb.host, list(multipath_packet_schedule(emb).packets))
     period = base.makespan
     packets: List[ScheduledPacket] = []

@@ -9,15 +9,25 @@ The step loop is deliberately simple (dict of per-link deques) — packet
 counts in the reproduced experiments are at most a few hundred thousand, and
 profiling showed the construction (not simulation) dominates; see the
 hpc-parallel guide note in DESIGN.md.
+
+This engine implements the unified :class:`repro.routing.api.Simulator`
+protocol: pass a schedule to :meth:`StoreForwardSimulator.run` and get a
+:class:`repro.routing.api.SimResult` back, optionally filling a
+:class:`repro.obs.recorder.LinkRecorder` with per-link congestion data.
+The pre-obs ``inject(...); run() -> int`` style still works behind a
+deprecation shim.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro._compat import warn_deprecated
 from repro.hypercube.graph import Hypercube
+from repro.obs.profile import profile_span
+from repro.routing.api import ScheduleItem, SimResult, normalize_schedule
 
 __all__ = ["StoreForwardSimulator", "SimPacket"]
 
@@ -48,6 +58,8 @@ class StoreForwardSimulator:
     dimension-exchange algorithms E15 compares against.
     """
 
+    engine = "store-forward"
+
     def __init__(self, host: Hypercube, port_limit: Optional[int] = None):
         if port_limit is not None and port_limit < 1:
             raise ValueError("port limit must be >= 1 (or None)")
@@ -61,7 +73,10 @@ class StoreForwardSimulator:
     def inject(
         self, path: Sequence[int], release_step: int = 1, service_time: int = 1
     ) -> SimPacket:
-        """Add a packet that becomes eligible to move at ``release_step``."""
+        """Add a packet that becomes eligible to move at ``release_step``.
+
+        .. deprecated:: pass a schedule to :meth:`run` instead.
+        """
         if len(path) < 1:
             raise ValueError("packet path must contain at least one node")
         if service_time < 1:
@@ -80,22 +95,77 @@ class StoreForwardSimulator:
         self._queues.setdefault(eid, deque()).append(pkt)
         return True
 
-    def run(self, max_steps: int = 10_000_000) -> int:
-        """Run to completion; returns the step at which the last packet arrives.
+    def run(
+        self,
+        schedule: Optional[Union[int, Iterable[ScheduleItem]]] = None,
+        *,
+        max_steps: int = 10_000_000,
+        recorder: Optional[Any] = None,
+    ):
+        """Run a packet schedule to completion.
 
-        Zero-hop packets complete at step 0 (they are already at their
-        destination).
+        With a ``schedule`` (any shape :func:`repro.routing.api.normalize_schedule`
+        accepts), returns a :class:`repro.routing.api.SimResult`; ``recorder``
+        (e.g. a :class:`repro.obs.LinkRecorder`) receives per-link
+        transmission, queue-depth and delivery events — with ``None`` (the
+        default) the hot loop performs no recording work at all.
+
+        Calling with no schedule (or a bare int, the old ``max_steps``
+        positional) runs packets previously added via :meth:`inject` and
+        returns the last arrival step as an int — the deprecated pre-obs
+        signature.  Zero-hop packets complete at step 0 (they are already at
+        their destination).
         """
+        if schedule is None or isinstance(schedule, int):
+            warn_deprecated(
+                "StoreForwardSimulator.inject()/run() -> int is deprecated; "
+                "pass a schedule to run() and read SimResult.makespan"
+            )
+            if isinstance(schedule, int):
+                max_steps = schedule
+            packets = self._pending
+            self._pending = []
+            last_done, _ = self._run_packets(packets, max_steps, recorder)
+            return last_done
+
+        requests = normalize_schedule(schedule)
+        packets = [
+            SimPacket(r.path, r.release_step, r.service_time, ident=i)
+            for i, r in enumerate(requests)
+        ]
+        with profile_span("sim.store_forward", packets=len(packets)):
+            last_done, steps = self._run_packets(packets, max_steps, recorder)
+        done_steps = tuple(
+            pkt.done_step if pkt.done_step is not None else -1 for pkt in packets
+        )
+        return SimResult(
+            makespan=last_done,
+            delivered=len(packets),
+            injected=len(packets),
+            steps=steps,
+            done_steps=done_steps,
+            engine=self.engine,
+            recorder=recorder,
+        )
+
+    def _run_packets(
+        self,
+        packets: List[SimPacket],
+        max_steps: int,
+        recorder: Optional[Any],
+    ) -> Tuple[int, int]:
+        """Drive ``packets`` to completion; returns (last arrival, steps run)."""
         in_flight = 0
         releases: Dict[int, List[SimPacket]] = {}
-        for pkt in self._pending:
+        for pkt in packets:
             if len(pkt.path) == 1:
                 pkt.done_step = 0
                 self._delivered.append(pkt)
+                if recorder:
+                    recorder.on_deliver(0)
             else:
                 releases.setdefault(pkt.release_step, []).append(pkt)
                 in_flight += 1
-        self._pending = []
 
         step = 0
         last_done = 0
@@ -123,10 +193,14 @@ class StoreForwardSimulator:
                         continue
                     ports[node] = ports.get(node, 0) + 1
                 q = self._queues[eid]
+                if recorder:
+                    recorder.on_queue_depth(eid, len(q))
                 pkt = q.popleft()
                 if not q:
                     del self._queues[eid]
                 transmitting[eid] = (pkt, step + pkt.service_time - 1)
+                if recorder:
+                    recorder.on_transmit(eid, step, pkt.service_time)
             # complete transmissions finishing this step
             for eid in [e for e, (_, f) in transmitting.items() if f <= step]:
                 pkt, _ = transmitting.pop(eid)
@@ -136,10 +210,12 @@ class StoreForwardSimulator:
                     self._delivered.append(pkt)
                     in_flight -= 1
                     last_done = step
+                    if recorder:
+                        recorder.on_deliver(step)
                 else:
                     self._enqueue(pkt)
         self._steps_run = max(self._steps_run, step)
-        return last_done
+        return last_done, step
 
     @property
     def delivered(self) -> List[SimPacket]:

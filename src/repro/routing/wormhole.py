@@ -13,7 +13,7 @@ the multiple-copy/multiple-path embeddings avoid.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.hypercube.graph import Hypercube
 
@@ -74,8 +74,17 @@ class WormholeSimulator:
     def _link_id(self, worm: Worm, i: int) -> int:
         return self.host.edge_id(worm.path[i], worm.path[i + 1])
 
-    def run(self, max_steps: int = 10_000_000) -> int:
-        """Run until all worms are delivered; returns the last arrival step."""
+    def run(
+        self, max_steps: int = 10_000_000, *, recorder: Optional[Any] = None
+    ) -> int:
+        """Run until all worms are delivered; returns the last arrival step.
+
+        ``recorder`` (a :class:`repro.obs.LinkRecorder`-shaped sink)
+        receives one ``on_transmit`` per flit-link crossing — so a link's
+        recorded transmission count is the number of flits it carried — and
+        one ``on_deliver`` per worm completion.  ``None`` (the default)
+        keeps the flit loop recording-free.
+        """
         active = sorted(self.worms, key=lambda w: w.ident)
         remaining = len(active)
         step = 0
@@ -122,12 +131,16 @@ class WormholeSimulator:
                             continue  # downstream node buffer is full
                     worm.flits_crossed[i] = crossed + 1
                     progressed = True
+                    if recorder:
+                        recorder.on_transmit(self._link_id(worm, i), step)
                     if worm.flits_crossed[i] == worm.num_flits:
                         self._owner.pop(self._link_id(worm, i), None)
                 if worm.flits_crossed[-1] == worm.num_flits:
                     worm.done_step = step
                     last_done = step
                     remaining -= 1
+                    if recorder:
+                        recorder.on_deliver(step)
             if not progressed and all(step >= w.release_step for w in active):
                 stuck = [w.ident for w in active if w.done_step is None]
                 raise WormholeDeadlock(

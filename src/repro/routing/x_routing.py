@@ -140,11 +140,11 @@ def x_permutation_time(
             f"permutation must cover the {router.host.num_nodes} nodes"
         )
     per_piece = -(-packets // router.n)
-    sim = StoreForwardSimulator(router.host)
-    for u, v in enumerate(perm):
-        if u == v:
-            continue
-        for path in router.piece_paths(u, v):
-            if len(path) > 1:
-                sim.inject(path, service_time=per_piece)
-    return sim.run()
+    schedule = [
+        (path, 1, per_piece)
+        for u, v in enumerate(perm)
+        if u != v
+        for path in router.piece_paths(u, v)
+        if len(path) > 1
+    ]
+    return StoreForwardSimulator(router.host).run(schedule).makespan

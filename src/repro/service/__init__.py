@@ -24,7 +24,9 @@ Modules:
 * :mod:`repro.service.registry` — two-tier content-addressed cache;
 * :mod:`repro.service.engine`   — concurrent batch construction;
 * :mod:`repro.service.api`     — the :class:`RoutingService` facade;
-* :mod:`repro.service.metrics` — counters/timers + ``snapshot()``.
+* :mod:`repro.service.metrics` — deprecated shim; metrics now live on
+  :class:`repro.obs.MetricsRegistry`, which the whole layer threads through
+  registry/engine/facade.
 """
 
 from repro.service.api import DeliveryOutcome, FaultSet, RoutingService, disjoint_paths

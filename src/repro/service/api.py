@@ -21,8 +21,9 @@ from typing import Iterable, Optional, Tuple
 from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
 from repro.fault.faults import FaultyLinkModel
 from repro.fault.ida import disperse, reconstruct
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import profile_span
 from repro.service.engine import BuildEngine
-from repro.service.metrics import ServiceMetrics
 from repro.service.registry import EmbeddingRegistry
 from repro.service.specs import EmbeddingSpec
 
@@ -89,10 +90,10 @@ class RoutingService:
         self,
         registry: Optional[EmbeddingRegistry] = None,
         engine: Optional[BuildEngine] = None,
-        metrics: Optional[ServiceMetrics] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if metrics is None:
-            metrics = registry.metrics if registry is not None else ServiceMetrics()
+            metrics = registry.metrics if registry is not None else MetricsRegistry()
         self.metrics = metrics
         self.registry = registry if registry is not None else EmbeddingRegistry(
             metrics=metrics
@@ -116,9 +117,10 @@ class RoutingService:
 
     def route(self, spec: EmbeddingSpec, guest_edge) -> Tuple[Tuple[int, ...], ...]:
         """The disjoint host paths serving ``guest_edge`` under ``spec``."""
-        with self.metrics.time("route"):
-            emb = self.get_embedding(spec)
-            paths = disjoint_paths(emb, guest_edge)
+        with profile_span("service.route", kind=spec.kind):
+            with self.metrics.time("route"):
+                emb = self.get_embedding(spec)
+                paths = disjoint_paths(emb, guest_edge)
         self.metrics.incr("routes")
         return paths
 

@@ -23,7 +23,7 @@ import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional
 
-from repro.service.metrics import ServiceMetrics
+from repro.obs.metrics import MetricsRegistry
 from repro.service.registry import EmbeddingRegistry, make_artifact
 from repro.service.specs import EmbeddingSpec, build_spec
 
@@ -49,7 +49,7 @@ class BuildEngine:
         self,
         registry: EmbeddingRegistry,
         max_workers: Optional[int] = None,
-        metrics: Optional[ServiceMetrics] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.registry = registry
         self.max_workers = max_workers

@@ -1,90 +1,37 @@
-"""Lightweight service observability: counters and latency timers.
+"""Deprecated shim: ``ServiceMetrics`` is now ``repro.obs.MetricsRegistry``.
 
-One :class:`ServiceMetrics` instance is threaded through the registry,
-engine and facade; ``snapshot()`` returns a plain dict the CLI prints and
-tests assert on.  Thread-safe (the engine admits artifacts from executor
-callbacks), dependency-free, and cheap enough to leave on everywhere.
+The service layer's counters and timers migrated to the package-wide
+instrumentation subsystem (:mod:`repro.obs`).  :class:`ServiceMetrics`
+remains importable for existing code: it *is* a
+:class:`~repro.obs.metrics.MetricsRegistry` (same ``incr`` / ``count`` /
+``observe`` / ``time`` API, which the registry kept as its legacy sugar)
+that warns :class:`~repro._compat.ReproDeprecationWarning` on
+construction and pins ``snapshot()`` to the historical two-key
+``{"counters", "timers"}`` shape.  New code should instantiate
+``MetricsRegistry`` directly and read the richer four-key snapshot.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
-from typing import Dict
+from repro._compat import warn_deprecated
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ServiceMetrics"]
 
 
-class _Timer:
-    __slots__ = ("count", "total", "min", "max")
+class ServiceMetrics(MetricsRegistry):
+    """Deprecated alias of :class:`repro.obs.MetricsRegistry`.
+
+    .. deprecated:: use ``repro.obs.MetricsRegistry``.
+    """
 
     def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
-
-
-class ServiceMetrics:
-    """Named monotonic counters plus named latency distributions."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._timers: Dict[str, _Timer] = {}
-
-    # -- counters ------------------------------------------------------------
-
-    def incr(self, name: str, by: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + by
-
-    def count(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    # -- timers --------------------------------------------------------------
-
-    def observe(self, name: str, seconds: float) -> None:
-        with self._lock:
-            self._timers.setdefault(name, _Timer()).observe(seconds)
-
-    @contextmanager
-    def time(self, name: str):
-        """Context manager recording the wall time of its body."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.observe(name, time.perf_counter() - start)
-
-    # -- reporting -----------------------------------------------------------
+        warn_deprecated(
+            "ServiceMetrics is deprecated; use repro.obs.MetricsRegistry"
+        )
+        super().__init__()
 
     def snapshot(self) -> dict:
-        """Plain-dict view of every counter and timer (seconds)."""
-        with self._lock:
-            return {
-                "counters": dict(self._counters),
-                "timers": {
-                    name: {
-                        "count": t.count,
-                        "total_s": round(t.total, 6),
-                        "mean_s": round(t.total / t.count, 6) if t.count else 0.0,
-                        "min_s": round(t.min, 6) if t.count else 0.0,
-                        "max_s": round(t.max, 6),
-                    }
-                    for name, t in self._timers.items()
-                },
-            }
-
-    def reset(self) -> None:
-        with self._lock:
-            self._counters.clear()
-            self._timers.clear()
+        """The historical two-key snapshot: counters and timers only."""
+        full = super().snapshot()
+        return {"counters": full["counters"], "timers": full["timers"]}

@@ -28,7 +28,8 @@ from typing import Any, Dict, List, Optional, Union
 from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
 from repro.core.serialize import from_json, to_json
 from repro.hypercube.graph import Hypercube
-from repro.service.metrics import ServiceMetrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import profile_span
 from repro.service.specs import EmbeddingSpec, build_spec
 
 __all__ = [
@@ -125,13 +126,13 @@ class EmbeddingRegistry:
         self,
         cache_dir: Optional[Union[str, Path]] = None,
         memory_capacity: int = 32,
-        metrics: Optional[ServiceMetrics] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if memory_capacity < 0:
             raise ValueError("memory_capacity must be >= 0")
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.memory_capacity = memory_capacity
-        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._memory: "OrderedDict[str, AnyEmbedding]" = OrderedDict()
 
@@ -232,14 +233,30 @@ class EmbeddingRegistry:
         return emb
 
     def get_or_build(self, spec: EmbeddingSpec) -> AnyEmbedding:
-        """Serve from cache, else build + verify + admit."""
+        """Serve from cache, else build + verify + admit.
+
+        Verification goes through the structured report: a failed invariant
+        counts under ``verify_failures`` before raising, and a passing
+        report's measured quantities land in per-kind gauges
+        (``embedding_width{kind=...}`` etc.) so ``stats()`` shows what the
+        cache actually holds.
+        """
         emb = self.get(spec)
         if emb is not None:
             return emb
-        with self.metrics.time("build"):
-            emb = build_spec(spec)
+        with profile_span("registry.build", kind=spec.kind):
+            with self.metrics.time("build"):
+                emb = build_spec(spec)
         with self.metrics.time("verify"):
-            emb.verify()
+            report = emb.verify(strict=False)
+        if not report.ok:
+            self.metrics.incr("verify_failures")
+            report.raise_if_failed()
+        for quantity in ("width", "load", "dilation", "congestion"):
+            if quantity in report.metrics:
+                self.metrics.gauge(
+                    f"embedding_{quantity}", kind=spec.kind
+                ).set(report.metrics[quantity])
         self.metrics.incr("builds")
         self.put(spec, emb)
         return emb

@@ -80,6 +80,13 @@ def build_spec(spec: EmbeddingSpec):
     Dispatches to the paper constructions; raises ``ValueError`` on an
     unknown kind and propagates each construction's own parameter errors.
     """
+    from repro.obs.profile import profile_span
+
+    with profile_span(f"build.{spec.kind}"):
+        return _build_spec(spec)
+
+
+def _build_spec(spec: EmbeddingSpec):
     p = spec.param_dict()
     if spec.kind == "cycle":
         from repro.core import embed_cycle_load1

@@ -8,13 +8,19 @@ from repro.routing.permutation import dimension_order_path, random_permutation
 from repro.routing.simulator import StoreForwardSimulator
 
 
-def _permutation_workload(sim, n=6, reps=2, seed=2):
+def _permutation_paths(n=6, reps=2, seed=2):
     perm = random_permutation(1 << n, seed=seed)
-    for u, v in enumerate(perm):
-        if u != v:
-            p = dimension_order_path(n, u, v)
-            for _ in range(reps):
-                sim.inject(p)
+    return [
+        dimension_order_path(n, u, v)
+        for u, v in enumerate(perm)
+        if u != v
+        for _ in range(reps)
+    ]
+
+
+def _permutation_workload(sim, n=6, reps=2, seed=2):
+    for p in _permutation_paths(n, reps, seed):
+        sim.inject(p)
 
 
 class TestBasics:
@@ -31,9 +37,8 @@ class TestBasics:
     def test_large_buffers_match_unbounded(self):
         ref = StoreForwardSimulator(Hypercube(6))
         bb = BoundedBufferSimulator(Hypercube(6), 64)
-        _permutation_workload(ref)
         _permutation_workload(bb)
-        assert bb.run() == ref.run()
+        assert bb.run() == ref.run(_permutation_paths()).makespan
 
     def test_release_steps(self):
         sim = BoundedBufferSimulator(Hypercube(3), 2)
@@ -65,10 +70,9 @@ class TestBackpressure:
     def test_constant_buffers_near_unbounded_speed(self):
         ref = StoreForwardSimulator(Hypercube(6))
         bb = BoundedBufferSimulator(Hypercube(6), 8, injection_reserve=4)
-        _permutation_workload(ref, reps=4)
         _permutation_workload(bb, reps=4)
-        t_ref, t_bb = ref.run(), bb.run()
-        assert t_bb <= 2 * t_ref
+        t_ref = ref.run(_permutation_paths(reps=4)).makespan
+        assert bb.run() <= 2 * t_ref
 
     def test_chain_advance_through_freed_slot(self):
         # two packets in a line: the downstream one frees its slot and the

@@ -163,11 +163,76 @@ class TestValidate:
     def test_validate_all_pass(self, capsys):
         assert main(["validate"]) == 0
         out = capsys.readouterr().out
-        assert "10/10 claims verified" in out
+        assert "11/11 claims verified" in out
 
     def test_programmatic(self):
         from repro.analysis import validate_claims
 
         results = validate_claims()
-        assert len(results) == 10
+        assert len(results) == 11
         assert all(r.ok for r in results)
+
+
+class TestObsCommands:
+    def test_report(self, capsys):
+        assert main(["obs", "report", "cycle", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "link congestion" in out
+        assert "busiest links" in out
+        assert "arrivals by step" in out
+
+    def test_report_measured_equals_structural(self, capsys):
+        from repro.core import embed_cycle_load1
+
+        assert main(["obs", "report", "cycle", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        c = embed_cycle_load1(6).congestion
+        assert f"measured {c}  structural {c}" in out
+
+    def test_export_json_matches_delivery(self, capsys):
+        import json
+
+        from repro.core import embed_cycle_load1
+
+        assert main(["obs", "export", "cycle", "--n", "6",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        emb = embed_cycle_load1(6)
+        links = doc["links"]
+        assert links["congestion"] == emb.congestion
+        # per-link counts are exactly the structural congestion counts
+        per_link = {
+            int(eid): entry["transmissions"]
+            for eid, entry in links["links"].items()
+        }
+        assert per_link == dict(emb.edge_congestion_counts())
+        # every scheduled packet arrives; the histogram accounts for all
+        total_paths = sum(len(ps) for ps in emb.edge_paths.values())
+        assert links["delivered"] == total_paths
+        assert sum(links["step_histogram"].values()) == total_paths
+        assert doc["meta"]["engine"] == "store-forward"
+
+    def test_export_csv_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "obs.csv"
+        assert main(["obs", "export", "cycle", "--n", "6",
+                     "--format", "csv", "--output", str(out_file)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        lines = out_file.read_text().splitlines()
+        assert lines[0] == "section,series,field,value"
+        assert any(line.startswith("links,congestion,") for line in lines)
+
+    def test_trace(self, capsys):
+        from repro.obs import disable_profiling
+
+        try:
+            assert main(["obs", "trace", "cycle", "--n", "6"]) == 0
+            out = capsys.readouterr().out
+            assert "build.cycle" in out
+            assert "verify" in out
+        finally:
+            disable_profiling()
+
+    def test_multiple_packets_per_path(self, capsys):
+        assert main(["obs", "report", "cycle", "--n", "6",
+                     "--packets", "2"]) == 0
+        assert "delivered" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""The deprecated pre-obs APIs: still working, warning exactly once per use.
+
+This is the only test module that intentionally exercises the shims; the
+CI deprecation gate runs the rest of the suite with
+``-W error::repro._compat.ReproDeprecationWarning`` and excludes this file.
+"""
+
+import warnings
+
+import pytest
+
+from repro._compat import ReproDeprecationWarning
+from repro.hypercube.graph import Hypercube
+from repro.routing.fast_simulator import FastStoreForward
+from repro.routing.simulator import StoreForwardSimulator
+
+
+def _assert_one_warning(record):
+    assert len(record) == 1, [str(w.message) for w in record]
+
+
+class TestLegacySimulatorShim:
+    def test_store_forward_inject_run_still_works(self):
+        sim = StoreForwardSimulator(Hypercube(3))
+        sim.inject([0, 1, 3])
+        sim.inject([0, 1])
+        with pytest.warns(ReproDeprecationWarning) as record:
+            assert sim.run() == 2
+        _assert_one_warning(record)
+
+    def test_fast_inject_run_still_works(self):
+        sim = FastStoreForward(Hypercube(3))
+        sim.inject([0, 1, 3])
+        with pytest.warns(ReproDeprecationWarning) as record:
+            assert sim.run() == 2
+        _assert_one_warning(record)
+
+    def test_bare_int_positional_is_max_steps(self):
+        sim = StoreForwardSimulator(Hypercube(3))
+        sim.inject([0, 1])
+        with pytest.warns(ReproDeprecationWarning):
+            with pytest.raises(RuntimeError):
+                sim.run(0)
+
+    def test_schedule_mode_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            res = StoreForwardSimulator(Hypercube(3)).run([[0, 1]])
+        assert res.makespan == 1
+
+    def test_category_is_a_deprecation_warning(self):
+        assert issubclass(ReproDeprecationWarning, DeprecationWarning)
+
+
+class TestServiceMetricsShim:
+    def test_constructing_warns_once(self):
+        from repro.service.metrics import ServiceMetrics
+
+        with pytest.warns(ReproDeprecationWarning) as record:
+            metrics = ServiceMetrics()
+        _assert_one_warning(record)
+        metrics.incr("hits")
+        assert metrics.count("hits") == 1
+
+    def test_legacy_snapshot_shape(self):
+        from repro.service.metrics import ServiceMetrics
+
+        with pytest.warns(ReproDeprecationWarning):
+            metrics = ServiceMetrics()
+        with metrics.time("build"):
+            pass
+        snap = metrics.snapshot()
+        assert set(snap) == {"counters", "timers"}
+        assert snap["timers"]["build"]["count"] == 1
+
+    def test_reset_keeps_legacy_empty_shape(self):
+        from repro.service.metrics import ServiceMetrics
+
+        with pytest.warns(ReproDeprecationWarning):
+            metrics = ServiceMetrics()
+        metrics.incr("x")
+        metrics.reset()
+        assert metrics.snapshot() == {"counters": {}, "timers": {}}

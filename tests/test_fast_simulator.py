@@ -12,51 +12,48 @@ from repro.routing.simulator import StoreForwardSimulator
 class TestBasics:
     def test_single_packet(self):
         sim = FastStoreForward(Hypercube(4))
-        sim.inject([0, 1, 3, 7])
-        assert sim.run() == 3
+        assert sim.run([[0, 1, 3, 7]]).makespan == 3
 
     def test_empty(self):
-        assert FastStoreForward(Hypercube(3)).run() == 0
+        assert FastStoreForward(Hypercube(3)).run([]).makespan == 0
 
     def test_zero_hop(self):
-        sim = FastStoreForward(Hypercube(3))
-        sim.inject([5])
-        assert sim.run() == 0
+        res = FastStoreForward(Hypercube(3)).run([[5]])
+        assert res.makespan == 0
+        assert res.done_steps == (0,)
 
     def test_contention_serializes(self):
         sim = FastStoreForward(Hypercube(3))
-        for _ in range(5):
-            sim.inject([0, 1])
-        assert sim.run() == 5
+        assert sim.run([[0, 1]] * 5).makespan == 5
 
     def test_release_steps(self):
         sim = FastStoreForward(Hypercube(3))
-        sim.inject([0, 4], release_step=10)
-        assert sim.run() == 10
+        assert sim.run([([0, 4], 10)]).makespan == 10
 
     def test_rejects_bad_path(self):
         sim = FastStoreForward(Hypercube(3))
-        sim.inject([0, 3])  # two-bit jump
         with pytest.raises(ValueError):
-            sim.run()
+            sim.run([[0, 3]])  # two-bit jump
 
     def test_rejects_empty_path(self):
         with pytest.raises(ValueError):
-            FastStoreForward(Hypercube(3)).inject([])
+            FastStoreForward(Hypercube(3)).run([[]])
+
+    def test_rejects_service_time(self):
+        sim = FastStoreForward(Hypercube(3))
+        with pytest.raises(ValueError):
+            sim.run([([0, 1], 1, 4)])  # atomic messages need the reference
 
     def test_priority_arbitration(self):
         # packet 0 wins the step-1 tie on link 0->1; packet 1 crosses at
         # step 2 while packet 0 takes its second hop: both finish at 2
         sim = FastStoreForward(Hypercube(3))
-        sim.inject([0, 1, 3])
-        sim.inject([0, 1])
-        assert sim.run() == 2
+        assert sim.run([[0, 1, 3], [0, 1]]).makespan == 2
 
     def test_release_gap_skips_idle_steps(self):
         sim = FastStoreForward(Hypercube(3))
-        sim.inject([0, 1], release_step=1)
-        sim.inject([2, 3], release_step=1000)
-        assert sim.run() == 1000
+        res = sim.run([([0, 1], 1), ([2, 3], 1000)])
+        assert res.makespan == 1000
 
 
 class TestReleaseFastForward:
@@ -65,59 +62,51 @@ class TestReleaseFastForward:
 
     def test_all_packets_far_in_future(self):
         sim = FastStoreForward(Hypercube(4))
-        sim.inject([0, 1, 3], release_step=100_000)
-        sim.inject([4, 5, 7], release_step=100_000)
+        sched = [([0, 1, 3], 100_000), ([4, 5, 7], 100_000)]
         # contention-free: both arrive two steps after the joint release
-        assert sim.run() == 100_001
+        assert sim.run(sched).makespan == 100_001
 
     def test_staggered_far_releases_jump_twice(self):
         sim = FastStoreForward(Hypercube(4))
-        sim.inject([0, 1], release_step=10_000)
-        sim.inject([2, 3], release_step=20_000)
-        sim.inject([4, 5], release_step=30_000)
+        sched = [([0, 1], 10_000), ([2, 3], 20_000), ([4, 5], 30_000)]
         # three separate idle gaps, each fast-forwarded
-        assert sim.run() == 30_000
+        assert sim.run(sched).makespan == 30_000
 
     def test_fast_forward_lands_on_contention(self):
         # both packets want link 0->1 at the same far-future step: the
         # jump must not skip the arbitration
         sim = FastStoreForward(Hypercube(3))
-        sim.inject([0, 1], release_step=5_000)
-        sim.inject([0, 1, 3], release_step=5_000)
-        assert sim.run() == 5_002  # loser crosses at 5001, then hops again
+        sched = [([0, 1], 5_000), ([0, 1, 3], 5_000)]
+        assert sim.run(sched).makespan == 5_002  # loser hops again at 5002
 
     def test_active_packet_blocks_fast_forward(self):
         # a long path keeps the network busy across another packet's
         # pre-release window: no jump may occur while work remains
         sim = FastStoreForward(Hypercube(3))
-        sim.inject([0, 1, 3, 7, 6], release_step=1)
-        sim.inject([0, 1], release_step=3)
-        assert sim.run() == 4
+        sched = [([0, 1, 3, 7, 6], 1), ([0, 1], 3)]
+        assert sim.run(sched).makespan == 4
 
     def test_agreement_with_reference_far_future(self):
         host = Hypercube(4)
-        ref = StoreForwardSimulator(host)
-        fast = FastStoreForward(host)
-        workload = [
+        sched = [
             ([0, 1, 3], 4_000),
             ([8, 9, 11], 4_000),
             ([4, 6], 4_500),
         ]
-        for path, rel in workload:
-            ref.inject(path, release_step=rel)
-            fast.inject(path, release_step=rel)
         # contention-free, so the two arbitration policies agree exactly
-        assert ref.run() == fast.run() == 4_500
+        a = StoreForwardSimulator(host).run(sched).makespan
+        b = FastStoreForward(host).run(sched).makespan
+        assert a == b == 4_500
 
     def test_agreement_with_reference_staggered(self):
         host = Hypercube(4)
-        ref = StoreForwardSimulator(host)
-        fast = FastStoreForward(host)
-        for i, rel in enumerate((1_000, 2_000, 3_000)):
-            path = [4 * i, 4 * i ^ 1, 4 * i ^ 3]
-            ref.inject(path, release_step=rel)
-            fast.inject(path, release_step=rel)
-        assert ref.run() == fast.run() == 3_001
+        sched = [
+            ([4 * i, 4 * i ^ 1, 4 * i ^ 3], rel)
+            for i, rel in enumerate((1_000, 2_000, 3_000))
+        ]
+        a = StoreForwardSimulator(host).run(sched).makespan
+        b = FastStoreForward(host).run(sched).makespan
+        assert a == b == 3_001
 
 
 class TestAgreement:
@@ -131,28 +120,21 @@ class TestAgreement:
     @settings(max_examples=30, deadline=None)
     def test_within_envelope_of_reference(self, spec):
         host = Hypercube(5)
-        ref = StoreForwardSimulator(host)
-        fast = FastStoreForward(host)
-        count = 0
-        for u, v, rel in spec:
-            if u == v:
-                continue
-            p = dimension_order_path(5, u, v)
-            ref.inject(p, release_step=rel)
-            fast.inject(p, release_step=rel)
-            count += 1
-        if not count:
+        sched = [
+            (dimension_order_path(5, u, v), rel)
+            for u, v, rel in spec
+            if u != v
+        ]
+        if not sched:
             return
-        a, b = ref.run(), fast.run()
+        a = StoreForwardSimulator(host).run(sched).makespan
+        b = FastStoreForward(host).run(sched).makespan
         # both are work-conserving link-bound schedules
-        assert max(a, b) <= min(a, b) + count
+        assert max(a, b) <= min(a, b) + len(sched)
 
     def test_contention_free_exact_match(self):
         host = Hypercube(6)
-        ref = StoreForwardSimulator(host)
-        fast = FastStoreForward(host)
-        for u in range(0, 64, 8):
-            p = [u, u ^ 1, u ^ 3, u ^ 7]
-            ref.inject(p)
-            fast.inject(p)
-        assert ref.run() == fast.run() == 3
+        sched = [[u, u ^ 1, u ^ 3, u ^ 7] for u in range(0, 64, 8)]
+        a = StoreForwardSimulator(host).run(sched).makespan
+        b = FastStoreForward(host).run(sched).makespan
+        assert a == b == 3

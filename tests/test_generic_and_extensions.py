@@ -18,9 +18,24 @@ class TestShortestPathEmbedding:
         assert emb.load == 1
         assert emb.dilation <= 4
 
-    def test_overloaded_guest(self):
-        emb = shortest_path_embedding(Hypercube(3), DirectedCycle(20))
+    def test_overloaded_guest_warns_and_reports_load(self):
+        with pytest.warns(UserWarning, match="round-robin placement overloads"):
+            emb = shortest_path_embedding(Hypercube(3), DirectedCycle(20))
         assert emb.load == 3  # ceil(20/8)
+        # the attached verification report records the measured load
+        assert emb.verification.ok
+        assert emb.verification.metrics["load"] == 3
+
+    def test_explicit_overloaded_placement_does_not_warn(self):
+        import warnings
+
+        placement = {i: i % 8 for i in range(20)}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UserWarning)
+            emb = shortest_path_embedding(
+                Hypercube(3), DirectedCycle(20), placement
+            )
+        assert emb.load == 3
 
     def test_arbitrary_guest(self):
         tree = random_binary_tree(30, seed=1)

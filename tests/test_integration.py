@@ -24,13 +24,13 @@ def deliver_phase(emb) -> None:
         for path in paths:
             if len(path) < 2:
                 continue
-            pkt = sim.inject(path)
-            tagged.append((pkt, edge))
-    sim.run()
-    for pkt, (u, v) in tagged:
-        assert pkt.done_step is not None
-        assert pkt.path[-1] == emb.vertex_map[v]
-        assert pkt.path[0] == emb.vertex_map[u]
+            tagged.append((path, edge))
+    res = sim.run([path for path, _ in tagged])
+    assert res.delivered == len(tagged)
+    for (path, (u, v)), done in zip(tagged, res.done_steps):
+        assert done >= 1
+        assert path[-1] == emb.vertex_map[v]
+        assert path[0] == emb.vertex_map[u]
 
 
 class TestFullPhases:
@@ -49,13 +49,12 @@ class TestFullPhases:
         tagged = []
         for copy in mc.copies:
             for edge, path in copy.edge_paths.items():
-                pkt = sim.inject(path)
-                tagged.append((pkt, copy, edge))
-        makespan = sim.run()
-        for pkt, copy, (u, v) in tagged:
-            assert pkt.path[-1] == copy.vertex_map[v]
+                tagged.append((path, copy, edge))
+        res = sim.run([path for path, _, _ in tagged])
+        for path, copy, (u, v) in tagged:
+            assert path[-1] == copy.vertex_map[v]
         # congestion 2 means one phase of ALL copies takes very few steps
-        assert makespan <= 4
+        assert res.makespan <= 4
 
 
 class TestPhaseCostMatchesClaims:
@@ -64,10 +63,8 @@ class TestPhaseCostMatchesClaims:
         # steps plus FIFO slack bounded by the per-link congestion
         emb = embed_cycle_load1(8)
         sim = StoreForwardSimulator(emb.host)
-        for paths in emb.edge_paths.values():
-            for p in paths:
-                sim.inject(p)
-        assert sim.run() <= 3 + emb.congestion
+        sched = [p for paths in emb.edge_paths.values() for p in paths]
+        assert sim.run(sched).makespan <= 3 + emb.congestion
 
     @pytest.mark.parametrize("n", [5, 8])
     def test_theorem2_simulated_phase_cost(self, n):
@@ -75,7 +72,5 @@ class TestPhaseCostMatchesClaims:
 
         emb = embed_cycle_load2(n)
         sim = StoreForwardSimulator(emb.host)
-        for paths in emb.edge_paths.values():
-            for p in paths:
-                sim.inject(p)
-        assert sim.run() <= emb.info["cost"] + emb.congestion
+        sched = [p for paths in emb.edge_paths.values() for p in paths]
+        assert sim.run(sched).makespan <= emb.info["cost"] + emb.congestion

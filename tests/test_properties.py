@@ -69,9 +69,8 @@ class TestSimulatorBounds:
     @settings(max_examples=30)
     def test_makespan_at_least_longest_path(self, pairs):
         host = Hypercube(6)
-        sim = StoreForwardSimulator(host)
+        sched = []
         longest = 0
-        count = 0
         for u, v in pairs:
             path = [u]
             cur = u
@@ -80,12 +79,11 @@ class TestSimulatorBounds:
                     cur ^= 1 << d
                     path.append(cur)
             if len(path) > 1:
-                sim.inject(path)
+                sched.append(path)
                 longest = max(longest, len(path) - 1)
-                count += 1
-        if count:
-            t = sim.run()
-            assert longest <= t <= longest + count  # FIFO can only delay
+        if sched:
+            t = StoreForwardSimulator(host).run(sched).makespan
+            assert longest <= t <= longest + len(sched)  # FIFO can only delay
 
     @given(st.integers(1, 12), st.integers(1, 20))
     def test_wormhole_single_worm_exact(self, hops, flits):
@@ -100,8 +98,7 @@ class TestSimulatorBounds:
     def test_service_time_scales_message_sf(self, service):
         host = Hypercube(4)
         sim = StoreForwardSimulator(host)
-        sim.inject([0, 1, 3, 7], service_time=service)
-        assert sim.run() == 3 * service
+        assert sim.run([([0, 1, 3, 7], 1, service)]).makespan == 3 * service
 
 
 class TestLoopErasure:

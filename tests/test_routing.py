@@ -59,34 +59,27 @@ class TestPacketSchedule:
 class TestStoreForward:
     def test_single_packet_takes_path_length(self):
         sim = StoreForwardSimulator(Hypercube(4))
-        sim.inject([0, 1, 3, 7, 15])
-        assert sim.run() == 4
+        assert sim.run([[0, 1, 3, 7, 15]]).makespan == 4
 
     def test_fifo_contention_serializes(self):
         sim = StoreForwardSimulator(Hypercube(3))
-        for _ in range(5):
-            sim.inject([0, 1])
-        assert sim.run() == 5
+        assert sim.run([[0, 1]] * 5).makespan == 5
 
     def test_pipelining(self):
         # packets released 1 apart down a 3-hop path finish 1 apart
         sim = StoreForwardSimulator(Hypercube(3))
-        p1 = sim.inject([0, 1, 3, 7], release_step=1)
-        p2 = sim.inject([0, 1, 3, 7], release_step=2)
-        assert sim.run() == 4
-        assert p1.done_step == 3
-        assert p2.done_step == 4
+        res = sim.run([([0, 1, 3, 7], 1), ([0, 1, 3, 7], 2)])
+        assert res.makespan == 4
+        assert res.done_steps == (3, 4)
 
     def test_zero_hop_packet(self):
-        sim = StoreForwardSimulator(Hypercube(3))
-        p = sim.inject([5])
-        assert sim.run() == 0
-        assert p.done_step == 0
+        res = StoreForwardSimulator(Hypercube(3)).run([[5]])
+        assert res.makespan == 0
+        assert res.done_steps == (0,)
 
     def test_release_delays(self):
         sim = StoreForwardSimulator(Hypercube(3))
-        p = sim.inject([0, 4], release_step=10)
-        assert sim.run() == 10
+        assert sim.run([([0, 4], 10)]).makespan == 10
 
     def test_gray_baseline_cost_is_p(self):
         emb = graycode_cycle_embedding(5)
@@ -169,9 +162,8 @@ class TestWormholeDeadlock:
         from repro.routing.simulator import StoreForwardSimulator
 
         sim = StoreForwardSimulator(Hypercube(3))
-        sim.inject([0, 1])
         with pytest.raises(RuntimeError):
-            sim.run(max_steps=0)
+            sim.run([[0, 1]], max_steps=0)
 
 
 class TestPPacketCostMultipath:
@@ -205,21 +197,15 @@ class TestPortLimit:
     def test_single_port_serializes_node_sends(self):
         # node 0 sends over 3 distinct dims: single-port takes 3 steps
         sim = StoreForwardSimulator(Hypercube(3), port_limit=1)
-        for d in range(3):
-            sim.inject([0, 1 << d])
-        assert sim.run() == 3
+        assert sim.run([[0, 1 << d] for d in range(3)]).makespan == 3
 
     def test_all_port_parallelizes(self):
         sim = StoreForwardSimulator(Hypercube(3))
-        for d in range(3):
-            sim.inject([0, 1 << d])
-        assert sim.run() == 1
+        assert sim.run([[0, 1 << d] for d in range(3)]).makespan == 1
 
     def test_port_limit_two(self):
         sim = StoreForwardSimulator(Hypercube(3), port_limit=2)
-        for d in range(3):
-            sim.inject([0, 1 << d])
-        assert sim.run() == 2
+        assert sim.run([[0, 1 << d] for d in range(3)]).makespan == 2
 
     def test_measured_matches_dimension_exchange_closed_form(self):
         from repro.apps.total_exchange import single_port_exchange_steps

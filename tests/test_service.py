@@ -4,13 +4,13 @@ import json
 
 import pytest
 
+from repro.obs import MetricsRegistry
 from repro.service import (
     BuildEngine,
     EmbeddingRegistry,
     EmbeddingSpec,
     FaultSet,
     RoutingService,
-    ServiceMetrics,
     build_spec,
     decode_embedding,
     encode_embedding,
@@ -315,8 +315,10 @@ class TestRoutingService:
 
 
 class TestMetrics:
+    # the service layer now measures through repro.obs.MetricsRegistry;
+    # the ServiceMetrics shim itself is covered in test_deprecation_shims
     def test_counters_and_timers(self):
-        m = ServiceMetrics()
+        m = MetricsRegistry()
         m.incr("hits")
         m.incr("hits", 2)
         m.observe("lat", 0.5)
@@ -328,7 +330,15 @@ class TestMetrics:
         assert snap["timers"]["lat"]["max_s"] >= 0.5
 
     def test_reset(self):
-        m = ServiceMetrics()
+        m = MetricsRegistry()
         m.incr("x")
         m.reset()
-        assert m.snapshot() == {"counters": {}, "timers": {}}
+        assert m.snapshot()["counters"] == {}
+        assert m.snapshot()["timers"] == {}
+
+    def test_service_gauges_record_verified_shape(self, tmp_path):
+        reg = EmbeddingRegistry(cache_dir=tmp_path)
+        reg.get_or_build(cycle_spec())
+        gauges = reg.metrics.snapshot()["gauges"]
+        assert gauges["embedding_load{kind=cycle}"] == 1
+        assert gauges["embedding_width{kind=cycle}"] >= 3
