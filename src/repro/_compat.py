@@ -13,9 +13,11 @@ packages.  The shims themselves are exercised only in
 
 from __future__ import annotations
 
+import random
 import warnings
+from typing import Optional
 
-__all__ = ["ReproDeprecationWarning", "warn_deprecated"]
+__all__ = ["ReproDeprecationWarning", "warn_deprecated", "resolve_rng"]
 
 
 class ReproDeprecationWarning(DeprecationWarning):
@@ -25,3 +27,23 @@ class ReproDeprecationWarning(DeprecationWarning):
 def warn_deprecated(message: str, stacklevel: int = 3) -> None:
     """Emit one :class:`ReproDeprecationWarning` pointing at the caller."""
     warnings.warn(message, ReproDeprecationWarning, stacklevel=stacklevel)
+
+
+def resolve_rng(
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    default_seed: int = 0,
+) -> random.Random:
+    """The one way every randomized API turns ``(seed, rng)`` into a stream.
+
+    Callers pass *either* a ``seed`` (a fresh ``random.Random(seed)`` is
+    returned, so fixed seeds give byte-identical runs) *or* an existing
+    ``rng`` to share a stream across calls; passing both is ambiguous and
+    raises.  With neither, ``default_seed`` keeps the historical
+    deterministic default of each call site.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("pass either seed or rng, not both")
+        return rng
+    return random.Random(default_seed if seed is None else seed)

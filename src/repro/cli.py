@@ -24,6 +24,10 @@ Usage examples::
     python -m repro obs report cycle --n 8            # instrumented delivery
     python -m repro obs trace cycle --n 8             # profiled build spans
     python -m repro obs export cycle --n 8 --format json
+    python -m repro qa fuzz --seeds 200 --budget 120s # fuzz every construction
+    python -m repro qa diff --seeds 50 --n 6          # simulator differential
+    python -m repro qa corpus                         # list saved reproducers
+    python -m repro qa replay <entry-id>              # re-run one reproducer
 """
 
 from __future__ import annotations
@@ -192,6 +196,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None,
         help="write to this file instead of stdout",
     )
+
+    qa = sub.add_parser(
+        "qa", help="fuzzing, metamorphic and differential QA harness"
+    )
+    qa_sub = qa.add_subparsers(dest="qa_command", required=True)
+    qf = qa_sub.add_parser(
+        "fuzz", help="fuzz the construction space with every oracle armed"
+    )
+    qf.add_argument("--seeds", type=int, default=200, help="points to fuzz")
+    qf.add_argument(
+        "--budget", type=str, default=None,
+        help="wall-clock budget, e.g. 120s or 5m (default: none)",
+    )
+    qf.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    qf.add_argument(
+        "--kinds", type=str, default=None,
+        help="comma-separated construction kinds (default: all)",
+    )
+    qf.add_argument(
+        "--images", type=int, default=4,
+        help="automorphism images per point (metamorphic stage)",
+    )
+    qd = qa_sub.add_parser(
+        "diff", help="differential-test the two simulator engines"
+    )
+    qd.add_argument("--seeds", type=int, default=50, help="random schedules")
+    qd.add_argument("--n", type=int, default=6, help="hypercube dimension")
+    qd.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    qd.add_argument(
+        "--packets", type=int, default=40, help="max packets per schedule"
+    )
+    qr = qa_sub.add_parser("replay", help="re-run a saved reproducer")
+    qr.add_argument("entry", help="corpus entry id or path to its JSON file")
+    qc = qa_sub.add_parser("corpus", help="list (or clear) saved reproducers")
+    qc.add_argument("--clear", action="store_true", help="delete every entry")
+    for p in (qf, qr, qc):
+        p.add_argument(
+            "--corpus", type=str, default=None,
+            help="corpus directory (default $REPRO_QA_CORPUS or "
+            "~/.cache/repro/qa-corpus)",
+        )
 
     return parser
 
@@ -563,6 +608,87 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _parse_budget(text: Optional[str]) -> Optional[float]:
+    """``"120s"``/``"5m"``/bare seconds -> seconds (None passes through)."""
+    if text is None:
+        return None
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith("m"):
+        scale, text = 60.0, text[:-1]
+    elif text.endswith("s"):
+        text = text[:-1]
+    return float(text) * scale
+
+
+def _cmd_qa(args) -> int:
+    from repro.qa import Corpus, Fuzzer
+
+    if args.qa_command == "fuzz":
+        corpus = Corpus(args.corpus)
+        kinds = args.kinds.split(",") if args.kinds else None
+        fuzzer = Fuzzer(corpus=corpus, seed=args.seed, images=args.images)
+        report = fuzzer.run(
+            seeds=args.seeds, budget_s=_parse_budget(args.budget), kinds=kinds
+        )
+        print(report.summary())
+        for entry in report.failures:
+            print(f"  [{entry.entry_id}] {entry.kind} {entry.params}")
+            print(f"    {entry.stage}: {entry.detail}")
+        if report.failures:
+            print(f"reproducers saved under {corpus.directory}")
+        return 0 if report.ok else 1
+
+    if args.qa_command == "diff":
+        import random as _random
+
+        from repro.hypercube.graph import Hypercube
+        from repro.qa import differential_check, random_schedule
+
+        host = Hypercube(args.n)
+        for i in range(args.seeds):
+            rng = _random.Random(f"{args.seed}:diff:{i}")
+            schedule = random_schedule(host, rng, max_packets=args.packets)
+            divergence = differential_check(host, schedule)
+            if divergence is not None:
+                print(f"seed {i}: {divergence.describe()}")
+                for path, release in divergence.schedule:
+                    print(f"    release {release}: {' -> '.join(map(str, path))}")
+                return 1
+        print(
+            f"{args.seeds} random schedule(s) on Q_{args.n}: engines agree "
+            f"field-for-field"
+        )
+        return 0
+
+    if args.qa_command == "replay":
+        corpus = Corpus(args.corpus)
+        entry = corpus.load(args.entry)
+        failure = Fuzzer(corpus=corpus).replay(entry)
+        print(f"[{entry.entry_id}] {entry.kind} {entry.params} ({entry.stage})")
+        if failure is None:
+            print("  no longer reproduces (fixed?)")
+            return 0
+        print(f"  reproduced: {failure.stage}: {failure.detail}")
+        return 1
+
+    # corpus
+    corpus = Corpus(args.corpus)
+    if args.clear:
+        removed = corpus.clear()
+        print(f"removed {removed} reproducer(s) from {corpus.directory}")
+        return 0
+    entries = corpus.entries()
+    if not entries:
+        print(f"corpus empty ({corpus.directory})")
+        return 0
+    for entry in entries:
+        print(f"  [{entry.entry_id}] {entry.kind} {entry.params}")
+        print(f"    {entry.stage}: {entry.detail}")
+    print(f"{len(entries)} reproducer(s) in {corpus.directory}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -578,6 +704,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
         "route": _cmd_route,
         "obs": _cmd_obs,
+        "qa": _cmd_qa,
     }
     return handlers[args.command](args)
 

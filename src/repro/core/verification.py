@@ -14,9 +14,15 @@ sixty-odd existing call sites keep their exception semantics unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
-__all__ = ["InvariantCheck", "VerificationReport"]
+__all__ = [
+    "InvariantCheck",
+    "VerificationReport",
+    "register_oracle",
+    "oracles_for",
+    "run_oracles",
+]
 
 
 @dataclass(frozen=True)
@@ -79,3 +85,57 @@ class VerificationReport:
             ],
             "metrics": dict(self.metrics),
         }
+
+
+# -- construction oracles -----------------------------------------------------
+#
+# ``verify()`` checks what *any* embedding must satisfy (well-formed maps,
+# hops are edges, disjointness).  An *oracle* checks what one particular
+# construction additionally promises — e.g. Theorem 1's width/dilation
+# claims for the load-1 cycle.  Oracles register by construction kind (the
+# service-layer spec vocabulary) so the QA fuzzer can certify every sampled
+# point against the paper's numbers, not just against well-formedness.
+
+# an oracle takes (built object, params dict) and yields InvariantChecks
+OracleFn = Callable[[Any, Dict[str, Any]], Iterable[InvariantCheck]]
+
+_ORACLES: Dict[str, List[OracleFn]] = {}
+
+
+def register_oracle(kind: str) -> Callable[[OracleFn], OracleFn]:
+    """Class-level decorator: attach an oracle to a construction kind.
+
+    Registering is additive — several oracles may guard one kind — and
+    idempotent per function object (re-importing a module of oracles does
+    not double-register).
+    """
+
+    def decorate(fn: OracleFn) -> OracleFn:
+        fns = _ORACLES.setdefault(kind, [])
+        if fn not in fns:
+            fns.append(fn)
+        return fn
+
+    return decorate
+
+
+def oracles_for(kind: str) -> Tuple[OracleFn, ...]:
+    """All oracles registered for ``kind`` (empty tuple when none)."""
+    return tuple(_ORACLES.get(kind, ()))
+
+
+def run_oracles(kind: str, subject: Any, params: Dict[str, Any]) -> Tuple[InvariantCheck, ...]:
+    """Run every oracle of ``kind``; an oracle that raises becomes a failed
+    check (oracles are judges, never crashers)."""
+    out: List[InvariantCheck] = []
+    for fn in oracles_for(kind):
+        name = getattr(fn, "__name__", "oracle")
+        try:
+            out.extend(fn(subject, params))
+        except Exception as err:  # noqa: BLE001 - report, don't crash the fuzzer
+            out.append(
+                InvariantCheck(
+                    f"oracle:{name}", False, f"oracle raised {type(err).__name__}: {err}"
+                )
+            )
+    return tuple(out)

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
+from repro._compat import resolve_rng
 from repro.core.embedding import MultiPathEmbedding
 from repro.fault.ida import disperse, reconstruct
 from repro.hypercube.graph import Hypercube
@@ -29,13 +30,17 @@ class FaultyLinkModel:
 
     @classmethod
     def random(
-        cls, host: Hypercube, failure_prob: float, seed: int = 0,
-        symmetric: bool = True,
+        cls, host: Hypercube, failure_prob: float, seed: Optional[int] = None,
+        symmetric: bool = True, rng: Optional[random.Random] = None,
     ) -> "FaultyLinkModel":
-        """Fail each (undirected) link independently with ``failure_prob``."""
+        """Fail each (undirected) link independently with ``failure_prob``.
+
+        Deterministic given ``seed`` (default 0); pass ``rng`` instead to
+        draw from a shared stream.
+        """
         if not 0 <= failure_prob <= 1:
             raise ValueError("failure probability must be in [0, 1]")
-        rng = random.Random(seed)
+        rng = resolve_rng(seed, rng)
         failed: Set[int] = set()
         for u in range(host.num_nodes):
             for d in range(host.n):

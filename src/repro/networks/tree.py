@@ -9,8 +9,9 @@ along every tree link; the maximum out-degree is therefore 3.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro._compat import resolve_rng
 from repro.networks.base import GuestGraph
 
 __all__ = ["CompleteBinaryTree", "random_binary_tree", "ArbitraryTree"]
@@ -98,16 +99,21 @@ class ArbitraryTree(GuestGraph):
         return f"ArbitraryTree(n={self.num_vertices})"
 
 
-def random_binary_tree(num_vertices: int, seed: int = 0) -> ArbitraryTree:
+def random_binary_tree(
+    num_vertices: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> ArbitraryTree:
     """A uniformly grown random binary tree on ``num_vertices`` vertices.
 
     Each new vertex attaches to a uniformly chosen existing vertex that still
     has fewer than 2 children, so the result has maximum degree 3 — the
-    bounded-degree setting of Section 6.2.
+    bounded-degree setting of Section 6.2.  Deterministic given ``seed``
+    (default 0); pass ``rng`` instead to draw from a shared stream.
     """
     if num_vertices < 1:
         raise ValueError(f"need >= 1 vertex, got {num_vertices}")
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     parent: Dict[int, int] = {}
     open_slots: List[int] = [0, 0]  # root can take two children
     for v in range(1, num_vertices):

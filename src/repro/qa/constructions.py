@@ -1,0 +1,350 @@
+"""The fuzzable construction space: every ``core/`` builder as a sampler.
+
+A :class:`FuzzConstruction` packages one paper construction for the QA
+harness: a ``sample`` function drawing a random valid parameter point, a
+``build`` function turning a parameter dict into an embedding, and a
+``shrink`` function proposing strictly smaller parameter points (used to
+minimize failing cases before they enter the corpus).
+
+Parameter dicts are JSON-round-trippable on purpose — they are exactly
+what the corpus persists — so ``build`` re-coerces shapes JSON flattens
+(tuples become lists).  Samplers only draw points the builders accept;
+a builder exception is therefore itself a finding, never noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, Tuple
+
+__all__ = ["FuzzConstruction", "ConstructionSpace", "default_space"]
+
+Params = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class FuzzConstruction:
+    """One fuzzable construction: sampler, builder, shrinker."""
+
+    kind: str
+    sample: Callable[[random.Random], Params]
+    build: Callable[[Params], Any]
+    shrink: Callable[[Params], Iterable[Params]]
+
+
+class ConstructionSpace:
+    """An ordered collection of fuzz constructions, keyed by kind."""
+
+    def __init__(self, constructions: Iterable[FuzzConstruction]):
+        self._by_kind: Dict[str, FuzzConstruction] = {}
+        for c in constructions:
+            if c.kind in self._by_kind:
+                raise ValueError(f"duplicate construction kind {c.kind!r}")
+            self._by_kind[c.kind] = c
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(self._by_kind)
+
+    def get(self, kind: str) -> FuzzConstruction:
+        if kind not in self._by_kind:
+            raise KeyError(
+                f"unknown construction kind {kind!r}; known: {sorted(self._by_kind)}"
+            )
+        return self._by_kind[kind]
+
+    def choose(self, rng: random.Random) -> FuzzConstruction:
+        return self._by_kind[rng.choice(list(self._by_kind))]
+
+    def __iter__(self) -> Iterator[FuzzConstruction]:
+        return iter(self._by_kind.values())
+
+    def __len__(self) -> int:
+        return len(self._by_kind)
+
+
+# -- shrink helpers -----------------------------------------------------------
+
+
+def _shrunk(params: Params, **overrides: Any) -> Params:
+    out = dict(params)
+    out.update(overrides)
+    return out
+
+
+def _int_down(params: Params, key: str, minimum: int, step: int = 1):
+    """Candidates lowering ``params[key]`` toward ``minimum``: first the
+    minimum itself (the biggest jump), then one step down."""
+    value = params[key]
+    if value - step >= minimum:
+        if minimum < value - step:
+            yield _shrunk(params, **{key: minimum})
+        yield _shrunk(params, **{key: value - step})
+
+
+def _halve_down(params: Params, key: str, minimum: int):
+    value = params[key]
+    if value // 2 >= minimum:
+        yield _shrunk(params, **{key: value // 2})
+
+
+# -- the default space --------------------------------------------------------
+
+
+def _build_cycle(p: Params):
+    from repro.core import embed_cycle_load1
+
+    return embed_cycle_load1(p["n"])
+
+
+def _build_cycle2(p: Params):
+    from repro.core import embed_cycle_load2
+
+    return embed_cycle_load2(p["n"], prefer_width=p.get("wide", False))
+
+
+def _build_grid(p: Params):
+    from repro.core import embed_grid_multipath
+
+    return embed_grid_multipath(tuple(p["dims"]), torus=p.get("torus", False))
+
+
+def _build_ccc(p: Params):
+    from repro.core import ccc_multicopy_embedding
+
+    return ccc_multicopy_embedding(p["n"])
+
+
+def _build_tree(p: Params):
+    from repro.core import theorem5_embedding
+
+    return theorem5_embedding(p["m"])
+
+
+def _build_large_cycle(p: Params):
+    from repro.core import large_cycle_embedding
+
+    return large_cycle_embedding(p["n"])
+
+
+def _build_graycode(p: Params):
+    from repro.core import graycode_cycle_embedding
+
+    return graycode_cycle_embedding(p["n"])
+
+
+def _build_cycle_multicopy(p: Params):
+    from repro.core import cycle_multicopy_embedding
+
+    return cycle_multicopy_embedding(p["n"])
+
+
+def _build_butterfly_multicopy(p: Params):
+    from repro.core import butterfly_multicopy_embedding
+
+    return butterfly_multicopy_embedding(
+        p["m"], undirected=p.get("undirected", False)
+    )
+
+
+def _build_butterfly_multipath(p: Params):
+    from repro.core import butterfly_multipath_embedding
+
+    return butterfly_multipath_embedding(p["m"])
+
+
+def _build_grid_multicopy(p: Params):
+    from repro.core import grid_multicopy_embedding
+
+    return grid_multicopy_embedding(tuple(p["dims"]))
+
+
+def _build_cbt_multicopy(p: Params):
+    from repro.core import cbt_multicopy_embedding
+
+    return cbt_multicopy_embedding(p["m"])
+
+
+def _build_arbitrary_tree(p: Params):
+    from repro.core import arbitrary_tree_embedding
+    from repro.networks.tree import random_binary_tree
+
+    tree = random_binary_tree(p["vertices"], seed=p["tree_seed"])
+    return arbitrary_tree_embedding(tree, p["m"])
+
+
+def _build_cross_product(p: Params):
+    from repro.core import butterfly_multicopy_embedding, induced_cross_product_embedding
+
+    return induced_cross_product_embedding(
+        butterfly_multicopy_embedding(p["m"], undirected=True)
+    )
+
+
+def _grid_shrink(p: Params) -> Iterator[Params]:
+    dims = list(p["dims"])
+    if p.get("torus"):
+        # tori need equal power-of-two sides >= 4, so shrink moves that
+        # leave the torus domain drop the wrap or halve every side together
+        yield _shrunk(p, torus=False)
+        if len(dims) > 1:
+            yield _shrunk(p, dims=dims[:-1])
+        if dims[0] // 2 >= 4:
+            yield _shrunk(p, dims=[d // 2 for d in dims])
+        return
+    if len(dims) > 1:
+        yield _shrunk(p, dims=dims[:-1])
+    for i, d in enumerate(dims):
+        if d > 2:
+            yield _shrunk(p, dims=dims[:i] + [d // 2] + dims[i + 1 :])
+
+
+def _grid_mc_shrink(p: Params) -> Iterator[Params]:
+    # multicopy grids need equal sides 2^a with a even: 4, 16, ...
+    dims = list(p["dims"])
+    if len(dims) > 1:
+        yield _shrunk(p, dims=dims[:-1])
+    if dims[0] > 4:
+        yield _shrunk(p, dims=[4] * len(dims))
+
+
+def _cycle2_shrink(p: Params) -> Iterator[Params]:
+    yield from _int_down(p, "n", 4)
+    if p.get("wide"):
+        yield _shrunk(p, wide=False)
+
+
+def _bf_mc_shrink(p: Params) -> Iterator[Params]:
+    yield from _halve_down(p, "m", 2)
+    if p.get("undirected"):
+        yield _shrunk(p, undirected=False)
+
+
+def _arb_tree_shrink(p: Params) -> Iterator[Params]:
+    if p["vertices"] > 1:
+        yield _shrunk(p, vertices=max(1, p["vertices"] // 2))
+        yield _shrunk(p, vertices=p["vertices"] - 1)
+
+
+def default_space() -> ConstructionSpace:
+    """Every ``core/`` builder at fuzz-practical sizes.
+
+    Sizes keep one build+verify well under a second (measured; the CI smoke
+    quota runs dozens of points) while still crossing the interesting
+    parameter classes: ``n mod 4`` for Theorem 2, odd/even ``n`` for
+    Theorem 3, equal/unequal and wrapped/unwrapped grids, directed and
+    undirected butterflies.
+    """
+    return ConstructionSpace(
+        [
+            FuzzConstruction(
+                "cycle",
+                lambda rng: {"n": rng.randint(4, 9)},
+                _build_cycle,
+                lambda p: _int_down(p, "n", 4),
+            ),
+            FuzzConstruction(
+                "cycle2",
+                lambda rng: {"n": rng.randint(4, 9), "wide": rng.random() < 0.5},
+                _build_cycle2,
+                _cycle2_shrink,
+            ),
+            FuzzConstruction(
+                "grid",
+                # tori need equal power-of-two sides >= 4: the wrap edge
+                # must be a guest cycle edge (axis bits are floored at 2)
+                # and unequal sides take the Corollary 2 squaring path,
+                # which has no wrap edges
+                lambda rng: (
+                    lambda torus: {
+                        "dims": [rng.choice([4, 8])] * rng.randint(1, 2)
+                        if torus
+                        else [
+                            rng.choice([2, 4, 8])
+                            for _ in range(rng.randint(1, 2))
+                        ],
+                        "torus": torus,
+                    }
+                )(rng.random() < 0.5),
+                _build_grid,
+                _grid_shrink,
+            ),
+            FuzzConstruction(
+                "ccc",
+                lambda rng: {"n": rng.choice([2, 4, 8])},
+                _build_ccc,
+                lambda p: _halve_down(p, "n", 2),
+            ),
+            FuzzConstruction(
+                "tree",
+                lambda rng: {"m": 2},
+                _build_tree,
+                lambda p: iter(()),
+            ),
+            FuzzConstruction(
+                "large-cycle",
+                lambda rng: {"n": rng.choice([2, 4, 6, 8, 10])},
+                _build_large_cycle,
+                lambda p: _int_down(p, "n", 2, step=2),
+            ),
+            FuzzConstruction(
+                "graycode",
+                lambda rng: {"n": rng.randint(1, 9)},
+                _build_graycode,
+                lambda p: _int_down(p, "n", 1),
+            ),
+            FuzzConstruction(
+                "cycle-multicopy",
+                lambda rng: {"n": rng.randint(2, 9)},
+                _build_cycle_multicopy,
+                lambda p: _int_down(p, "n", 2),
+            ),
+            FuzzConstruction(
+                "butterfly-multicopy",
+                lambda rng: {
+                    "m": rng.choice([2, 4]),
+                    "undirected": rng.random() < 0.5,
+                },
+                _build_butterfly_multicopy,
+                _bf_mc_shrink,
+            ),
+            FuzzConstruction(
+                "butterfly-multipath",
+                lambda rng: {"m": rng.choice([2, 4])},
+                _build_butterfly_multipath,
+                lambda p: _halve_down(p, "m", 2),
+            ),
+            FuzzConstruction(
+                "grid-multicopy",
+                lambda rng: {
+                    "dims": [4] * rng.randint(1, 2)
+                    if rng.random() < 0.8
+                    else [16],
+                },
+                _build_grid_multicopy,
+                _grid_mc_shrink,
+            ),
+            FuzzConstruction(
+                "cbt-multicopy",
+                lambda rng: {"m": rng.choice([2, 4])},
+                _build_cbt_multicopy,
+                lambda p: _halve_down(p, "m", 2),
+            ),
+            FuzzConstruction(
+                "arbitrary-tree",
+                lambda rng: {
+                    "vertices": rng.randint(1, 25),
+                    "tree_seed": rng.randrange(2**16),
+                    "m": 2,
+                },
+                _build_arbitrary_tree,
+                _arb_tree_shrink,
+            ),
+            FuzzConstruction(
+                "cross-product",
+                lambda rng: {"m": 2},
+                _build_cross_product,
+                lambda p: iter(()),
+            ),
+        ]
+    )

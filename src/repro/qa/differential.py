@@ -1,0 +1,153 @@
+"""Differential testing: two engines, one answer — plus a max-flow referee.
+
+The reference :class:`~repro.routing.simulator.StoreForwardSimulator`
+(run with the ``"priority"`` tie-break) and the vectorized
+:class:`~repro.routing.fast_simulator.FastStoreForward` implement the
+same synchronous link-bound model with the same winner rule (lowest
+injection index per link per step), so on any unit-service schedule they
+must return *field-for-field identical* :class:`~repro.routing.api.SimResult`s.
+:func:`differential_check` asserts exactly that and, on divergence,
+shrinks the schedule to a minimal reproducer before reporting.
+
+Independently, :func:`max_flow_width_check` cross-examines claimed
+edge-disjoint widths with an algorithm that shares no code with the
+verifier: networkx max-flow over the directed hypercube with unit
+capacities.  For a width-w bundle between host images u, v the whole
+host must admit a u->v flow of at least w, and the subgraph of *only*
+the bundle's own directed edges must admit exactly ``len(paths)`` —
+anything less means the paths were not truly disjoint, anything more
+means the bundle double-counted an edge.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.core.verification import InvariantCheck
+from repro.qa.schedules import Schedule, shrink_schedule
+from repro.routing.api import SimResult
+from repro.routing.fast_simulator import FastStoreForward
+from repro.routing.simulator import StoreForwardSimulator
+
+__all__ = ["Divergence", "run_pair", "differential_check", "max_flow_width_check"]
+
+
+@dataclass
+class Divergence:
+    """A schedule on which the two engines disagree, minimized."""
+
+    host_n: int
+    schedule: Schedule
+    fields: Tuple[str, ...]
+    reference: SimResult
+    fast: SimResult
+
+    def describe(self) -> str:
+        ref = {f: getattr(self.reference, f) for f in self.fields}
+        fst = {f: getattr(self.fast, f) for f in self.fields}
+        return (
+            f"engines diverge on Q_{self.host_n} with {len(self.schedule)} "
+            f"packet(s): reference {ref} vs fast {fst}"
+        )
+
+
+def run_pair(host: Any, schedule: Schedule) -> Tuple[SimResult, SimResult]:
+    """Run ``schedule`` through both engines under the shared winner rule."""
+    reference = StoreForwardSimulator(host, tie_break="priority").run(schedule)
+    fast = FastStoreForward(host).run(schedule)
+    return reference, fast
+
+
+def differential_check(host: Any, schedule: Schedule) -> Optional[Divergence]:
+    """None when the engines agree; otherwise a *shrunken* :class:`Divergence`.
+
+    Shrinking is greedy over :func:`repro.qa.schedules.shrink_schedule`:
+    keep any smaller schedule that still diverges, restart from it, stop at
+    a local minimum (every candidate agrees).
+    """
+    diverging = _diverging_fields(host, schedule)
+    if diverging is None:
+        return None
+    current = [(tuple(p), int(r)) for p, r in schedule]
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for candidate in shrink_schedule(current):
+            if _diverging_fields(host, candidate) is not None:
+                current = candidate
+                shrinking = True
+                break
+    reference, fast = run_pair(host, current)
+    return Divergence(
+        host.n, current, reference.diff_fields(fast), reference, fast
+    )
+
+
+def _diverging_fields(host: Any, schedule: Schedule) -> Optional[Tuple[str, ...]]:
+    reference, fast = run_pair(host, schedule)
+    fields = reference.diff_fields(fast)
+    return fields or None
+
+
+def _flow_value(graph, source: int, sink: int) -> int:
+    import networkx as nx
+
+    return int(nx.maximum_flow_value(graph, source, sink, capacity="capacity"))
+
+
+def max_flow_width_check(
+    emb: Any, rng: random.Random, samples: int = 2
+) -> List[InvariantCheck]:
+    """Cross-check ``samples`` random bundles of a multipath embedding.
+
+    Silently returns no checks for non-multipath embeddings (nothing claims
+    a width) and when networkx is unavailable (the check is a referee, not
+    a dependency).
+    """
+    if not hasattr(emb, "width") or not getattr(emb, "edge_paths", None):
+        return []
+    try:
+        import networkx as nx
+    except ImportError:  # pragma: no cover - networkx is a test-env staple
+        return []
+
+    host_graph = nx.DiGraph()
+    for u in range(emb.host.num_nodes):
+        for d in range(emb.host.n):
+            host_graph.add_edge(u, u ^ (1 << d), capacity=1)
+
+    checks: List[InvariantCheck] = []
+    edges = [e for e, ps in emb.edge_paths.items() if len(ps[0]) > 1]
+    rng.shuffle(edges)
+    for edge in edges[:samples]:
+        paths = emb.edge_paths[edge]
+        u, v = paths[0][0], paths[0][-1]
+        w = len(paths)
+        host_flow = _flow_value(host_graph, u, v)
+        checks.append(
+            InvariantCheck(
+                f"flow:host:{edge}",
+                host_flow >= w,
+                f"host max-flow {host_flow} < claimed width {w}"
+                if host_flow < w
+                else f"host admits {host_flow} >= {w} disjoint paths",
+            )
+        )
+        bundle = nx.DiGraph()
+        for path in paths:
+            for a, b in zip(path, path[1:]):
+                bundle.add_edge(a, b, capacity=1)
+        bundle_flow = _flow_value(bundle, u, v)
+        checks.append(
+            InvariantCheck(
+                f"flow:bundle:{edge}",
+                bundle_flow == w,
+                f"bundle max-flow {bundle_flow} != path count {w} "
+                f"(paths are not edge-disjoint)"
+                if bundle_flow != w
+                else f"bundle carries exactly {w} disjoint paths",
+            )
+        )
+    return checks

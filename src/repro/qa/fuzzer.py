@@ -1,0 +1,284 @@
+"""The seeded construction fuzzer: sample, check, shrink, persist, replay.
+
+One fuzzing *point* is ``(construction kind, parameter dict, point seed)``.
+For each point the fuzzer runs, in order:
+
+1. **build** — the construction builder itself (a sampler only draws
+   points the builder accepts, so an exception is a finding);
+2. **verify** — the embedding's own non-strict :meth:`verify` report;
+3. **oracle** — the registered per-construction paper oracles
+   (:mod:`repro.qa.oracles` via :mod:`repro.core.verification`);
+4. **metamorphic** — random automorphism images must preserve the
+   verification report and simulated metrics (:mod:`repro.qa.metamorphic`);
+5. **differential** — both simulator engines must agree field-for-field
+   on a schedule drawn from the embedding's paths
+   (:mod:`repro.qa.differential`), which also shrinks any divergence;
+6. **flow** — networkx max-flow cross-examination of claimed widths.
+
+A failing point is shrunk against the construction's own ``shrink``
+candidates (greedily, preserving the failing stage) and saved to the
+:class:`~repro.qa.corpus.Corpus` as a replayable reproducer.  Every draw
+derives from the point seed alone, so ``replay`` reruns the exact
+automorphisms and schedules the original finding saw.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.verification import run_oracles
+from repro.qa import oracles as _oracles  # noqa: F401 - importing registers them
+from repro.qa.constructions import ConstructionSpace, default_space
+from repro.qa.corpus import Corpus, CorpusEntry
+from repro.qa.differential import differential_check, max_flow_width_check
+from repro.qa.metamorphic import metamorphic_check
+from repro.qa.schedules import (
+    embedding_schedule,
+    schedule_from_jsonable,
+    schedule_to_jsonable,
+)
+
+__all__ = ["FuzzFailure", "FuzzReport", "Fuzzer"]
+
+STAGES = ("build", "verify", "oracle", "metamorphic", "differential", "flow")
+
+
+@dataclass
+class FuzzFailure:
+    """One failing point (possibly already shrunken)."""
+
+    kind: str
+    params: Dict
+    stage: str
+    detail: str
+    schedule: Optional[List] = None
+
+    def to_entry(self, point_seed: str) -> CorpusEntry:
+        return CorpusEntry(
+            kind=self.kind,
+            params=dict(self.params),
+            stage=self.stage,
+            detail=self.detail,
+            point_seed=point_seed,
+            schedule=self.schedule,
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing run."""
+
+    points: int = 0
+    failures: List[CorpusEntry] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+    budget_exhausted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} failure(s)"
+        extra = " (budget exhausted)" if self.budget_exhausted else ""
+        return (
+            f"fuzzed {self.points} point(s) across {len(self.per_kind)} "
+            f"construction kind(s) in {self.elapsed_s:.1f}s{extra}: {verdict}"
+        )
+
+
+class Fuzzer:
+    """Drives the sample -> check -> shrink -> persist loop.
+
+    ``images`` automorphism images and ``flow_samples`` max-flow probes run
+    per point; ``checks`` restricts the stages (mostly for tests and for
+    ``repro qa diff``, which wants the differential stage alone).
+    """
+
+    def __init__(
+        self,
+        space: Optional[ConstructionSpace] = None,
+        corpus: Optional[Corpus] = None,
+        seed: int = 0,
+        images: int = 4,
+        max_packets: int = 60,
+        flow_samples: int = 2,
+        checks: Sequence[str] = STAGES,
+    ):
+        unknown = set(checks) - set(STAGES)
+        if unknown:
+            raise ValueError(f"unknown check stage(s): {sorted(unknown)}")
+        self.space = space if space is not None else default_space()
+        self.corpus = corpus
+        self.seed = seed
+        self.images = images
+        self.max_packets = max_packets
+        self.flow_samples = flow_samples
+        self.checks = tuple(checks)
+
+    # -- one point ----------------------------------------------------------
+
+    def check_point(
+        self, kind: str, params: Dict, point_seed: str
+    ) -> Optional[FuzzFailure]:
+        """Run every enabled stage on one point; None means all passed."""
+        construction = self.space.get(kind)
+        rng = random.Random(point_seed)
+        try:
+            subject = construction.build(params)
+        except Exception as err:  # noqa: BLE001 - builder crash IS the finding
+            if "build" not in self.checks:
+                return None
+            return FuzzFailure(
+                kind, params, "build", f"{type(err).__name__}: {err}"
+            )
+
+        if "verify" in self.checks:
+            report = subject.verify(strict=False)
+            if not report.ok:
+                first = report.failures[0]
+                return FuzzFailure(
+                    kind, params, "verify", f"{first.name}: {first.detail}"
+                )
+
+        if "oracle" in self.checks:
+            for check in run_oracles(kind, subject, params):
+                if not check.passed:
+                    return FuzzFailure(
+                        kind, params, "oracle", f"{check.name}: {check.detail}"
+                    )
+
+        if "metamorphic" in self.checks:
+            for check in metamorphic_check(
+                subject, rng, images=self.images, max_packets=self.max_packets
+            ):
+                if not check.passed:
+                    return FuzzFailure(
+                        kind, params, "metamorphic", f"{check.name}: {check.detail}"
+                    )
+
+        if "differential" in self.checks:
+            schedule = embedding_schedule(
+                subject, rng, max_packets=self.max_packets
+            )
+            divergence = differential_check(subject.host, schedule)
+            if divergence is not None:
+                return FuzzFailure(
+                    kind,
+                    params,
+                    "differential",
+                    divergence.describe(),
+                    schedule=schedule_to_jsonable(divergence.schedule),
+                )
+
+        if "flow" in self.checks:
+            for check in max_flow_width_check(
+                subject, rng, samples=self.flow_samples
+            ):
+                if not check.passed:
+                    return FuzzFailure(
+                        kind, params, "flow", f"{check.name}: {check.detail}"
+                    )
+        return None
+
+    # -- shrinking ----------------------------------------------------------
+
+    def shrink(self, failure: FuzzFailure, point_seed: str) -> FuzzFailure:
+        """Greedily minimize a failing point, preserving its stage.
+
+        Tries the construction's shrink candidates in order; any candidate
+        that still fails at the same stage becomes the new point, until no
+        candidate does (a local minimum).  Differential schedules shrink
+        separately inside :func:`differential_check`.
+        """
+        construction = self.space.get(failure.kind)
+        improved = True
+        while improved:
+            improved = False
+            for candidate in construction.shrink(failure.params):
+                smaller = self.check_point(failure.kind, candidate, point_seed)
+                if smaller is not None and smaller.stage == failure.stage:
+                    failure = smaller
+                    improved = True
+                    break
+        return failure
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(
+        self,
+        seeds: int = 200,
+        budget_s: Optional[float] = None,
+        kinds: Optional[Sequence[str]] = None,
+        on_point=None,
+    ) -> FuzzReport:
+        """Fuzz up to ``seeds`` points within ``budget_s`` wall seconds.
+
+        ``kinds`` restricts sampling to a subset of the space;
+        ``on_point(index, kind, failure_or_none)`` is a progress hook.
+        Every finding is shrunk and (when the fuzzer has a corpus) saved.
+        """
+        allowed = list(kinds) if kinds else list(self.space.kinds())
+        for kind in allowed:
+            self.space.get(kind)  # validate early
+        report = FuzzReport()
+        start = time.monotonic()
+        for index in range(seeds):
+            if budget_s is not None and time.monotonic() - start > budget_s:
+                report.budget_exhausted = True
+                break
+            sample_rng = random.Random(f"{self.seed}:sample:{index}")
+            point_seed = f"{self.seed}:point:{index}"
+            kind = allowed[sample_rng.randrange(len(allowed))]
+            params = self.space.get(kind).sample(sample_rng)
+            report.points += 1
+            report.per_kind[kind] = report.per_kind.get(kind, 0) + 1
+            failure = self.check_point(kind, params, point_seed)
+            if failure is not None:
+                failure = self.shrink(failure, point_seed)
+                entry = failure.to_entry(point_seed)
+                if self.corpus is not None:
+                    self.corpus.save(entry)
+                report.failures.append(entry)
+            if on_point is not None:
+                on_point(index, kind, failure)
+        report.elapsed_s = time.monotonic() - start
+        return report
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self, entry: CorpusEntry) -> Optional[FuzzFailure]:
+        """Re-run a corpus entry's point; None means it no longer fails.
+
+        The stored point seed reproduces the original run's automorphism
+        and schedule draws exactly.  For differential entries the saved
+        minimal schedule is re-checked directly as well, so a reproducer
+        stays meaningful even if the embedding-derived schedule drifts.
+        """
+        failure = self.check_point(entry.kind, dict(entry.params), entry.point_seed)
+        if failure is not None:
+            return failure
+        if entry.stage == "differential" and entry.schedule:
+            construction = self.space.get(entry.kind)
+            try:
+                subject = construction.build(dict(entry.params))
+            except Exception as err:  # noqa: BLE001
+                return FuzzFailure(
+                    entry.kind, dict(entry.params), "build",
+                    f"{type(err).__name__}: {err}",
+                )
+            divergence = differential_check(
+                subject.host, schedule_from_jsonable(entry.schedule)
+            )
+            if divergence is not None:
+                return FuzzFailure(
+                    entry.kind,
+                    dict(entry.params),
+                    "differential",
+                    divergence.describe(),
+                    schedule=schedule_to_jsonable(divergence.schedule),
+                )
+        return None

@@ -1,0 +1,143 @@
+"""Random packet schedules and schedule shrinking for the QA harness.
+
+Two schedule sources feed the differential and metamorphic layers:
+
+* :func:`random_schedule` — synthetic traffic between random node pairs of
+  a hypercube, each packet on a (randomly rotated) dimension-order path;
+* :func:`embedding_schedule` — a sample of the host paths an embedding
+  actually provides, which is the traffic the paper's cost claims are
+  about.
+
+Schedules here are plain ``(path, release_step)`` tuples — the least
+structured shape :func:`repro.routing.api.normalize_schedule` accepts — so
+they JSON-round-trip through the corpus unchanged.
+
+:func:`shrink_schedule` proposes strictly smaller schedules for failure
+minimization: drop halves (delta-debugging style), drop single packets,
+then normalize release steps to 1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "all_host_paths",
+    "random_schedule",
+    "embedding_schedule",
+    "shrink_schedule",
+    "schedule_to_jsonable",
+    "schedule_from_jsonable",
+]
+
+Schedule = List[Tuple[Tuple[int, ...], int]]
+
+
+def all_host_paths(emb: Any) -> List[Tuple[int, ...]]:
+    """Every host path an embedding provides, flattened across styles.
+
+    Multicopy embeddings contribute one path per guest edge per copy;
+    multipath embeddings contribute every path of every bundle; classical
+    embeddings contribute their single path per guest edge.
+    """
+    if hasattr(emb, "copies"):
+        return [
+            tuple(p) for c in emb.copies for p in c.edge_paths.values()
+        ]
+    paths: List[Tuple[int, ...]] = []
+    for entry in emb.edge_paths.values():
+        if entry and isinstance(entry[0], (tuple, list)):
+            paths.extend(tuple(p) for p in entry)
+        else:
+            paths.append(tuple(entry))
+    return paths
+
+
+def _dimension_order_path(n: int, u: int, v: int, start: int) -> Tuple[int, ...]:
+    """The e-cube path from ``u`` to ``v`` fixing dimensions from ``start``."""
+    path = [u]
+    cur = u
+    for i in range(n):
+        d = (start + i) % n
+        if (cur ^ v) >> d & 1:
+            cur ^= 1 << d
+            path.append(cur)
+    return tuple(path)
+
+
+def random_schedule(
+    host: Any,
+    rng: random.Random,
+    max_packets: int = 40,
+    max_release: int = 5,
+) -> Schedule:
+    """Random traffic on ``host``: up to ``max_packets`` packets between
+    random pairs, each on a randomly rotated dimension-order path with a
+    random release step in ``[1, max_release]``.
+
+    Rotating the dimension order varies which links collide without ever
+    producing a non-hypercube hop, so every generated schedule is valid for
+    both engines.
+    """
+    schedule: Schedule = []
+    for _ in range(rng.randint(0, max_packets)):
+        u = rng.randrange(host.num_nodes)
+        v = rng.randrange(host.num_nodes)
+        path = _dimension_order_path(host.n, u, v, rng.randrange(max(1, host.n)))
+        schedule.append((path, rng.randint(1, max_release)))
+    return schedule
+
+
+def embedding_schedule(
+    emb: Any,
+    rng: random.Random,
+    max_packets: int = 60,
+    max_release: int = 3,
+) -> Schedule:
+    """A random sample of the embedding's own host paths as a schedule.
+
+    Zero-hop (co-located) paths are kept with small probability — they
+    exercise the step-0 delivery corner without dominating the schedule.
+    """
+    paths = all_host_paths(emb)
+    rng.shuffle(paths)
+    schedule: Schedule = []
+    for path in paths:
+        if len(schedule) >= max_packets:
+            break
+        if len(path) == 1 and rng.random() > 0.1:
+            continue
+        schedule.append((tuple(path), rng.randint(1, max_release)))
+    return schedule
+
+
+def shrink_schedule(schedule: Sequence[Tuple[Tuple[int, ...], int]]) -> Iterator[Schedule]:
+    """Strictly smaller (or simpler) candidate schedules, biggest cuts first.
+
+    Order: drop the first/second half, drop each packet individually, then
+    flatten every release step to 1 (same packets, simpler timing).  The
+    caller keeps any candidate on which its failure still reproduces and
+    re-shrinks from there, so greedy iteration reaches a local minimum.
+    """
+    items = [(tuple(p), int(r)) for p, r in schedule]
+    n = len(items)
+    if n > 1:
+        half = n // 2
+        yield items[half:]
+        yield items[:half]
+    if n > 0:
+        for i in range(n):
+            yield items[:i] + items[i + 1 :]
+    if any(r != 1 for _, r in items):
+        yield [(p, 1) for p, _ in items]
+
+
+def schedule_to_jsonable(schedule: Sequence[Tuple[Tuple[int, ...], int]]) -> list:
+    """A JSON-safe form of a ``(path, release)`` schedule."""
+    return [[list(p), int(r)] for p, r in schedule]
+
+
+def schedule_from_jsonable(data: Sequence) -> Schedule:
+    """Invert :func:`schedule_to_jsonable` (lists back to tuples)."""
+    return [(tuple(int(x) for x in p), int(r)) for p, r in data]

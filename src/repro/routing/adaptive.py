@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro._compat import resolve_rng
 from repro.core.embedding import MultiPathEmbedding
 from repro.routing.wormhole import WormholeSimulator
 
@@ -27,21 +28,23 @@ def adaptive_wormhole_experiment(
     emb: MultiPathEmbedding,
     num_messages: int,
     flits: int,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> Dict[str, int]:
     """Wormhole ``num_messages`` along guest edges, oblivious vs adaptive.
 
     Random guest edges each carry one ``flits``-flit worm.  Oblivious
     routing always uses path 0 of the edge's bundle; adaptive routing picks
     the bundle path minimizing the current maximum link load.  Returns both
-    completion times (same message set, same seeds).
+    completion times (same message set, same seeds).  Randomness comes from
+    ``seed`` (default 0) or a shared ``rng`` stream, never both.
 
     Both arms run with per-node message buffers (virtual cut-through):
     arbitrary multipath bundles contain cyclic link dependencies, so
     classical 1-flit wormhole can deadlock — detected by the simulator —
     and a deadlock-free discipline keeps the comparison meaningful.
     """
-    rng = random.Random(seed)
+    rng = resolve_rng(seed, rng)
     edges = list(emb.edge_paths)
     moving = [e for e in edges if len(emb.edge_paths[e][0]) > 1]
     chosen = [moving[rng.randrange(len(moving))] for _ in range(num_messages)]

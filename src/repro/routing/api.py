@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Dict,
     Iterable,
     List,
     Optional,
@@ -112,6 +113,23 @@ class SimResult:
     done_steps: Tuple[int, ...]
     engine: str
     recorder: Optional[Any] = field(default=None, compare=False, repr=False)
+
+    # the measured fields two engines must agree on to be *equivalent*
+    # (``engine`` names the implementation and ``recorder`` is a sink, so
+    # neither participates)
+    MEASURED_FIELDS = ("makespan", "delivered", "injected", "steps", "done_steps")
+
+    def measured(self) -> Dict[str, Any]:
+        """The measured fields as a dict (the differential-testing view)."""
+        return {name: getattr(self, name) for name in self.MEASURED_FIELDS}
+
+    def diff_fields(self, other: "SimResult") -> Tuple[str, ...]:
+        """Names of measured fields where ``self`` and ``other`` disagree."""
+        return tuple(
+            name
+            for name in self.MEASURED_FIELDS
+            if getattr(self, name) != getattr(other, name)
+        )
 
 
 @runtime_checkable

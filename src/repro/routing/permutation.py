@@ -15,8 +15,9 @@ a unique destination.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro._compat import resolve_rng
 from repro.core.ccc_multicopy import ccc_multicopy_embedding
 from repro.core.embedding import Embedding, MultiCopyEmbedding
 from repro.hypercube.graph import Hypercube
@@ -105,9 +106,15 @@ def ccc_copy_host_path(
     return list(erase_loops(hosts))
 
 
-def random_permutation(size: int, seed: int = 0) -> List[int]:
-    """A fixed-seed random permutation of ``range(size)``."""
-    rng = random.Random(seed)
+def random_permutation(
+    size: int, seed: Optional[int] = None, rng: Optional[random.Random] = None
+) -> List[int]:
+    """A random permutation of ``range(size)``.
+
+    Deterministic given ``seed`` (default 0); pass ``rng`` instead to draw
+    from a shared stream.
+    """
+    rng = resolve_rng(seed, rng)
     perm = list(range(size))
     rng.shuffle(perm)
     return perm
@@ -170,7 +177,8 @@ def permutation_multicopy_time(
     packets: int,
     mode: str = "message",
     randomized: bool = False,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
 ) -> int:
     """Completion time with the message split across the n CCC copies.
 
@@ -191,7 +199,7 @@ def permutation_multicopy_time(
         raise ValueError(
             f"permutation must cover the {host.num_nodes} nodes of Q_{host.n}"
         )
-    rng = random.Random(seed) if randomized else None
+    rng = resolve_rng(seed, rng) if randomized else None
     per_piece = -(-packets // mc.k)
     if mode == "wormhole":
         # the wrapped CCC level loops have cyclic channel dependencies, so

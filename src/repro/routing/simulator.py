@@ -56,15 +56,31 @@ class StoreForwardSimulator:
     per step: ``None`` is the paper's all-port model (every link usable
     every step); ``1`` is the classical single-port model used by e.g. the
     dimension-exchange algorithms E15 compares against.
+
+    ``tie_break`` picks which queued packet an idle link serves first:
+    ``"fifo"`` (the default, the historical behavior) serves in arrival
+    order; ``"priority"`` serves the lowest injection index — the *same*
+    policy the vectorized :class:`~repro.routing.fast_simulator.FastStoreForward`
+    implements, which is what makes exact differential testing of the two
+    engines possible (see :mod:`repro.qa.differential`).  Both policies are
+    work-conserving, so congestion/makespan envelopes are unaffected.
     """
 
     engine = "store-forward"
 
-    def __init__(self, host: Hypercube, port_limit: Optional[int] = None):
+    def __init__(
+        self,
+        host: Hypercube,
+        port_limit: Optional[int] = None,
+        tie_break: str = "fifo",
+    ):
         if port_limit is not None and port_limit < 1:
             raise ValueError("port limit must be >= 1 (or None)")
+        if tie_break not in ("fifo", "priority"):
+            raise ValueError(f"tie_break must be 'fifo' or 'priority', got {tie_break!r}")
         self.host = host
         self.port_limit = port_limit
+        self.tie_break = tie_break
         self._queues: Dict[int, Deque[SimPacket]] = {}
         self._pending: List[SimPacket] = []
         self._delivered: List[SimPacket] = []
@@ -195,7 +211,12 @@ class StoreForwardSimulator:
                 q = self._queues[eid]
                 if recorder:
                     recorder.on_queue_depth(eid, len(q))
-                pkt = q.popleft()
+                if self.tie_break == "priority" and len(q) > 1:
+                    i = min(range(len(q)), key=lambda j: q[j].ident)
+                    pkt = q[i]
+                    del q[i]
+                else:
+                    pkt = q.popleft()
                 if not q:
                     del self._queues[eid]
                 transmitting[eid] = (pkt, step + pkt.service_time - 1)

@@ -17,8 +17,9 @@ other.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro._compat import resolve_rng
 from repro.core.butterfly_multicopy import butterfly_multicopy_embedding
 from repro.core.cross_product import induced_cross_product_embedding
 from repro.core.embedding import MultiPathEmbedding
@@ -31,6 +32,7 @@ __all__ = [
     "XRouter",
     "butterfly_route",
     "x_permutation_time",
+    "random_x_permutation",
 ]
 
 BFVertex = Tuple[int, int]
@@ -123,6 +125,27 @@ class XRouter:
             for k in range(self.n):
                 composites[k].extend(paths[k][1:])
         return [tuple(erase_loops(p)) for p in composites]
+
+
+def random_x_permutation(
+    m: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    router: "XRouter | None" = None,
+) -> List[int]:
+    """A random permutation sized for ``x_permutation_time`` on ``X(B_m)``.
+
+    Covers every node of the ``Q_{2n}`` host of the induced cross product,
+    not just the X vertices, matching what :func:`x_permutation_time`
+    requires.  Deterministic given ``seed`` (default 0); pass ``rng``
+    instead to draw from a shared stream.  Pass the ``router`` you already
+    built to skip reconstructing the embedding.
+    """
+    router = router or XRouter(m)
+    rng = resolve_rng(seed, rng)
+    perm = list(range(router.host.num_nodes))
+    rng.shuffle(perm)
+    return perm
 
 
 def x_permutation_time(
