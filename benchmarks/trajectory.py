@@ -1,0 +1,25 @@
+"""Standalone runner for the recorded perf trajectory (``BENCH_perf.json``).
+
+Thin wrapper over ``repro bench`` so CI and local runs share one entry
+point regardless of whether the package is installed:
+
+    PYTHONPATH=src python benchmarks/trajectory.py --quick \
+        --baseline BENCH_perf.json --output bench-current.json
+
+Not a pytest bench (the filename deliberately avoids the ``bench_*``
+collection pattern); the pytest-benchmark suites next to this file measure
+micro-timings, while this runner records the fast-vs-reference speedup
+trajectory the CI gate consumes.  See ``repro bench --help`` for options.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(["bench", *sys.argv[1:]]))

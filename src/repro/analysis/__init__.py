@@ -3,7 +3,9 @@
 * :mod:`repro.analysis.report` — structured metric reports and comparisons
   of embeddings (the Section 8.2 trade-off, quantified);
 * :mod:`repro.analysis.figures` — runnable reproductions of the paper's
-  Figures 1–4 as ASCII diagrams built from the real constructions.
+  Figures 1–4 as ASCII diagrams built from the real constructions;
+* :mod:`repro.analysis.trajectory` — the recorded fast-vs-reference perf
+  trajectory (``BENCH_perf.json``) and its CI regression gate.
 """
 
 from repro.analysis.report import (
@@ -18,6 +20,12 @@ from repro.analysis.dot import embedding_to_dot
 from repro.analysis.figures import figure1, figure2, figure3, figure4
 from repro.analysis.graph_metrics import guest_metrics, hypercube_metrics, pinout_comparison
 from repro.analysis.validate import ClaimResult, validate_claims
+from repro.analysis.trajectory import (
+    Workload,
+    compare_to_baseline,
+    default_workloads,
+    run_trajectory,
+)
 from repro.analysis.sweep import (
     broadcast_crossover_sweep,
     cycle_speedup_sweep,
@@ -48,4 +56,8 @@ __all__ = [
     "guest_metrics",
     "hypercube_metrics",
     "pinout_comparison",
+    "Workload",
+    "compare_to_baseline",
+    "default_workloads",
+    "run_trajectory",
 ]

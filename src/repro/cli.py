@@ -197,6 +197,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="write to this file instead of stdout",
     )
 
+    bn = sub.add_parser(
+        "bench",
+        help="time the fast engines against their references; write "
+        "BENCH_perf.json and optionally gate on a committed baseline",
+    )
+    bn.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke subset only (small workloads)",
+    )
+    bn.add_argument(
+        "--workloads", type=str, default=None,
+        help="comma-separated workload names (default: all, or the quick set)",
+    )
+    bn.add_argument(
+        "--output", type=str, default="BENCH_perf.json",
+        help="where to write the trajectory (default BENCH_perf.json)",
+    )
+    bn.add_argument(
+        "--baseline", type=str, default=None,
+        help="gate measured speedups against this BENCH_perf.json",
+    )
+    bn.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="largest tolerated speedup drop vs baseline (default 0.25)",
+    )
+    bn.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per engine; best-of wins (default 3)",
+    )
+    bn.add_argument(
+        "--list", action="store_true", help="list workload names and exit"
+    )
+
     qa = sub.add_parser(
         "qa", help="fuzzing, metamorphic and differential QA harness"
     )
@@ -621,6 +654,68 @@ def _parse_budget(text: Optional[str]) -> Optional[float]:
     return float(text) * scale
 
 
+def _cmd_bench(args) -> int:
+    from repro.analysis.trajectory import (
+        compare_to_baseline,
+        default_workloads,
+        format_points,
+        load_trajectory,
+        run_trajectory,
+        write_trajectory,
+    )
+
+    workloads = default_workloads()
+    if args.list:
+        for w in workloads:
+            tag = " [quick]" if w.quick else ""
+            print(f"  {w.name}{tag}: {w.description}")
+        return 0
+    names = (
+        [n.strip() for n in args.workloads.split(",") if n.strip()]
+        if args.workloads
+        else None
+    )
+
+    def progress(w, points):
+        fast = points[-1]
+        speedup = fast.get("speedup")
+        print(
+            f"  {w.name}: fast {fast['wall_s']:.3f}s"
+            + (f", speedup {speedup}x" if speedup is not None else "")
+        )
+
+    payload = run_trajectory(
+        workloads,
+        names=names,
+        quick=args.quick,
+        repeats=args.repeats,
+        on_workload=progress,
+    )
+    write_trajectory(payload, args.output)
+    print(f"\n{format_points(payload)}")
+    print(f"\nwrote {len(payload['points'])} point(s) to {args.output}")
+    disagreements = [
+        p["workload"]
+        for p in payload["points"]
+        if p.get("agree") is False
+    ]
+    if disagreements:
+        print(f"ENGINES DISAGREE on: {', '.join(disagreements)}")
+        return 1
+    if args.baseline:
+        problems = compare_to_baseline(
+            payload, load_trajectory(args.baseline), args.max_regression
+        )
+        if problems:
+            print(f"\nREGRESSION vs {args.baseline}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(max tolerated {args.max_regression:.0%})")
+    return 0
+
+
 def _cmd_qa(args) -> int:
     from repro.qa import Corpus, Fuzzer
 
@@ -704,6 +799,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _cmd_cache,
         "route": _cmd_route,
         "obs": _cmd_obs,
+        "bench": _cmd_bench,
         "qa": _cmd_qa,
     }
     return handlers[args.command](args)

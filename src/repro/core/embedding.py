@@ -98,59 +98,23 @@ class Embedding:
         detail; ``strict=False`` always returns the report.  A passing
         report carries the measured load/dilation/congestion/expansion under
         ``.metrics``.
+
+        The hop checks and congestion counts run on the vectorized kernels
+        of :mod:`repro.core.fast_verify`; :meth:`verify_reference` runs the
+        scalar dict-walking implementation the QA differential referees the
+        kernels against.
         """
-        if max_load is None:
-            max_load = math.ceil(self.guest.num_vertices / self.host.num_nodes)
-        checks: List[InvariantCheck] = []
+        from repro.core.fast_verify import verify_embedding
 
-        def fail(name: str, detail: str) -> VerificationReport:
-            checks.append(InvariantCheck(name, False, detail))
-            report = VerificationReport(self.name or "embedding", tuple(checks))
-            return report.raise_if_failed() if strict else report
+        return verify_embedding(self, max_load=max_load, strict=strict)
 
-        images: Counter = Counter()
-        for v in self.guest.vertices():
-            if v not in self.vertex_map:
-                return fail("vertex-map", f"guest vertex {v} is unmapped")
-            node = self.vertex_map[v]
-            if not 0 <= node < self.host.num_nodes:
-                return fail(
-                    "vertex-map", f"image {node} of {v} out of host range"
-                )
-            images[node] += 1
-        checks.append(InvariantCheck("vertex-map", True))
-        measured_load = max(images.values()) if images else 0
-        if measured_load > max_load:
-            return fail("load", f"load {measured_load} exceeds allowed {max_load}")
-        checks.append(
-            InvariantCheck("load", True, f"load {measured_load} <= {max_load}")
-        )
-        for (u, v) in self.guest.edges():
-            path = self.edge_paths.get((u, v))
-            if path is None:
-                return fail("edge-paths", f"guest edge ({u}, {v}) has no path")
-            if path[0] != self.vertex_map[u] or path[-1] != self.vertex_map[v]:
-                return fail(
-                    "edge-paths", f"path for ({u}, {v}) has wrong endpoints"
-                )
-        checks.append(InvariantCheck("edge-paths", True))
-        for (u, v) in self.guest.edges():
-            try:
-                _path_edge_ids(self.host, self.edge_paths[(u, v)])
-            except ValueError as err:
-                return fail("hops-are-edges", f"path for ({u}, {v}): {err}")
-        checks.append(InvariantCheck("hops-are-edges", True))
-        return VerificationReport(
-            self.name or "embedding",
-            tuple(checks),
-            metrics={
-                "load": measured_load,
-                "max_load_allowed": max_load,
-                "dilation": self.dilation,
-                "congestion": self.congestion,
-                "expansion": self.expansion,
-            },
-        )
+    def verify_reference(
+        self, max_load: Optional[int] = None, strict: bool = True
+    ) -> VerificationReport:
+        """Scalar reference verification (the QA differential referee)."""
+        from repro.core.fast_verify import reference_verify_embedding
+
+        return reference_verify_embedding(self, max_load=max_load, strict=strict)
 
     def __repr__(self) -> str:
         tag = f" {self.name!r}" if self.name else ""
@@ -224,119 +188,32 @@ class MultiPathEmbedding:
     def verify(self, strict: bool = True) -> VerificationReport:
         """Verify the width-w embedding; returns a :class:`VerificationReport`.
 
-        The hop checks are vectorized (numpy) — profiling showed per-hop
-        Python calls dominating large constructions; the batched version
-        checks the same invariants the scalar one did: every guest vertex is
-        mapped within the allowed load ("vertex-map", "load"), every guest
-        edge has paths with the right endpoints ("edge-paths"), every hop is
-        a hypercube edge ("hops-are-edges"), and no guest edge's path bundle
-        reuses a directed host edge within or across its paths
-        ("edge-disjoint").  The passing report's ``.metrics`` (width,
-        dilation, congestion, ...) reuse the verification arrays — the
-        congestion count comes from the same edge-id vector the disjointness
-        check sorted, not a second traversal.
+        The path-shaped work is fully vectorized (numpy) — profiling showed
+        per-hop Python calls dominating large constructions; the batched
+        kernels in :mod:`repro.core.fast_verify` check the same invariants
+        the scalar code did: every guest vertex is mapped within the allowed
+        load ("vertex-map", "load"), every guest edge has paths with the
+        right endpoints ("edge-paths"), every hop is a hypercube edge
+        ("hops-are-edges"), and no guest edge's path bundle reuses a
+        directed host edge within or across its paths ("edge-disjoint").
+        The passing report's ``.metrics`` (width, dilation, congestion, ...)
+        reuse the verification arrays — the congestion count comes from the
+        same edge-id vector the disjointness check sorted, not a second
+        traversal.  :meth:`verify_reference` runs the scalar dict-based
+        implementation the QA differential referees the kernels against.
 
         ``strict=True`` (default) raises ``AssertionError`` at the first
         failed invariant, preserving the historical contract.
         """
-        import numpy as np
+        from repro.core.fast_verify import verify_multipath
 
-        checks: List[InvariantCheck] = []
+        return verify_multipath(self, strict=strict)
 
-        def fail(name: str, detail: str) -> VerificationReport:
-            checks.append(InvariantCheck(name, False, detail))
-            report = VerificationReport(
-                self.name or "multipath-embedding", tuple(checks)
-            )
-            return report.raise_if_failed() if strict else report
+    def verify_reference(self, strict: bool = True) -> VerificationReport:
+        """Scalar reference verification (the QA differential referee)."""
+        from repro.core.fast_verify import reference_verify_multipath
 
-        def done(metrics: Dict) -> VerificationReport:
-            return VerificationReport(
-                self.name or "multipath-embedding", tuple(checks), metrics
-            )
-
-        images = Counter(self.vertex_map.values())
-        for v in self.guest.vertices():
-            if v not in self.vertex_map:
-                return fail("vertex-map", f"guest vertex {v} is unmapped")
-        checks.append(InvariantCheck("vertex-map", True))
-        measured_load = max(images.values()) if images else 0
-        if measured_load > self.load_allowed:
-            return fail(
-                "load",
-                f"load {measured_load} exceeds allowed {self.load_allowed}",
-            )
-        checks.append(
-            InvariantCheck(
-                "load", True, f"load {measured_load} <= {self.load_allowed}"
-            )
-        )
-        heads: List[int] = []
-        tails: List[int] = []
-        group: List[int] = []  # guest-edge index per hop
-        min_width = None
-        for idx, (u, v) in enumerate(self.guest.edges()):
-            paths = self.edge_paths.get((u, v))
-            if not paths:
-                return fail("edge-paths", f"guest edge ({u}, {v}) has no paths")
-            if min_width is None or len(paths) < min_width:
-                min_width = len(paths)
-            hu, hv = self.vertex_map[u], self.vertex_map[v]
-            for p in paths:
-                if p[0] != hu or p[-1] != hv:
-                    return fail(
-                        "edge-paths",
-                        f"path for ({u}, {v}) has wrong endpoints: {p}",
-                    )
-                heads.extend(p[:-1])
-                tails.extend(p[1:])
-                group.extend([idx] * (len(p) - 1))
-        checks.append(InvariantCheck("edge-paths", True))
-        base_metrics = {
-            "width": min_width or 0,
-            "load": measured_load,
-            "max_load_allowed": self.load_allowed,
-            "expansion": self.expansion,
-        }
-        if not heads:
-            checks.append(InvariantCheck("hops-are-edges", True))
-            checks.append(InvariantCheck("edge-disjoint", True))
-            return done({**base_metrics, "dilation": 0, "congestion": 0})
-        us = np.asarray(heads, dtype=np.int64)
-        vs = np.asarray(tails, dtype=np.int64)
-        gs = np.asarray(group, dtype=np.int64)
-        if us.min() < 0 or max(us.max(), vs.max()) >= self.host.num_nodes:
-            return fail("hops-are-edges", "path node out of host range")
-        x = us ^ vs
-        if np.any(x == 0) or np.any(x & (x - 1)):
-            bad = int(np.nonzero((x == 0) | (x & (x - 1)) != 0)[0][0])
-            return fail(
-                "hops-are-edges",
-                f"({heads[bad]}, {tails[bad]}) is not a hypercube edge",
-            )
-        checks.append(InvariantCheck("hops-are-edges", True))
-        dims = np.log2(x.astype(np.float64)).astype(np.int64)
-        eids = us * self.host.n + dims
-        keys = gs * np.int64(self.host.num_edges) + eids
-        if np.unique(keys).size != keys.size:
-            # locate one offender for the error message
-            uniq, counts = np.unique(keys, return_counts=True)
-            key = int(uniq[np.argmax(counts > 1)])
-            return fail(
-                "edge-disjoint",
-                f"guest edge #{key // self.host.num_edges} reuses directed "
-                f"host edge {key % self.host.num_edges} across its paths",
-            )
-        checks.append(InvariantCheck("edge-disjoint", True))
-        # every (guest edge, host edge) pair is unique past this point, so a
-        # bincount of the edge-id vector IS the per-host-edge congestion
-        return done(
-            {
-                **base_metrics,
-                "dilation": self.dilation,
-                "congestion": int(np.bincount(eids).max()),
-            }
-        )
+        return reference_verify_multipath(self, strict=strict)
 
     def __repr__(self) -> str:
         tag = f" {self.name!r}" if self.name else ""
@@ -393,9 +270,17 @@ class MultiCopyEmbedding:
         stops at the first failing copy.  ``strict=True`` (default) raises
         ``AssertionError`` with the historical ``copy {i}: ...`` message.
         """
+        return self._verify_copies(strict, reference=False)
+
+    def verify_reference(self, strict: bool = True) -> VerificationReport:
+        """Scalar reference verification of every copy (the QA referee)."""
+        return self._verify_copies(strict, reference=True)
+
+    def _verify_copies(self, strict: bool, reference: bool) -> VerificationReport:
         checks: List[InvariantCheck] = []
         for i, copy in enumerate(self.copies):
-            sub = copy.verify(max_load=self.copy_load_allowed, strict=False)
+            verify = copy.verify_reference if reference else copy.verify
+            sub = verify(max_load=self.copy_load_allowed, strict=False)
             checks.extend(
                 InvariantCheck(
                     f"copy{i}:{c.name}",

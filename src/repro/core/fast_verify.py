@@ -1,0 +1,469 @@
+"""Vectorized embedding verification kernels + the dict-based referee.
+
+The hot path of ``verify()`` at scale is hop validation and congestion
+counting over every host path an embedding carries — millions of hops for
+``Q_18``/``Q_20`` constructions.  The kernels here run that path as numpy
+array programs over the shared :mod:`repro.hypercube.pathcode` encoding
+(one flattened node vector + offsets per batch, built once): hop legality
+is an XOR-popcount test, congestion is one ``bincount``, edge-disjointness
+is sorted-duplicate detection, and dilation/load are array reductions.
+
+The scalar dict-based implementations are *kept* as ``reference_verify_*``
+— they share no arrays with the kernels, which makes them the referee of
+the QA differential stage: every fuzzed embedding's vectorized report must
+agree check-for-check and metric-for-metric with the referee's (see
+:func:`repro.qa.differential.verification_differential`).
+
+Both implementations produce the same
+:class:`~repro.core.verification.VerificationReport` shape: the same check
+names in the same order, stopping at the first failure, and the same
+``metrics`` (Python scalars) for a passing report.  Failure *details* can
+differ only when several invariants are broken at once — the vectorized
+kernels test a whole batch per invariant while the referee walks hop by
+hop, so they may name different offenders; the failing check's name and
+the report's verdict always match.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.verification import InvariantCheck, VerificationReport
+from repro.hypercube.pathcode import flatten_paths, hop_endpoints
+from repro.obs.profile import profile_span
+
+__all__ = [
+    "verify_embedding",
+    "verify_multipath",
+    "reference_verify_embedding",
+    "reference_verify_multipath",
+]
+
+
+def _path_edge_ids(host: Any, path) -> List[int]:
+    """Directed host edge ids along a path (raises on non-edges)."""
+    return [host.edge_id(a, b) for a, b in zip(path, path[1:])]
+
+
+# -- vectorized kernels -------------------------------------------------------
+
+
+def _first_invalid_hop(
+    host: Any, heads: np.ndarray, tails: np.ndarray
+) -> Optional[Tuple[int, str]]:
+    """First hop that is not a directed host edge, with its error message.
+
+    Mirrors :meth:`Hypercube.dimension_of`'s per-hop order exactly:
+    power-of-two XOR first, then head range, then tail range — so the
+    message matches what the scalar referee raises for the same hop.
+    """
+    if heads.size == 0:
+        return None
+    x = heads ^ tails
+    bad_pow = (x == 0) | ((x & (x - 1)) != 0)
+    oob_head = (heads < 0) | (heads >= host.num_nodes)
+    oob_tail = (tails < 0) | (tails >= host.num_nodes)
+    bad = bad_pow | oob_head | oob_tail
+    if not np.any(bad):
+        return None
+    i = int(np.argmax(bad))
+    u, v = int(heads[i]), int(tails[i])
+    if bad_pow[i]:
+        return i, f"({u}, {v}) is not a hypercube edge"
+    if oob_head[i]:
+        return i, f"node {u} out of range for Q_{host.n}"
+    return i, f"node {v} out of range for Q_{host.n}"
+
+
+def _edge_ids(host: Any, heads: np.ndarray, tails: np.ndarray) -> np.ndarray:
+    """Packed edge ids of pre-validated hops (log2 is exact and warning-free)."""
+    x = (heads ^ tails).astype(np.float64)
+    return heads * np.int64(host.n) + np.log2(x).astype(np.int64)
+
+
+def verify_embedding(
+    emb: Any, max_load: Optional[int] = None, strict: bool = True
+) -> VerificationReport:
+    """Vectorized verification of a classical :class:`~repro.core.embedding.Embedding`.
+
+    Same invariants, order, and report shape as
+    :func:`reference_verify_embedding`: vertex-map, load, edge-paths,
+    hops-are-edges, stopping at the first failure; a passing report carries
+    load/dilation/congestion/expansion.
+    """
+    name = emb.name or "embedding"
+    if max_load is None:
+        max_load = math.ceil(emb.guest.num_vertices / emb.host.num_nodes)
+    checks: List[InvariantCheck] = []
+
+    def fail(check: str, detail: str) -> VerificationReport:
+        checks.append(InvariantCheck(check, False, detail))
+        report = VerificationReport(name, tuple(checks))
+        return report.raise_if_failed() if strict else report
+
+    with profile_span("verify.embedding", subject=name):
+        images: Counter = Counter()
+        for v in emb.guest.vertices():
+            if v not in emb.vertex_map:
+                return fail("vertex-map", f"guest vertex {v} is unmapped")
+            node = emb.vertex_map[v]
+            if not 0 <= node < emb.host.num_nodes:
+                return fail("vertex-map", f"image {node} of {v} out of host range")
+            images[node] += 1
+        checks.append(InvariantCheck("vertex-map", True))
+        measured_load = max(images.values()) if images else 0
+        if measured_load > max_load:
+            return fail("load", f"load {measured_load} exceeds allowed {max_load}")
+        checks.append(
+            InvariantCheck("load", True, f"load {measured_load} <= {max_load}")
+        )
+
+        paths: List[Tuple[int, ...]] = []
+        edges: List[Tuple[Any, Any]] = []
+        for (u, v) in emb.guest.edges():
+            path = emb.edge_paths.get((u, v))
+            if path is None:
+                return fail("edge-paths", f"guest edge ({u}, {v}) has no path")
+            if path[0] != emb.vertex_map[u] or path[-1] != emb.vertex_map[v]:
+                return fail("edge-paths", f"path for ({u}, {v}) has wrong endpoints")
+            paths.append(path)
+            edges.append((u, v))
+        checks.append(InvariantCheck("edge-paths", True))
+
+        nodes, offsets = flatten_paths(paths)
+        heads, tails = hop_endpoints(nodes, offsets)
+        invalid = _first_invalid_hop(emb.host, heads, tails)
+        if invalid is not None:
+            hop_idx, msg = invalid
+            lengths = np.diff(offsets) - 1
+            hop_starts = np.cumsum(lengths) - lengths
+            which = int(np.searchsorted(hop_starts, hop_idx, side="right") - 1)
+            u, v = edges[which]
+            return fail("hops-are-edges", f"path for ({u}, {v}): {msg}")
+        checks.append(InvariantCheck("hops-are-edges", True))
+
+        # The metric contract follows the dilation/congestion properties:
+        # they measure every path in ``edge_paths``, which can be a superset
+        # of the guest edges just verified.  Reuse the verified batch when
+        # the dict holds exactly the guest edges (the invariable case for
+        # the package's builders); otherwise fall back to the properties.
+        if len(emb.edge_paths) == len(paths):
+            lengths = np.diff(offsets) - 1
+            dilation = int(lengths.max()) if lengths.size else 0
+            if heads.size:
+                congestion = int(np.bincount(_edge_ids(emb.host, heads, tails)).max())
+            else:
+                congestion = 0
+        else:
+            dilation, congestion = emb.dilation, emb.congestion
+        return VerificationReport(
+            name,
+            tuple(checks),
+            metrics={
+                "load": measured_load,
+                "max_load_allowed": max_load,
+                "dilation": dilation,
+                "congestion": congestion,
+                "expansion": emb.expansion,
+            },
+        )
+
+
+def verify_multipath(emb: Any, strict: bool = True) -> VerificationReport:
+    """Vectorized verification of a width-w :class:`MultiPathEmbedding`.
+
+    Same invariants, order, and report shape as
+    :func:`reference_verify_multipath`: vertex-map, load, edge-paths,
+    hops-are-edges, edge-disjoint.  Every path of every bundle is flattened
+    into one node vector; endpoints come from offset gathers, hop legality
+    from one XOR-popcount pass, edge-disjointness from sorted-duplicate
+    detection on ``guest_edge * num_edges + edge_id`` keys, and congestion
+    from one ``bincount`` of the same edge-id vector.
+    """
+    name = emb.name or "multipath-embedding"
+    checks: List[InvariantCheck] = []
+
+    def fail(check: str, detail: str) -> VerificationReport:
+        checks.append(InvariantCheck(check, False, detail))
+        report = VerificationReport(name, tuple(checks))
+        return report.raise_if_failed() if strict else report
+
+    def done(metrics: Dict[str, Any]) -> VerificationReport:
+        return VerificationReport(name, tuple(checks), metrics)
+
+    with profile_span("verify.multipath", subject=name):
+        images = Counter(emb.vertex_map.values())
+        for v in emb.guest.vertices():
+            if v not in emb.vertex_map:
+                return fail("vertex-map", f"guest vertex {v} is unmapped")
+        checks.append(InvariantCheck("vertex-map", True))
+        measured_load = max(images.values()) if images else 0
+        if measured_load > emb.load_allowed:
+            return fail(
+                "load", f"load {measured_load} exceeds allowed {emb.load_allowed}"
+            )
+        checks.append(
+            InvariantCheck(
+                "load", True, f"load {measured_load} <= {emb.load_allowed}"
+            )
+        )
+
+        flat: List[Tuple[int, ...]] = []
+        bundle_sizes: List[int] = []
+        exp_src: List[int] = []
+        exp_dst: List[int] = []
+        gedges: List[Tuple[Any, Any]] = []
+        min_width = None
+        for (u, v) in emb.guest.edges():
+            bundle = emb.edge_paths.get((u, v))
+            if not bundle:
+                return fail("edge-paths", f"guest edge ({u}, {v}) has no paths")
+            if min_width is None or len(bundle) < min_width:
+                min_width = len(bundle)
+            flat.extend(bundle)
+            bundle_sizes.append(len(bundle))
+            exp_src.append(emb.vertex_map[u])
+            exp_dst.append(emb.vertex_map[v])
+            gedges.append((u, v))
+
+        nodes, offsets = flatten_paths(flat)
+        node_counts = np.diff(offsets)
+        if np.any(node_counts == 0):
+            # an empty path tuple: the scalar referee's p[0] raises this
+            raise IndexError("tuple index out of range")
+        sizes = np.asarray(bundle_sizes, dtype=np.int64)
+        path_group = np.repeat(np.arange(len(gedges), dtype=np.int64), sizes)
+        first = nodes[offsets[:-1]]
+        last = nodes[offsets[1:] - 1]
+        bad_end = (first != np.asarray(exp_src, dtype=np.int64)[path_group]) | (
+            last != np.asarray(exp_dst, dtype=np.int64)[path_group]
+        )
+        if np.any(bad_end):
+            j = int(np.argmax(bad_end))
+            u, v = gedges[int(path_group[j])]
+            return fail(
+                "edge-paths", f"path for ({u}, {v}) has wrong endpoints: {flat[j]}"
+            )
+        checks.append(InvariantCheck("edge-paths", True))
+
+        base_metrics: Dict[str, Any] = {
+            "width": min_width or 0,
+            "load": measured_load,
+            "max_load_allowed": emb.load_allowed,
+            "expansion": emb.expansion,
+        }
+        heads, tails = hop_endpoints(nodes, offsets)
+        if heads.size == 0:
+            checks.append(InvariantCheck("hops-are-edges", True))
+            checks.append(InvariantCheck("edge-disjoint", True))
+            return done({**base_metrics, "dilation": 0, "congestion": 0})
+        if int(heads.min()) < 0 or max(int(heads.max()), int(tails.max())) >= emb.host.num_nodes:
+            return fail("hops-are-edges", "path node out of host range")
+        x = heads ^ tails
+        bad_hop = (x == 0) | ((x & (x - 1)) != 0)
+        if np.any(bad_hop):
+            b = int(np.argmax(bad_hop))
+            return fail(
+                "hops-are-edges",
+                f"({int(heads[b])}, {int(tails[b])}) is not a hypercube edge",
+            )
+        checks.append(InvariantCheck("hops-are-edges", True))
+
+        eids = heads * np.int64(emb.host.n) + np.log2(
+            x.astype(np.float64)
+        ).astype(np.int64)
+        hops_per_path = node_counts - 1
+        hop_group = np.repeat(path_group, hops_per_path)
+        keys = hop_group * np.int64(emb.host.num_edges) + eids
+        uniq, counts = np.unique(keys, return_counts=True)
+        if uniq.size != keys.size:
+            key = int(uniq[np.argmax(counts > 1)])
+            return fail(
+                "edge-disjoint",
+                f"guest edge #{key // emb.host.num_edges} reuses directed "
+                f"host edge {key % emb.host.num_edges} across its paths",
+            )
+        checks.append(InvariantCheck("edge-disjoint", True))
+        # every (guest edge, host edge) pair is unique past this point, so a
+        # bincount of the edge-id vector IS the per-host-edge congestion
+        return done(
+            {
+                **base_metrics,
+                "dilation": int(hops_per_path.max()),
+                "congestion": int(np.bincount(eids).max()),
+            }
+        )
+
+
+# -- scalar dict-based referee ------------------------------------------------
+
+
+def reference_verify_embedding(
+    emb: Any, max_load: Optional[int] = None, strict: bool = True
+) -> VerificationReport:
+    """The scalar dict-walking verifier for :class:`Embedding` (QA referee)."""
+    if max_load is None:
+        max_load = math.ceil(emb.guest.num_vertices / emb.host.num_nodes)
+    checks: List[InvariantCheck] = []
+
+    def fail(check: str, detail: str) -> VerificationReport:
+        checks.append(InvariantCheck(check, False, detail))
+        report = VerificationReport(emb.name or "embedding", tuple(checks))
+        return report.raise_if_failed() if strict else report
+
+    images: Counter = Counter()
+    for v in emb.guest.vertices():
+        if v not in emb.vertex_map:
+            return fail("vertex-map", f"guest vertex {v} is unmapped")
+        node = emb.vertex_map[v]
+        if not 0 <= node < emb.host.num_nodes:
+            return fail("vertex-map", f"image {node} of {v} out of host range")
+        images[node] += 1
+    checks.append(InvariantCheck("vertex-map", True))
+    measured_load = max(images.values()) if images else 0
+    if measured_load > max_load:
+        return fail("load", f"load {measured_load} exceeds allowed {max_load}")
+    checks.append(
+        InvariantCheck("load", True, f"load {measured_load} <= {max_load}")
+    )
+    for (u, v) in emb.guest.edges():
+        path = emb.edge_paths.get((u, v))
+        if path is None:
+            return fail("edge-paths", f"guest edge ({u}, {v}) has no path")
+        if path[0] != emb.vertex_map[u] or path[-1] != emb.vertex_map[v]:
+            return fail("edge-paths", f"path for ({u}, {v}) has wrong endpoints")
+    checks.append(InvariantCheck("edge-paths", True))
+    for (u, v) in emb.guest.edges():
+        try:
+            _path_edge_ids(emb.host, emb.edge_paths[(u, v)])
+        except ValueError as err:
+            return fail("hops-are-edges", f"path for ({u}, {v}): {err}")
+    checks.append(InvariantCheck("hops-are-edges", True))
+    return VerificationReport(
+        emb.name or "embedding",
+        tuple(checks),
+        metrics={
+            "load": measured_load,
+            "max_load_allowed": max_load,
+            "dilation": emb.dilation,
+            "congestion": emb.congestion,
+            "expansion": emb.expansion,
+        },
+    )
+
+
+def reference_verify_multipath(emb: Any, strict: bool = True) -> VerificationReport:
+    """The scalar dict/set-based verifier for :class:`MultiPathEmbedding`.
+
+    Kept deliberately free of numpy: edge ids come from
+    :meth:`Hypercube.edge_id` one hop at a time, disjointness from per-bundle
+    ``Counter`` duplicates, congestion from a global ``Counter`` over each
+    bundle's used-edge set.  Report-shape-identical to
+    :func:`verify_multipath` — this is what the QA differential referees
+    the vectorized kernel against.
+    """
+    name = emb.name or "multipath-embedding"
+    checks: List[InvariantCheck] = []
+
+    def fail(check: str, detail: str) -> VerificationReport:
+        checks.append(InvariantCheck(check, False, detail))
+        report = VerificationReport(name, tuple(checks))
+        return report.raise_if_failed() if strict else report
+
+    images = Counter(emb.vertex_map.values())
+    for v in emb.guest.vertices():
+        if v not in emb.vertex_map:
+            return fail("vertex-map", f"guest vertex {v} is unmapped")
+    checks.append(InvariantCheck("vertex-map", True))
+    measured_load = max(images.values()) if images else 0
+    if measured_load > emb.load_allowed:
+        return fail(
+            "load", f"load {measured_load} exceeds allowed {emb.load_allowed}"
+        )
+    checks.append(
+        InvariantCheck("load", True, f"load {measured_load} <= {emb.load_allowed}")
+    )
+
+    bundles: List[Tuple[Tuple[Any, Any], Tuple[Tuple[int, ...], ...]]] = []
+    min_width = None
+    for (u, v) in emb.guest.edges():
+        bundle = emb.edge_paths.get((u, v))
+        if not bundle:
+            return fail("edge-paths", f"guest edge ({u}, {v}) has no paths")
+        if min_width is None or len(bundle) < min_width:
+            min_width = len(bundle)
+        hu, hv = emb.vertex_map[u], emb.vertex_map[v]
+        for p in bundle:
+            if p[0] != hu or p[-1] != hv:
+                return fail(
+                    "edge-paths", f"path for ({u}, {v}) has wrong endpoints: {p}"
+                )
+        bundles.append(((u, v), bundle))
+    checks.append(InvariantCheck("edge-paths", True))
+
+    base_metrics: Dict[str, Any] = {
+        "width": min_width or 0,
+        "load": measured_load,
+        "max_load_allowed": emb.load_allowed,
+        "expansion": emb.expansion,
+    }
+    total_hops = 0
+    for _, bundle in bundles:
+        for p in bundle:
+            total_hops += len(p) - 1
+            for a, b in zip(p, p[1:]):
+                if not (
+                    0 <= a < emb.host.num_nodes and 0 <= b < emb.host.num_nodes
+                ):
+                    return fail("hops-are-edges", "path node out of host range")
+                x = a ^ b
+                if x == 0 or (x & (x - 1)) != 0:
+                    return fail(
+                        "hops-are-edges", f"({a}, {b}) is not a hypercube edge"
+                    )
+    if total_hops == 0:
+        checks.append(InvariantCheck("hops-are-edges", True))
+        checks.append(InvariantCheck("edge-disjoint", True))
+        return VerificationReport(
+            name,
+            tuple(checks),
+            {**base_metrics, "dilation": 0, "congestion": 0},
+        )
+    checks.append(InvariantCheck("hops-are-edges", True))
+
+    duplicate_keys: List[int] = []
+    per_host_edge: Counter = Counter()
+    dilation = 0
+    for idx, (_, bundle) in enumerate(bundles):
+        seen: Counter = Counter()
+        for p in bundle:
+            dilation = max(dilation, len(p) - 1)
+            for eid in _path_edge_ids(emb.host, p):
+                seen[eid] += 1
+        duplicate_keys.extend(
+            idx * emb.host.num_edges + eid
+            for eid, count in seen.items()
+            if count > 1
+        )
+        per_host_edge.update(seen.keys())
+    if duplicate_keys:
+        key = min(duplicate_keys)
+        return fail(
+            "edge-disjoint",
+            f"guest edge #{key // emb.host.num_edges} reuses directed "
+            f"host edge {key % emb.host.num_edges} across its paths",
+        )
+    checks.append(InvariantCheck("edge-disjoint", True))
+    return VerificationReport(
+        name,
+        tuple(checks),
+        {
+            **base_metrics,
+            "dilation": dilation,
+            "congestion": max(per_host_edge.values()) if per_host_edge else 0,
+        },
+    )

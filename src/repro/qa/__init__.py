@@ -21,9 +21,13 @@ from repro.qa.constructions import ConstructionSpace, FuzzConstruction, default_
 from repro.qa.corpus import Corpus, CorpusEntry, default_corpus_dir
 from repro.qa.differential import (
     Divergence,
+    WormDivergence,
     differential_check,
     max_flow_width_check,
     run_pair,
+    run_wormhole_pair,
+    verification_differential,
+    wormhole_differential_check,
 )
 from repro.qa.fuzzer import Fuzzer, FuzzFailure, FuzzReport
 from repro.qa.metamorphic import map_schedule, metamorphic_check
@@ -31,9 +35,11 @@ from repro.qa.schedules import (
     all_host_paths,
     embedding_schedule,
     random_schedule,
+    random_worm_schedule,
     schedule_from_jsonable,
     schedule_to_jsonable,
     shrink_schedule,
+    shrink_worm_schedule,
 )
 
 __all__ = [
@@ -44,9 +50,13 @@ __all__ = [
     "CorpusEntry",
     "default_corpus_dir",
     "Divergence",
+    "WormDivergence",
     "differential_check",
     "max_flow_width_check",
     "run_pair",
+    "run_wormhole_pair",
+    "verification_differential",
+    "wormhole_differential_check",
     "Fuzzer",
     "FuzzFailure",
     "FuzzReport",
@@ -55,7 +65,9 @@ __all__ = [
     "all_host_paths",
     "embedding_schedule",
     "random_schedule",
+    "random_worm_schedule",
     "schedule_from_jsonable",
     "schedule_to_jsonable",
     "shrink_schedule",
+    "shrink_worm_schedule",
 ]

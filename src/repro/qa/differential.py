@@ -9,6 +9,19 @@ must return *field-for-field identical* :class:`~repro.routing.api.SimResult`s.
 :func:`differential_check` asserts exactly that and, on divergence,
 shrinks the schedule to a minimal reproducer before reporting.
 
+The same contract holds at flit granularity: the reference
+:class:`~repro.routing.wormhole.WormholeSimulator` and the vectorized
+:class:`~repro.routing.fast_wormhole.FastWormhole` implement identical
+two-phase step semantics, so :func:`wormhole_differential_check` demands
+identical makespans, per-worm final states, link ownership *and* recorder
+snapshots — and identical deadlocks, since a schedule that deadlocks one
+engine must deadlock the other at the same step.
+
+:func:`verification_differential` referees the third fast/reference pair:
+the vectorized ``verify()`` kernels against the scalar
+``verify_reference()`` walk, compared signature-for-signature (check
+names + outcomes, all metrics).
+
 Independently, :func:`max_flow_width_check` cross-examines claimed
 edge-disjoint widths with an algorithm that shares no code with the
 verifier: networkx max-flow over the directed hypercube with unit
@@ -23,15 +36,32 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.verification import InvariantCheck
-from repro.qa.schedules import Schedule, shrink_schedule
+from repro.obs.recorder import LinkRecorder
+from repro.qa.schedules import (
+    Schedule,
+    WormSchedule,
+    shrink_schedule,
+    shrink_worm_schedule,
+)
 from repro.routing.api import SimResult
 from repro.routing.fast_simulator import FastStoreForward
+from repro.routing.fast_wormhole import FastWormhole
 from repro.routing.simulator import StoreForwardSimulator
+from repro.routing.wormhole import WormholeDeadlock, WormholeSimulator
 
-__all__ = ["Divergence", "run_pair", "differential_check", "max_flow_width_check"]
+__all__ = [
+    "Divergence",
+    "WormDivergence",
+    "run_pair",
+    "differential_check",
+    "run_wormhole_pair",
+    "wormhole_differential_check",
+    "verification_differential",
+    "max_flow_width_check",
+]
 
 
 @dataclass
@@ -89,6 +119,165 @@ def _diverging_fields(host: Any, schedule: Schedule) -> Optional[Tuple[str, ...]
     reference, fast = run_pair(host, schedule)
     fields = reference.diff_fields(fast)
     return fields or None
+
+
+# -- wormhole engines --------------------------------------------------------
+
+
+@dataclass
+class WormDivergence:
+    """A worm schedule on which the two wormhole engines disagree, minimized."""
+
+    host_n: int
+    buffer_capacity: int
+    schedule: WormSchedule
+    fields: Tuple[str, ...]
+    reference: Dict[str, Any]
+    fast: Dict[str, Any]
+
+    def describe(self) -> str:
+        ref = {f: self.reference[f] for f in self.fields}
+        fst = {f: self.fast[f] for f in self.fields}
+        return (
+            f"wormhole engines diverge on Q_{self.host_n} "
+            f"(buffers={self.buffer_capacity}) with {len(self.schedule)} "
+            f"worm(s): reference {ref} vs fast {fst}"
+        )
+
+
+def _run_worm_engine(
+    engine_cls, host: Any, schedule: WormSchedule, buffer_capacity: int
+) -> Dict[str, Any]:
+    """One engine's complete observable outcome on a worm schedule.
+
+    Covers every surface the engines share: the returned makespan (or the
+    deadlock message), each worm's final ``(done_step, head_link,
+    flits_crossed)``, the surviving link-ownership map, and the recorder
+    snapshot (per-link flit counts + delivery histogram).
+    """
+    sim = engine_cls(host, buffer_capacity=buffer_capacity)
+    worms = [
+        sim.inject(tuple(path), int(flits), int(release))
+        for path, flits, release in schedule
+    ]
+    recorder = LinkRecorder(host=host)
+    makespan: Optional[int] = None
+    deadlock: Optional[str] = None
+    try:
+        makespan = sim.run(recorder=recorder)
+    except WormholeDeadlock as err:
+        deadlock = str(err)
+    return {
+        "makespan": makespan,
+        "deadlock": deadlock,
+        "worms": tuple(
+            (w.done_step, w.head_link, tuple(w.flits_crossed)) for w in worms
+        ),
+        "owner": dict(sim._owner),
+        "recorder": recorder.snapshot(),
+    }
+
+
+def run_wormhole_pair(
+    host: Any, schedule: WormSchedule, buffer_capacity: int = 1
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Run a worm schedule through both wormhole engines."""
+    reference = _run_worm_engine(
+        WormholeSimulator, host, schedule, buffer_capacity
+    )
+    fast = _run_worm_engine(FastWormhole, host, schedule, buffer_capacity)
+    return reference, fast
+
+
+def _worm_diverging_fields(
+    host: Any, schedule: WormSchedule, buffer_capacity: int
+) -> Optional[Tuple[str, ...]]:
+    reference, fast = run_wormhole_pair(host, schedule, buffer_capacity)
+    fields = tuple(k for k in reference if reference[k] != fast[k])
+    return fields or None
+
+
+def wormhole_differential_check(
+    host: Any, schedule: WormSchedule, buffer_capacity: int = 1
+) -> Optional[WormDivergence]:
+    """None when the wormhole engines agree; else a shrunken divergence.
+
+    Agreement is total: makespan, deadlock-or-not (and the deadlock
+    message's step), per-worm final state, link ownership and recorder
+    snapshot must all match.  Shrinking mirrors :func:`differential_check`
+    over :func:`repro.qa.schedules.shrink_worm_schedule`.
+    """
+    if _worm_diverging_fields(host, schedule, buffer_capacity) is None:
+        return None
+    current = [(tuple(p), int(m), int(r)) for p, m, r in schedule]
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for candidate in shrink_worm_schedule(current):
+            if _worm_diverging_fields(host, candidate, buffer_capacity) is not None:
+                current = candidate
+                shrinking = True
+                break
+    reference, fast = run_wormhole_pair(host, current, buffer_capacity)
+    fields = tuple(k for k in reference if reference[k] != fast[k])
+    return WormDivergence(
+        host.n, buffer_capacity, current, fields, reference, fast
+    )
+
+
+# -- verification kernels ----------------------------------------------------
+
+
+def verification_differential(emb: Any) -> List[InvariantCheck]:
+    """Referee the vectorized verify against the scalar reference walk.
+
+    Both must produce the same check names with the same outcomes in the
+    same order, and identical metrics.  Failure *details* are allowed to
+    differ when several invariants are broken at once (batch checking may
+    pick a different offender than the per-hop walk), so details are
+    compared only on fully passing reports, where they are deterministic.
+    Embeddings without a ``verify_reference`` contribute no checks.
+    """
+    if not hasattr(emb, "verify_reference"):
+        return []
+    fast = emb.verify(strict=False)
+    reference = emb.verify_reference(strict=False)
+    checks: List[InvariantCheck] = []
+    fast_sig = tuple((c.name, c.passed) for c in fast.checks)
+    ref_sig = tuple((c.name, c.passed) for c in reference.checks)
+    checks.append(
+        InvariantCheck(
+            "diff:verify:checks",
+            fast_sig == ref_sig,
+            f"vectorized checks {fast_sig} != reference {ref_sig}"
+            if fast_sig != ref_sig
+            else f"{len(fast_sig)} checks agree with the scalar referee",
+        )
+    )
+    fast_metrics = tuple(sorted(fast.metrics.items()))
+    ref_metrics = tuple(sorted(reference.metrics.items()))
+    checks.append(
+        InvariantCheck(
+            "diff:verify:metrics",
+            fast_metrics == ref_metrics,
+            f"vectorized metrics {fast_metrics} != reference {ref_metrics}"
+            if fast_metrics != ref_metrics
+            else "metrics agree with the scalar referee",
+        )
+    )
+    if fast.ok and reference.ok:
+        fast_details = tuple(c.detail for c in fast.checks)
+        ref_details = tuple(c.detail for c in reference.checks)
+        checks.append(
+            InvariantCheck(
+                "diff:verify:details",
+                fast_details == ref_details,
+                "passing-report details differ from the scalar referee"
+                if fast_details != ref_details
+                else "passing details agree with the scalar referee",
+            )
+        )
+    return checks
 
 
 def _flow_value(graph, source: int, sink: int) -> int:

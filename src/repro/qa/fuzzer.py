@@ -5,7 +5,9 @@ For each point the fuzzer runs, in order:
 
 1. **build** — the construction builder itself (a sampler only draws
    points the builder accepts, so an exception is a finding);
-2. **verify** — the embedding's own non-strict :meth:`verify` report;
+2. **verify** — the embedding's own non-strict :meth:`verify` report,
+   plus the fast/reference verification referee
+   (:func:`repro.qa.differential.verification_differential`);
 3. **oracle** — the registered per-construction paper oracles
    (:mod:`repro.qa.oracles` via :mod:`repro.core.verification`);
 4. **metamorphic** — random automorphism images must preserve the
@@ -33,7 +35,11 @@ from repro.core.verification import run_oracles
 from repro.qa import oracles as _oracles  # noqa: F401 - importing registers them
 from repro.qa.constructions import ConstructionSpace, default_space
 from repro.qa.corpus import Corpus, CorpusEntry
-from repro.qa.differential import differential_check, max_flow_width_check
+from repro.qa.differential import (
+    differential_check,
+    max_flow_width_check,
+    verification_differential,
+)
 from repro.qa.metamorphic import metamorphic_check
 from repro.qa.schedules import (
     embedding_schedule,
@@ -143,6 +149,12 @@ class Fuzzer:
                 return FuzzFailure(
                     kind, params, "verify", f"{first.name}: {first.detail}"
                 )
+            # referee: the vectorized kernels must agree with the scalar walk
+            for check in verification_differential(subject):
+                if not check.passed:
+                    return FuzzFailure(
+                        kind, params, "verify", f"{check.name}: {check.detail}"
+                    )
 
         if "oracle" in self.checks:
             for check in run_oracles(kind, subject, params):

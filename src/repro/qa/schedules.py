@@ -25,13 +25,17 @@ from typing import Any, Iterator, List, Sequence, Tuple
 __all__ = [
     "all_host_paths",
     "random_schedule",
+    "random_worm_schedule",
     "embedding_schedule",
     "shrink_schedule",
+    "shrink_worm_schedule",
     "schedule_to_jsonable",
     "schedule_from_jsonable",
 ]
 
 Schedule = List[Tuple[Tuple[int, ...], int]]
+# wormhole traffic: (path, num_flits, release_step) per worm
+WormSchedule = List[Tuple[Tuple[int, ...], int, int]]
 
 
 def all_host_paths(emb: Any) -> List[Tuple[int, ...]]:
@@ -87,6 +91,59 @@ def random_schedule(
         path = _dimension_order_path(host.n, u, v, rng.randrange(max(1, host.n)))
         schedule.append((path, rng.randint(1, max_release)))
     return schedule
+
+
+def random_worm_schedule(
+    host: Any,
+    rng: random.Random,
+    max_worms: int = 12,
+    max_flits: int = 8,
+    max_release: int = 4,
+    rotate: bool = False,
+) -> WormSchedule:
+    """Random wormhole traffic: ``(path, num_flits, release_step)`` worms.
+
+    With ``rotate=False`` (the default) every worm follows the plain
+    dimension-order (e-cube) route, which is deadlock-free — the schedule
+    exercises blocking, pipelining and buffer slack without tripping
+    :class:`~repro.routing.wormhole.WormholeDeadlock`.  ``rotate=True``
+    rotates each worm's dimension order randomly, which *can* produce
+    cyclic link waits — useful for checking that two engines deadlock on
+    exactly the same schedules.
+    """
+    schedule: WormSchedule = []
+    for _ in range(rng.randint(1, max_worms)):
+        u = rng.randrange(host.num_nodes)
+        v = rng.randrange(host.num_nodes)
+        while v == u:
+            v = rng.randrange(host.num_nodes)
+        start = rng.randrange(max(1, host.n)) if rotate else 0
+        path = _dimension_order_path(host.n, u, v, start)
+        schedule.append(
+            (path, rng.randint(1, max_flits), rng.randint(1, max_release))
+        )
+    return schedule
+
+
+def shrink_worm_schedule(schedule: Sequence[Tuple[Tuple[int, ...], int, int]]) -> Iterator[WormSchedule]:
+    """Strictly smaller/simpler worm schedules, biggest cuts first.
+
+    Same shape as :func:`shrink_schedule`: drop halves, drop single worms,
+    then flatten every release step to 1 and every flit count toward 1.
+    """
+    items = [(tuple(p), int(m), int(r)) for p, m, r in schedule]
+    n = len(items)
+    if n > 1:
+        half = n // 2
+        yield items[half:]
+        yield items[:half]
+    if n > 1:
+        for i in range(n):
+            yield items[:i] + items[i + 1 :]
+    if any(r != 1 for _, _, r in items):
+        yield [(p, m, 1) for p, m, _ in items]
+    if any(m > 1 for _, m, _ in items):
+        yield [(p, max(1, m // 2), r) for p, m, r in items]
 
 
 def embedding_schedule(

@@ -24,6 +24,7 @@ from repro.routing.api import (
     normalize_schedule,
 )
 from repro.routing.fast_simulator import FastStoreForward
+from repro.routing.fast_wormhole import FastWormhole
 from repro.routing.schedule import (
     PacketSchedule,
     ScheduledPacket,
@@ -31,9 +32,14 @@ from repro.routing.schedule import (
     p_packet_cost_singlepath,
 )
 from repro.routing.simulator import StoreForwardSimulator
+from repro.routing.wormhole import Worm, WormholeDeadlock, WormholeSimulator
 
 __all__ = [
     "FastStoreForward",
+    "FastWormhole",
+    "Worm",
+    "WormholeDeadlock",
+    "WormholeSimulator",
     "PacketSchedule",
     "ScheduledPacket",
     "SimRequest",

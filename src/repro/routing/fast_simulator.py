@@ -35,6 +35,7 @@ import numpy as np
 
 from repro._compat import warn_deprecated
 from repro.hypercube.graph import Hypercube
+from repro.hypercube.pathcode import path_edge_matrix
 from repro.obs.profile import profile_span
 from repro.routing.api import ScheduleItem, SimResult, normalize_schedule
 
@@ -127,24 +128,18 @@ class FastStoreForward:
         num = len(paths)
         if num == 0:
             return np.zeros(0, dtype=np.int64), 0
-        lengths = np.array([len(p) - 1 for p in paths], dtype=np.int64)
+        n = self.host.n
+        # shared -1-padded edge-id encoding; validates every hop by XOR
+        # popcount *before* any log2, so a zero-move hop (u == u) raises the
+        # same clean ValueError the reference engine's edge_id would instead
+        # of a divide-by-zero RuntimeWarning and an undefined float cast
+        edges, lengths = path_edge_matrix(n, paths)
         done_step = np.zeros(num, dtype=np.int64)
-        max_len = int(lengths.max())
+        max_len = edges.shape[1]
         if max_len == 0:
             if recorder:
                 recorder.add_deliveries(done_step)
             return done_step, 0
-        # edge-id matrix, -1 padded
-        edges = np.full((num, max_len), -1, dtype=np.int64)
-        n = self.host.n
-        for i, p in enumerate(paths):
-            arr = np.asarray(p, dtype=np.int64)
-            dims = np.log2((arr[:-1] ^ arr[1:]).astype(np.float64)).astype(
-                np.int64
-            )
-            if np.any(arr[:-1] ^ arr[1:] != (np.int64(1) << dims)):
-                raise ValueError(f"path {i} contains a non-hypercube hop")
-            edges[i, : len(p) - 1] = arr[:-1] * n + dims
 
         hop = np.zeros(num, dtype=np.int64)
         release = np.asarray(releases, dtype=np.int64)

@@ -1,0 +1,225 @@
+"""Vectorized wormhole (cut-through) simulator (numpy batch engine).
+
+The flit-level :class:`repro.routing.wormhole.WormholeSimulator` is the
+reference implementation; this engine advances *all* worms' flit frontiers
+as array operations per step, matching the reference field-for-field —
+same per-worm ``flits_crossed``/``head_link``/``done_step``, same return
+value, same :class:`~repro.routing.wormhole.WormholeDeadlock` on the same
+schedules (asserted by ``repro.qa.differential.wormhole_differential_check``).
+
+Per step the reference does two phases; both vectorize exactly:
+
+* **Head acquisitions** run in worm-ident order and each worm grabs at
+  most one link, so the winner of every contested free link is simply the
+  lowest-ident eligible worm — ``np.unique(want, return_index=True)`` on
+  the ident-ordered candidate array.
+* **Flit movement** walks each worm's links head-to-tail so a flit cannot
+  cascade across two links in one step; link ``i`` moves iff it has an
+  upstream flit waiting (pre-step values) and downstream buffer slack
+  *after* link ``i+1``'s same-step move.  That is the linear recurrence
+  ``moved[i] = base[i] & (free[i] | moved[i+1])`` (because slack never
+  exceeds the buffer capacity, a downstream move always frees exactly
+  enough slack), solved without a Python loop by running-maximum
+  comparisons over the reversed link axis.
+
+State lives in the same :class:`~repro.routing.wormhole.Worm` objects the
+reference uses; ``run()`` loads them into padded ``(worms, max_links)``
+arrays, steps vectorized, and writes the arrays back — so repeated
+``run()`` calls, partial deadlocked states, and direct worm inspection all
+behave identically to the reference engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hypercube.graph import Hypercube
+from repro.hypercube.pathcode import path_edge_matrix
+from repro.obs.profile import profile_span
+from repro.routing.wormhole import Worm, WormholeDeadlock
+
+__all__ = ["FastWormhole"]
+
+
+class FastWormhole:
+    """Batch flit-level wormhole simulator over ``Q_n``."""
+
+    engine = "fast-wormhole"
+
+    def __init__(self, host: Hypercube, buffer_capacity: int = 1):
+        if buffer_capacity < 1:
+            raise ValueError("buffer capacity must be >= 1")
+        self.host = host
+        self.buffer_capacity = buffer_capacity
+        self.worms: List[Worm] = []
+        self._owner: Dict[int, int] = {}  # link id -> worm ident
+
+    def inject(
+        self, path: Sequence[int], num_flits: int, release_step: int = 1
+    ) -> Worm:
+        worm = Worm(tuple(path), num_flits, release_step, ident=len(self.worms))
+        self.worms.append(worm)
+        return worm
+
+    def run(
+        self, max_steps: int = 10_000_000, *, recorder: Optional[Any] = None
+    ) -> int:
+        """Run until all worms are delivered; returns the last arrival step.
+
+        Same contract as :meth:`WormholeSimulator.run`, including the
+        recorder totals: each link's recorded transmission count is the
+        number of flits it carried, and one delivery lands per worm.
+        """
+        with profile_span("sim.fast_wormhole", worms=len(self.worms)):
+            return self._run(max_steps, recorder)
+
+    def _run(self, max_steps: int, recorder: Optional[Any]) -> int:
+        worms = self.worms
+        if not worms:
+            return 0
+        num = len(worms)
+        # path encoding + per-worm state, loaded from the Worm objects so
+        # repeat runs continue exactly where the reference would
+        eids, lengths = path_edge_matrix(self.host.n, [w.path for w in worms])
+        max_links = eids.shape[1]
+        flits = np.zeros((num, max_links), dtype=np.int64)
+        rows = np.repeat(np.arange(num, dtype=np.int64), lengths)
+        starts = np.cumsum(lengths) - lengths
+        cols_flat = np.arange(rows.size, dtype=np.int64) - np.repeat(starts, lengths)
+        flits[rows, cols_flat] = np.fromiter(
+            (c for w in worms for c in w.flits_crossed),
+            dtype=np.int64,
+            count=int(lengths.sum()),
+        )
+        head = np.fromiter((w.head_link for w in worms), dtype=np.int64, count=num)
+        done = np.fromiter(
+            (-1 if w.done_step is None else w.done_step for w in worms),
+            dtype=np.int64,
+            count=num,
+        )
+        num_flits = np.fromiter((w.num_flits for w in worms), dtype=np.int64, count=num)
+        release = np.fromiter(
+            (w.release_step for w in worms), dtype=np.int64, count=num
+        )
+        owner = np.full(self.host.num_edges, -1, dtype=np.int64)
+        for lid, ident in self._owner.items():
+            owner[lid] = ident
+
+        cap = self.buffer_capacity
+        cols = np.arange(max_links, dtype=np.int64)[None, :]
+        valid = cols < lengths[:, None]
+        is_last = cols == (lengths - 1)[:, None]
+        max_release = int(release.max())
+        link_counts = (
+            np.zeros(self.host.num_edges, dtype=np.int64) if recorder else None
+        )
+        newly_done: List[int] = []
+
+        remaining = int((done < 0).sum())
+        last_done = max(int(done.max()), 0)
+        step = 0
+        try:
+            while remaining > 0:
+                undone = done < 0
+                if not bool(np.any(undone & (release <= step + 1))):
+                    # nothing alive is released yet: jump to the next release
+                    step = int(release[undone].min()) - 1
+                step += 1
+                if step > max_steps:
+                    raise RuntimeError(
+                        f"wormhole simulation exceeded {max_steps} steps"
+                    )
+                progressed = False
+                act = undone & (release <= step)
+
+                # Phase 1: head acquisitions — lowest ident wins each link.
+                elig = act & (head < lengths - 1)
+                pipe = np.nonzero(elig & (head >= 0))[0]
+                if pipe.size:
+                    # the head flit must have crossed the current head link
+                    stalled = pipe[flits[pipe, head[pipe]] == 0]
+                    elig[stalled] = False
+                cand = np.nonzero(elig)[0]
+                if cand.size:
+                    want = eids[cand, head[cand] + 1]
+                    free_link = owner[want] < 0
+                    cand, want = cand[free_link], want[free_link]
+                    if cand.size:
+                        won_links, first = np.unique(want, return_index=True)
+                        winners = cand[first]
+                        owner[won_links] = winners
+                        head[winners] += 1
+                        progressed = True
+
+                # Phase 2: flit movement on the active rows.  A worm that
+                # has not acquired its first link yet (head == -1) has no
+                # link a flit could cross — skip its row entirely.
+                active_rows = np.nonzero(act & (head >= 0))[0]
+                if active_rows.size:
+                    fa = flits[active_rows]
+                    ma = num_flits[active_rows][:, None]
+                    base = (
+                        valid[active_rows]
+                        & (cols <= head[active_rows][:, None])
+                        & (fa < ma)
+                    )
+                    upstream = np.empty_like(fa)
+                    upstream[:, 0] = num_flits[active_rows]
+                    upstream[:, 1:] = fa[:, :-1]
+                    base &= (upstream - fa) >= 1
+                    downstream = np.zeros_like(fa)
+                    downstream[:, :-1] = fa[:, 1:]
+                    free = is_last[active_rows] | ((fa - downstream) < cap)
+                    # moved[i] = base[i] & (free[i] | moved[i+1]), solved
+                    # right-to-left via running maxima on the reversed axis
+                    rbase = base[:, ::-1]
+                    seed = np.where(rbase & free[:, ::-1], cols, -1)
+                    np.maximum.accumulate(seed, axis=1, out=seed)
+                    block = np.where(rbase, -1, cols)
+                    np.maximum.accumulate(block, axis=1, out=block)
+                    moved = (rbase & (seed > block))[:, ::-1]
+                    if moved.any():
+                        progressed = True
+                        fa = fa + moved
+                        flits[active_rows] = fa
+                        mrow, mcol = np.nonzero(moved)
+                        moved_eids = eids[active_rows[mrow], mcol]
+                        if link_counts is not None:
+                            # one owner per link: moved links are unique
+                            link_counts[moved_eids] += 1
+                        tail_passed = fa[mrow, mcol] == num_flits[active_rows[mrow]]
+                        owner[moved_eids[tail_passed]] = -1
+                        arrived_mask = (
+                            fa[
+                                np.arange(active_rows.size),
+                                lengths[active_rows] - 1,
+                            ]
+                            == num_flits[active_rows]
+                        )
+                        arrived = active_rows[arrived_mask]
+                        if arrived.size:
+                            done[arrived] = step
+                            newly_done.extend(int(i) for i in arrived)
+                            last_done = step
+                            remaining -= int(arrived.size)
+                if not progressed and step >= max_release:
+                    stuck = int((done < 0).sum())
+                    raise WormholeDeadlock(
+                        f"{stuck} worms deadlocked at step {step}"
+                    )
+        finally:
+            # write state back into the Worm objects (also on deadlock, so a
+            # stuck run is inspectable exactly like the reference's)
+            for i, worm in enumerate(worms):
+                worm.flits_crossed = [int(c) for c in flits[i, : lengths[i]]]
+                worm.head_link = int(head[i])
+                worm.done_step = None if done[i] < 0 else int(done[i])
+            held = np.nonzero(owner >= 0)[0]
+            self._owner = {int(lid): int(owner[lid]) for lid in held}
+            if recorder:
+                used = np.nonzero(link_counts)[0]
+                recorder.add_link_counts(used, link_counts[used])
+                recorder.add_deliveries(int(done[i]) for i in newly_done)
+        return last_done

@@ -156,7 +156,7 @@ class StoreForwardSimulator:
         )
         return SimResult(
             makespan=last_done,
-            delivered=len(packets),
+            delivered=sum(1 for pkt in packets if pkt.done_step is not None),
             injected=len(packets),
             steps=steps,
             done_steps=done_steps,
@@ -171,6 +171,11 @@ class StoreForwardSimulator:
         recorder: Optional[Any],
     ) -> Tuple[int, int]:
         """Drive ``packets`` to completion; returns (last arrival, steps run)."""
+        # per-run state: without this reset, ``delivered`` and the step
+        # counter accumulate across run() calls and mix unrelated runs
+        self._queues = {}
+        self._delivered = []
+        self._steps_run = 0
         in_flight = 0
         releases: Dict[int, List[SimPacket]] = {}
         for pkt in packets:
@@ -187,6 +192,10 @@ class StoreForwardSimulator:
         last_done = 0
         transmitting: Dict[int, Tuple[SimPacket, int]] = {}  # eid -> (pkt, finish)
         while in_flight > 0:
+            if not self._queues and not transmitting and releases:
+                # nothing queued or on a link: jump to the next release
+                # instead of spinning through guaranteed-empty steps
+                step = max(step, min(releases) - 1)
             step += 1
             if step > max_steps:
                 raise RuntimeError(f"simulation exceeded {max_steps} steps")
@@ -235,7 +244,7 @@ class StoreForwardSimulator:
                         recorder.on_deliver(step)
                 else:
                     self._enqueue(pkt)
-        self._steps_run = max(self._steps_run, step)
+        self._steps_run = step
         return last_done, step
 
     @property

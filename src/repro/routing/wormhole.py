@@ -86,10 +86,22 @@ class WormholeSimulator:
         keeps the flit loop recording-free.
         """
         active = sorted(self.worms, key=lambda w: w.ident)
-        remaining = len(active)
+        # count only undelivered worms: both phase loops skip delivered ones,
+        # so counting them would leave a repeat run() spinning to max_steps
+        remaining = sum(1 for w in active if w.done_step is None)
         step = 0
-        last_done = 0
+        last_done = max(
+            (w.done_step for w in active if w.done_step is not None), default=0
+        )
         while remaining > 0:
+            if not any(
+                w.done_step is None and w.release_step <= step + 1 for w in active
+            ):
+                # nothing alive is released yet: jump to the next release
+                # instead of spinning through guaranteed-empty steps
+                step = (
+                    min(w.release_step for w in active if w.done_step is None) - 1
+                )
             step += 1
             if step > max_steps:
                 raise RuntimeError(f"wormhole simulation exceeded {max_steps} steps")

@@ -35,6 +35,18 @@ class TestBasics:
         with pytest.raises(ValueError):
             sim.run([[0, 3]])  # two-bit jump
 
+    def test_zero_move_hop_raises_cleanly(self):
+        # regression: a stationary hop (u == u) used to hit np.log2(0) — a
+        # divide-by-zero RuntimeWarning and an undefined float->int cast —
+        # instead of the reference engine's ValueError
+        import warnings
+
+        sim = FastStoreForward(Hypercube(3))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning -> failure
+            with pytest.raises(ValueError, match=r"\(2, 2\) is not a hypercube edge"):
+                sim.run([[0, 2, 2]])
+
     def test_rejects_empty_path(self):
         with pytest.raises(ValueError):
             FastStoreForward(Hypercube(3)).run([[]])

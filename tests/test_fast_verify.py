@@ -1,0 +1,145 @@
+"""Tests for the vectorized verification kernels vs the scalar referee."""
+
+import numbers
+
+import pytest
+
+from repro.core import embed_cycle_load1
+from repro.qa import default_space, verification_differential
+
+# mirror of tests/test_qa.py's SMALL_POINTS: one point per construction kind
+PARITY_POINTS = [
+    ("cycle", {"n": 4}),
+    ("cycle2", {"n": 4, "wide": True}),
+    ("grid", {"dims": [4, 4], "torus": True}),
+    ("ccc", {"n": 2}),
+    ("tree", {"m": 2}),
+    ("large-cycle", {"n": 2}),
+    ("graycode", {"n": 3}),
+    ("cycle-multicopy", {"n": 3}),
+    ("butterfly-multicopy", {"m": 2, "undirected": True}),
+    ("butterfly-multipath", {"m": 2}),
+    ("grid-multicopy", {"dims": [4]}),
+    ("cbt-multicopy", {"m": 2}),
+    ("arbitrary-tree", {"vertices": 9, "tree_seed": 5, "m": 2}),
+    ("cross-product", {"m": 2}),
+]
+
+
+def _signature(report):
+    return (
+        tuple((c.name, c.passed) for c in report.checks),
+        tuple(sorted(report.metrics.items())),
+    )
+
+
+class TestPassingParity:
+    @pytest.mark.parametrize("kind,params", PARITY_POINTS)
+    def test_fast_matches_reference(self, kind, params):
+        emb = default_space().get(kind).build(dict(params))
+        fast = emb.verify(strict=False)
+        reference = emb.verify_reference(strict=False)
+        assert fast.ok and reference.ok
+        assert _signature(fast) == _signature(reference)
+        # deterministic passing reports match detail-for-detail too
+        assert [c.detail for c in fast.checks] == [
+            c.detail for c in reference.checks
+        ]
+
+    @pytest.mark.parametrize("kind,params", PARITY_POINTS)
+    def test_referee_helper_agrees(self, kind, params):
+        emb = default_space().get(kind).build(dict(params))
+        checks = verification_differential(emb)
+        assert checks, "every embedding style exposes verify_reference"
+        for check in checks:
+            assert check.passed, (kind, check.name, check.detail)
+
+    def test_metrics_are_plain_ints(self):
+        # json-serializability: no numpy scalars may leak out of the kernels
+        report = embed_cycle_load1(6).verify(strict=False)
+        for key, value in report.metrics.items():
+            assert isinstance(value, numbers.Real), (key, type(value))
+            assert not type(value).__module__.startswith("numpy"), key
+
+
+class TestFailureParity:
+    """Sabotaged embeddings: both engines must fail the same check."""
+
+    def _pair(self, emb):
+        fast = emb.verify(strict=False)
+        reference = emb.verify_reference(strict=False)
+        assert not fast.ok and not reference.ok
+        assert [(c.name, c.passed) for c in fast.checks] == [
+            (c.name, c.passed) for c in reference.checks
+        ]
+        return fast, reference
+
+    def test_multipath_wrong_endpoint(self):
+        emb = embed_cycle_load1(4)
+        edge, paths = next(iter(emb.edge_paths.items()))
+        bad = (paths[0][:-1] + (paths[0][-1] ^ 1,),) + tuple(paths[1:])
+        emb.edge_paths[edge] = bad
+        fast, reference = self._pair(emb)
+        assert fast.failures[0].detail == reference.failures[0].detail
+
+    def test_multipath_non_edge_hop(self):
+        emb = embed_cycle_load1(4)
+        edge, paths = next(iter(emb.edge_paths.items()))
+        two_hop = next(p for p in paths if len(p) >= 3)
+        # 3-bit jump mid-path: not a hypercube edge
+        broken = (two_hop[0], two_hop[0] ^ 7, two_hop[-1])
+        emb.edge_paths[edge] = (broken,) + tuple(
+            p for p in paths if p is not two_hop
+        )
+        fast, reference = self._pair(emb)
+        assert "hypercube edge" in fast.failures[0].detail
+        assert fast.failures[0].detail == reference.failures[0].detail
+
+    def test_multipath_duplicate_edge_in_bundle(self):
+        emb = embed_cycle_load1(4)
+        edge, paths = next(iter(emb.edge_paths.items()))
+        dup = next(p for p in paths if len(p) >= 2)
+        emb.edge_paths[edge] = tuple(paths) + (dup,)
+        fast, reference = self._pair(emb)
+        assert fast.failures[0].name == "edge-disjoint"
+        assert fast.failures[0].detail == reference.failures[0].detail
+
+    def test_multipath_node_out_of_range(self):
+        emb = embed_cycle_load1(4)
+        edge, paths = next(iter(emb.edge_paths.items()))
+        big = 1 << emb.host.n
+        # endpoints stay correct; an interior node escapes the host range
+        emb.edge_paths[edge] = (
+            (paths[0][0], big, paths[0][-1]),
+        ) + tuple(paths[1:])
+        fast, reference = self._pair(emb)
+        assert "out of host range" in fast.failures[0].detail
+
+    def test_strict_raises_in_both(self):
+        emb = embed_cycle_load1(4)
+        edge, paths = next(iter(emb.edge_paths.items()))
+        emb.edge_paths[edge] = tuple(paths) + (paths[0],)
+        with pytest.raises(AssertionError):
+            emb.verify(strict=True)
+        with pytest.raises(AssertionError):
+            emb.verify_reference(strict=True)
+
+    def test_empty_path_raises_like_scalar_indexing(self):
+        emb = embed_cycle_load1(4)
+        edge = next(iter(emb.edge_paths))
+        emb.edge_paths[edge] = ((),)
+        with pytest.raises(IndexError):
+            emb.verify(strict=False)
+        with pytest.raises(IndexError):
+            emb.verify_reference(strict=False)
+
+    def test_classical_embedding_bad_path(self):
+        from repro.core.cycle_multicopy import graycode_cycle_embedding
+
+        emb = graycode_cycle_embedding(4)
+        edge, path = next(iter(emb.edge_paths.items()))
+        emb.edge_paths[edge] = path[:-1] + (path[-1] ^ 3,)
+        fast = emb.verify(strict=False)
+        reference = emb.verify_reference(strict=False)
+        assert not fast.ok and not reference.ok
+        assert fast.failures[0].name == reference.failures[0].name

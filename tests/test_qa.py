@@ -171,6 +171,111 @@ class TestDifferential:
         assert schedule_from_jsonable(data) == schedule
 
 
+class TestWormholeDifferential:
+    def test_twenty_five_schedules_agree(self):
+        # tier-1 smoke: the flit-loop reference and the vectorized frontier
+        # engine must agree on makespan, per-worm state, link ownership and
+        # recorder totals — deadlocks included (rotated dimension orders
+        # can produce cyclic waits)
+        from repro.qa import run_wormhole_pair, random_worm_schedule
+
+        host = Hypercube(4)
+        for i in range(25):
+            rng = random.Random(f"worm-smoke:{i}")
+            schedule = random_worm_schedule(host, rng, rotate=i % 2 == 1)
+            cap = rng.choice([1, 1, 2, 4])
+            reference, fast = run_wormhole_pair(host, schedule, buffer_capacity=cap)
+            assert reference == fast, (i, cap, schedule)
+
+    def test_check_passes_clean(self):
+        from repro.qa import random_worm_schedule, wormhole_differential_check
+
+        host = Hypercube(3)
+        schedule = random_worm_schedule(host, random.Random(2))
+        assert wormhole_differential_check(host, schedule) is None
+
+    def test_deadlock_parity(self):
+        from repro.qa import run_wormhole_pair, wormhole_differential_check
+
+        host = Hypercube(2)
+        # four worms chasing each other around the 4-cycle 0-1-3-2-0
+        schedule = [
+            ((0, 1, 3), 8, 1),
+            ((1, 3, 2), 8, 1),
+            ((3, 2, 0), 8, 1),
+            ((2, 0, 1), 8, 1),
+        ]
+        reference, fast = run_wormhole_pair(host, schedule)
+        assert reference["deadlock"] and reference == fast
+        assert wormhole_differential_check(host, schedule) is None
+
+    def test_worm_schedules_are_valid_and_jsonable(self):
+        from repro.qa import random_worm_schedule
+
+        host = Hypercube(4)
+        schedule = random_worm_schedule(host, random.Random(9), rotate=True)
+        assert schedule
+        for path, flits, release in schedule:
+            assert len(path) >= 2 and flits >= 1 and release >= 1
+            for a, b in zip(path, path[1:]):
+                assert host.is_edge(a, b)
+        data = [[list(p), m, r] for p, m, r in schedule]
+        assert json.loads(json.dumps(data)) == data
+
+    def test_shrink_worm_schedule_proposals(self):
+        from repro.qa import shrink_worm_schedule
+
+        schedule = [((0, 1), 4, 2), ((0, 2), 1, 1), ((1, 3), 2, 3), ((2, 3), 8, 1)]
+        candidates = list(shrink_worm_schedule(schedule))
+        assert [len(c) for c in candidates[:2]] == [2, 2]  # halves first
+        assert sum(1 for c in candidates if len(c) == 3) == 4
+        assert [(p, m, 1) for p, m, _ in schedule] in candidates  # flat releases
+        assert [(p, max(1, m // 2), r) for p, m, r in schedule] in candidates
+
+
+class TestVerificationReferee:
+    @pytest.mark.parametrize("kind,params", SMALL_POINTS)
+    def test_fast_verify_agrees_with_reference(self, kind, params):
+        from repro.qa import verification_differential
+
+        emb = default_space().get(kind).build(dict(params))
+        checks = verification_differential(emb)
+        assert checks
+        for check in checks:
+            assert check.passed, (kind, check.name, check.detail)
+
+    def test_fuzzer_verify_stage_catches_kernel_divergence(self):
+        # an embedding whose fast verify disagrees with the reference must
+        # surface as a "verify" finding, not slip through as ok
+        from repro.qa import verification_differential
+
+        emb = embed_cycle_load1(4)
+
+        class Lying:
+            """Proxy whose vectorized verify() hides a broken bundle."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+            def verify(self, strict=True):
+                return self._inner.verify(strict=False)
+
+            def verify_reference(self, strict=True):
+                edge = next(iter(self._inner.edge_paths))
+                paths = self._inner.edge_paths[edge]
+                try:
+                    self._inner.edge_paths[edge] = (paths[0],) * len(paths)
+                    return self._inner.verify_reference(strict=False)
+                finally:
+                    self._inner.edge_paths[edge] = paths
+
+        checks = verification_differential(Lying(emb))
+        assert any(not c.passed for c in checks)
+
+
 class TestCorpus:
     def _entry(self, **overrides):
         kwargs = dict(

@@ -166,6 +166,85 @@ class TestWormholeDeadlock:
             sim.run([[0, 1]], max_steps=0)
 
 
+class TestRepeatRunRegressions:
+    """Regression: a second run() after completion must not hang or mix state."""
+
+    def test_wormhole_double_run_returns_immediately(self):
+        # remaining used to count already-delivered worms, so the second
+        # run() spun to max_steps
+        sim = WormholeSimulator(Hypercube(3))
+        sim.inject([0, 1, 3], num_flits=4)
+        first = sim.run()
+        assert sim.run(max_steps=100) == first
+
+    def test_fast_wormhole_double_run_returns_immediately(self):
+        from repro.routing.fast_wormhole import FastWormhole
+
+        sim = FastWormhole(Hypercube(3))
+        sim.inject([0, 1, 3], num_flits=4)
+        first = sim.run()
+        assert sim.run(max_steps=100) == first
+
+    def test_store_forward_repeat_run_is_isolated(self):
+        # _delivered/_steps_run used to accumulate across runs, so the
+        # delivered property mixed packets from separate schedules
+        sim = StoreForwardSimulator(Hypercube(3))
+        r1 = sim.run([[0, 1], [2, 3]])
+        assert r1.delivered == 2
+        r2 = sim.run([[4, 5]])
+        assert r2.delivered == 1
+        assert len(sim.delivered) == 1  # this run's packet only
+
+    def test_delivered_counts_actual_arrivals(self):
+        # SimResult.delivered was hardcoded to len(requests); it must be
+        # derived from per-packet done_steps
+        sim = StoreForwardSimulator(Hypercube(3))
+        res = sim.run([[0, 1, 3], [5, 4]])
+        assert res.delivered == sum(1 for d in res.done_steps if d >= 0) == 2
+
+
+class TestSparseReleaseFastForward:
+    """Regression: empty steps before far-future releases iterated one at a
+    time; both engines now jump straight to the next release, without
+    changing any makespan."""
+
+    def test_store_forward_far_release_completes_fast(self):
+        sim = StoreForwardSimulator(Hypercube(3))
+        # would be ~half a million idle iterations without the jump
+        assert sim.run([([0, 1, 3], 500_000)]).makespan == 500_001
+
+    def test_store_forward_staggered_far_releases(self):
+        sim = StoreForwardSimulator(Hypercube(3))
+        res = sim.run([([0, 1], 100_000), ([2, 3], 300_000)])
+        assert res.makespan == 300_000
+        assert res.done_steps == (100_000, 300_000)
+
+    def test_store_forward_makespan_identical_to_dense_shift(self):
+        # fast-forward is behavior-preserving: shifting every release by a
+        # constant shifts every arrival by exactly that constant
+        sched = [([0, 1, 3], 1), ([5, 1, 3], 2), ([4, 5], 1)]
+        dense = StoreForwardSimulator(Hypercube(3)).run(sched)
+        shifted = StoreForwardSimulator(Hypercube(3)).run(
+            [(p, r + 40_000) for p, r in sched]
+        )
+        assert [d + 40_000 for d in dense.done_steps] == list(shifted.done_steps)
+
+    def test_wormhole_far_release_completes_fast(self):
+        sim = WormholeSimulator(Hypercube(3))
+        sim.inject([0, 1, 3], num_flits=4, release_step=400_000)
+        assert sim.run(max_steps=500_000) == 400_000 + 2 + 4 - 2
+
+    def test_wormhole_mixed_releases_unchanged(self):
+        # a released worm in flight blocks the jump; makespans match the
+        # no-jump semantics exactly
+        sim = WormholeSimulator(Hypercube(3))
+        w1 = sim.inject([0, 1, 3], num_flits=6, release_step=1)
+        w2 = sim.inject([5, 1, 3], num_flits=2, release_step=3)
+        sim.run()
+        assert w1.done_step == 7  # 2 + 6 - 1
+        assert w2.done_step is not None and w2.done_step > 7
+
+
 class TestPPacketCostMultipath:
     def test_theorem1_rounds(self):
         from repro.core import embed_cycle_load1

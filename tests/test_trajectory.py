@@ -1,0 +1,241 @@
+"""Tests for the perf-trajectory harness and the ``repro bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.trajectory import (
+    Workload,
+    compare_to_baseline,
+    default_workloads,
+    format_points,
+    load_trajectory,
+    run_trajectory,
+    write_trajectory,
+)
+from repro.cli import main
+
+
+def _toy_workloads():
+    return [
+        Workload(
+            name="toy:paired",
+            description="fast twice as good as reference",
+            build=lambda: 21,
+            fast=lambda ctx: ctx * 2,
+            reference=lambda ctx: ctx * 2,
+            agree=lambda ref, fast: ref == fast,
+            quick=True,
+        ),
+        Workload(
+            name="toy:scale-only",
+            description="no reference side",
+            build=lambda: 1,
+            fast=lambda ctx: ctx,
+            quick=False,
+            repeats=1,
+        ),
+    ]
+
+
+class TestRunTrajectory:
+    def test_points_shape(self):
+        payload = run_trajectory(_toy_workloads(), repeats=1)
+        assert payload["schema"] == 1
+        by_engine = {(p["workload"], p["engine"]) for p in payload["points"]}
+        assert by_engine == {
+            ("toy:paired", "reference"),
+            ("toy:paired", "fast"),
+            ("toy:scale-only", "fast"),
+        }
+        fast = next(
+            p
+            for p in payload["points"]
+            if p["workload"] == "toy:paired" and p["engine"] == "fast"
+        )
+        assert fast["agree"] is True and fast["speedup"] is not None
+
+    def test_quick_filters(self):
+        payload = run_trajectory(_toy_workloads(), quick=True, repeats=1)
+        assert {p["workload"] for p in payload["points"]} == {"toy:paired"}
+
+    def test_names_filter_and_unknown_name(self):
+        payload = run_trajectory(
+            _toy_workloads(), names=["toy:scale-only"], repeats=1
+        )
+        assert {p["workload"] for p in payload["points"]} == {"toy:scale-only"}
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_trajectory(_toy_workloads(), names=["nope"], repeats=1)
+
+    def test_disagreement_is_recorded_not_raised(self):
+        w = Workload(
+            name="toy:lying",
+            description="engines disagree",
+            build=lambda: 0,
+            fast=lambda ctx: 1,
+            reference=lambda ctx: 2,
+            agree=lambda ref, fast: ref == fast,
+        )
+        payload = run_trajectory([w], repeats=1)
+        fast = [p for p in payload["points"] if p["engine"] == "fast"][0]
+        assert fast["agree"] is False
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        payload = run_trajectory(_toy_workloads(), repeats=1)
+        path = str(tmp_path / "BENCH_perf.json")
+        write_trajectory(payload, path)
+        assert load_trajectory(path) == json.loads(json.dumps(payload))
+
+    def test_format_points_renders_every_workload(self):
+        payload = run_trajectory(_toy_workloads(), repeats=1)
+        table = format_points(payload)
+        assert "toy:paired" in table and "toy:scale-only" in table
+
+
+class TestBaselineGate:
+    def _payload(self, speedup, agree=True):
+        point = {"workload": "w", "engine": "fast", "wall_s": 1.0, "speedup": speedup}
+        if agree is not None:
+            point["agree"] = agree
+        return {"schema": 1, "points": [point]}
+
+    def test_no_regression_passes(self):
+        assert compare_to_baseline(self._payload(4.0), self._payload(4.0)) == []
+        # faster than baseline is fine too
+        assert compare_to_baseline(self._payload(9.0), self._payload(4.0)) == []
+
+    def test_within_tolerance_passes(self):
+        assert (
+            compare_to_baseline(
+                self._payload(3.2), self._payload(4.0), max_regression=0.25
+            )
+            == []
+        )
+
+    def test_below_tolerance_fails(self):
+        problems = compare_to_baseline(
+            self._payload(2.9), self._payload(4.0), max_regression=0.25
+        )
+        assert problems and "fell below" in problems[0]
+
+    def test_disagreement_always_fails(self):
+        problems = compare_to_baseline(
+            self._payload(9.0, agree=False), self._payload(4.0)
+        )
+        assert any("disagree" in p for p in problems)
+
+    def test_workload_missing_from_baseline_ignored(self):
+        baseline = {"schema": 1, "points": []}
+        assert compare_to_baseline(self._payload(1.0), baseline) == []
+
+    def test_lost_speedup_fails(self):
+        current = {
+            "schema": 1,
+            "points": [
+                {"workload": "w", "engine": "fast", "wall_s": 1.0, "speedup": None}
+            ],
+        }
+        problems = compare_to_baseline(current, self._payload(4.0))
+        assert problems and "no speedup" in problems[0]
+
+
+class TestDefaultWorkloads:
+    def test_acceptance_anchors_present(self):
+        names = {w.name for w in default_workloads()}
+        assert "verify:cycle-multipath:q16" in names
+        assert "verify:cycle-multipath:q20" in names
+        assert "wormhole:q12:m16x4" in names
+
+    def test_quick_subset_is_nonempty_and_proper(self):
+        workloads = default_workloads()
+        quick = [w for w in workloads if w.quick]
+        assert quick and len(quick) < len(workloads)
+
+    def test_committed_baseline_covers_quick_set(self):
+        # the CI gate compares the quick run against the committed file, so
+        # every quick workload must have a fast point with a speedup there
+        import os
+
+        baseline_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_perf.json",
+        )
+        baseline = load_trajectory(baseline_path)
+        recorded = {
+            p["workload"]
+            for p in baseline["points"]
+            if p["engine"] == "fast" and p["speedup"] is not None
+        }
+        for w in default_workloads():
+            if w.quick:
+                assert w.name in recorded, w.name
+
+    def test_committed_baseline_meets_claims(self):
+        # the acceptance anchors recorded in the committed trajectory
+        import os
+
+        baseline_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_perf.json",
+        )
+        speedups = {
+            p["workload"]: p["speedup"]
+            for p in load_trajectory(baseline_path)["points"]
+            if p["engine"] == "fast"
+        }
+        assert speedups["verify:cycle-multipath:q16"] >= 5.0
+        assert speedups["wormhole:q12:m16x4"] >= 3.0
+        # the Q_20 probe completed (recorded, by design without a reference)
+        assert "verify:cycle-multipath:q20" in speedups
+
+
+class TestBenchCli:
+    def test_list_workloads(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "verify:cycle-multipath:q16" in out and "[quick]" in out
+
+    def test_single_small_workload_run(self, tmp_path, capsys):
+        out_path = str(tmp_path / "bench.json")
+        code = main(
+            [
+                "bench",
+                "--workloads", "verify:cycle-multipath:q12",
+                "--repeats", "1",
+                "--output", out_path,
+            ]
+        )
+        assert code == 0
+        payload = load_trajectory(out_path)
+        assert {p["workload"] for p in payload["points"]} == {
+            "verify:cycle-multipath:q12"
+        }
+        assert "wrote 2 point(s)" in capsys.readouterr().out
+
+    def test_regression_gate_exit_code(self, tmp_path):
+        out_path = str(tmp_path / "bench.json")
+        baseline_path = str(tmp_path / "baseline.json")
+        write_trajectory(
+            {
+                "schema": 1,
+                "points": [
+                    {
+                        "workload": "verify:cycle-multipath:q12",
+                        "engine": "fast",
+                        "wall_s": 0.001,
+                        "speedup": 10_000.0,  # unreachable: must regress
+                    }
+                ],
+            },
+            baseline_path,
+        )
+        code = main(
+            [
+                "bench",
+                "--workloads", "verify:cycle-multipath:q12",
+                "--repeats", "1",
+                "--output", out_path,
+                "--baseline", baseline_path,
+            ]
+        )
+        assert code == 1
