@@ -29,7 +29,6 @@ def test_a04_single_axis_utilization(benchmark):
     for dims in [(16, 16), (16, 16, 16)]:
         emb = embed_grid_multipath(dims, torus=True)
         k = len(dims)
-        full = None
         for axis in range(k):
             sched = _axis_phase_schedule(emb, axis)
             sched.verify()

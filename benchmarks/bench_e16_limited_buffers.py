@@ -6,7 +6,6 @@ injection pressure; reserving two transit slots per node restores progress,
 and B = 8 already matches the unbounded-buffer time.
 """
 
-import pytest
 from conftest import print_table
 
 from repro.hypercube.graph import Hypercube

@@ -1,0 +1,100 @@
+"""Condense ``repro lint --format json`` into the committed snapshot.
+
+    PYTHONPATH=src python benchmarks/lint_summary.py                # print
+    PYTHONPATH=src python benchmarks/lint_summary.py --write        # refresh
+    PYTHONPATH=src python benchmarks/lint_summary.py --check        # CI drift gate
+
+The snapshot (``benchmarks/LINT_summary.json``) records the health of the
+tree under the domain linter — files scanned, per-rule finding counts,
+waiver pragmas in force, and wall time — so a PR that adds findings or
+silently piles up waivers shows as a diff.  Timing is recorded for scale
+context only and is excluded from ``--check``.
+
+Not a pytest bench (the filename avoids the ``bench_*`` collection
+pattern); this is a reporting tool, like ``trajectory.py``.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.lint import KNOWN_PRAGMAS, LintConfig, discover_files, parse_module, run_lint  # noqa: E402
+
+REPO = Path(__file__).resolve().parent.parent
+SNAPSHOT = Path(__file__).resolve().parent / "LINT_summary.json"
+
+
+def count_waivers(paths):
+    """Pragma tokens in force across ``paths``, by token."""
+    out = {token: 0 for token in sorted(KNOWN_PRAGMAS)}
+    for path in discover_files(paths):
+        try:
+            module = parse_module(path)
+        except SyntaxError:
+            continue
+        for pragmas in module.pragmas.values():
+            for token in pragmas:
+                if token in out:
+                    out[token] += 1
+    return out
+
+
+def build_summary(paths):
+    start = time.perf_counter()
+    report = run_lint(paths, LintConfig())
+    elapsed = time.perf_counter() - start
+    return {
+        "version": 1,
+        "tool": "repro-lint-summary",
+        "scanned": [str(p.relative_to(REPO)) for p in paths],
+        "files_scanned": report.files_scanned,
+        "rules_run": list(report.rules_run),
+        "errors": report.errors,
+        "warnings": report.warnings,
+        "counts": report.counts(),
+        "waivers": count_waivers(paths),
+        "elapsed_seconds": round(elapsed, 2),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--write", action="store_true", help="refresh the snapshot")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the tree drifted from the snapshot (timing ignored)",
+    )
+    args = parser.parse_args(argv)
+
+    summary = build_summary([REPO / "src" / "repro"])
+    if args.write:
+        SNAPSHOT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {SNAPSHOT.relative_to(REPO)}")
+        return 0
+    if args.check:
+        committed = json.loads(SNAPSHOT.read_text())
+        drift = {
+            key: (committed.get(key), summary[key])
+            for key in summary
+            if key != "elapsed_seconds" and committed.get(key) != summary[key]
+        }
+        if drift:
+            for key, (old, new) in sorted(drift.items()):
+                print(f"drift in {key}: committed {old!r} != measured {new!r}")
+            print("refresh with: PYTHONPATH=src python benchmarks/lint_summary.py --write")
+            return 1
+        print("lint summary matches the committed snapshot")
+        return 0
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

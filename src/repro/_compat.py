@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 import warnings
-from typing import Optional
+from typing import Optional, Union
 
 __all__ = ["ReproDeprecationWarning", "warn_deprecated", "resolve_rng"]
 
@@ -30,7 +30,7 @@ def warn_deprecated(message: str, stacklevel: int = 3) -> None:
 
 
 def resolve_rng(
-    seed: Optional[int] = None,
+    seed: Optional[Union[int, str]] = None,
     rng: Optional[random.Random] = None,
     default_seed: int = 0,
 ) -> random.Random:
@@ -40,7 +40,9 @@ def resolve_rng(
     returned, so fixed seeds give byte-identical runs) *or* an existing
     ``rng`` to share a stream across calls; passing both is ambiguous and
     raises.  With neither, ``default_seed`` keeps the historical
-    deterministic default of each call site.
+    deterministic default of each call site.  String seeds are for derived
+    streams (``f"{seed}:diff:{i}"``) — namespacing one integer seed into
+    many independent, individually replayable streams.
     """
     if rng is not None:
         if seed is not None:

@@ -8,7 +8,6 @@ real gray code, Figure 4's paths from the real Theorem 1 embedding).
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.core.cycle_multipath import embed_cycle_load1
 from repro.hypercube.graph import Hypercube
@@ -69,7 +68,6 @@ def figure3(n: int = 4) -> str:
     emb = embed_cycle_load1(n)
     info = emb.info
     q, p = info["q"], info["p"]
-    host = emb.host
     nodes = [emb.vertex_map[i] for i in range(emb.guest.num_vertices)]
     size_col = 1 << p
     lines = [

@@ -10,10 +10,8 @@ package (via networkx for the generic cases, closed forms for ``Q_n``).
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict
 
-from repro.hypercube.graph import Hypercube
 from repro.networks.base import GuestGraph
 
 __all__ = [

@@ -8,7 +8,7 @@ and link utilization, for any of the three embedding styles.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
 from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding

@@ -9,7 +9,7 @@ programmatic answer to "does this install actually reproduce the paper?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import List
 
 __all__ = ["ClaimResult", "validate_claims"]
 

@@ -63,7 +63,6 @@ def binomial_broadcast_time(n: int, packets: int, root: int = 0) -> int:
         children.setdefault(p, []).append(v)
     # arrival[v][p] = step packet p becomes available at node v
     size = 1 << n
-    INF = float("inf")
     # BFS order by tree depth
     from collections import deque
 

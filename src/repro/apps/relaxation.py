@@ -26,7 +26,6 @@ from typing import Dict
 
 import numpy as np
 
-from repro.core.cycle_multicopy import graycode_cycle_embedding
 from repro.core.grid_multipath import embed_grid_multipath
 from repro.routing.schedule import (
     PacketSchedule,

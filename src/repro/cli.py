@@ -271,6 +271,32 @@ def build_parser() -> argparse.ArgumentParser:
             "~/.cache/repro/qa-corpus)",
         )
 
+    lint = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (RNG discipline, deprecations, "
+        "construction contract, simulator protocol, determinism, races)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes (deprecated-import rewrites) in place",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is the stable schema in EXPERIMENTS.md)",
+    )
+    lint.add_argument(
+        "--select", type=str, default=None,
+        help="comma-separated rule ids to run, e.g. R1,R6 (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and their waiver pragmas, then exit",
+    )
+
     return parser
 
 
@@ -735,14 +761,13 @@ def _cmd_qa(args) -> int:
         return 0 if report.ok else 1
 
     if args.qa_command == "diff":
-        import random as _random
-
+        from repro._compat import resolve_rng
         from repro.hypercube.graph import Hypercube
         from repro.qa import differential_check, random_schedule
 
         host = Hypercube(args.n)
         for i in range(args.seeds):
-            rng = _random.Random(f"{args.seed}:diff:{i}")
+            rng = resolve_rng(f"{args.seed}:diff:{i}")
             schedule = random_schedule(host, rng, max_packets=args.packets)
             divergence = differential_check(host, schedule)
             if divergence is not None:
@@ -784,6 +809,37 @@ def _cmd_qa(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.lint import LintConfig, all_rules, apply_fixes, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name} [{rule.scope}]")
+            if rule.doc:
+                print(f"    {rule.doc.splitlines()[0]}")
+        return 0
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    select = tuple(args.select.split(",")) if args.select else None
+    report = run_lint(paths, LintConfig(select=select))
+
+    if args.fix:
+        applied, report = apply_fixes(report)
+        if applied and args.format == "text":
+            print(f"applied {applied} fix(es)")
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -801,6 +857,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "obs": _cmd_obs,
         "bench": _cmd_bench,
         "qa": _cmd_qa,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -19,14 +19,14 @@ same width, same O(n) dilation bound, recorded in DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.core.butterfly_multicopy import butterfly_multicopy_embedding
 from repro.core.cross_product import induced_cross_product_embedding
 from repro.core.embedding import MultiPathEmbedding
 from repro.hypercube.moments import moment
 from repro.networks.butterfly import Butterfly
-from repro.routing.pathutils import edge_disjoint_paths, erase_loops
+from repro.routing.pathutils import edge_disjoint_paths
 
 __all__ = ["butterfly_multipath_embedding"]
 

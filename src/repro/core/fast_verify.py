@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 
-def _path_edge_ids(host: Any, path) -> List[int]:
+def _path_edge_ids(host: Any, path: Sequence[int]) -> List[int]:
     """Directed host edge ids along a path (raises on non-edges)."""
     return [host.edge_id(a, b) for a, b in zip(path, path[1:])]
 

@@ -13,7 +13,6 @@ so different copies never share a link: ``a`` edge-disjoint torus copies
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Tuple
 
 from repro.core.embedding import Embedding, MultiCopyEmbedding

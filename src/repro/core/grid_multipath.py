@@ -21,9 +21,9 @@ an equal-sided grid.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
-from repro.core.cycle_multipath import embed_cycle_load1, theorem1_claim
+from repro.core.cycle_multipath import embed_cycle_load1
 from repro.core.embedding import MultiPathEmbedding
 from repro.hypercube.graph import Hypercube
 from repro.networks.grid import Grid, Torus, square_grid_map
@@ -59,16 +59,12 @@ def embed_grid_multipath(dims, torus: bool = False) -> MultiPathEmbedding:
     if len(logs) == 1:
         a = logs.pop()
         squared_map = None
-        side = 1 << a
-        work_dims = dims
     else:
         # Corollary 2: square first, then embed the equal-sided grid
         mapping, sq_dims, load = square_grid_map(dims)
         side_raw = sq_dims[0]
         a = max(2, math.ceil(math.log2(max(2, side_raw))))
-        side = 1 << a
         squared_map = mapping
-        work_dims = sq_dims
     if torus and any(d != (1 << a) for d in dims):
         raise ValueError("tori need power-of-two sides (wrap must be a cycle edge)")
 

@@ -75,7 +75,6 @@ def cbt_to_butterfly_map(
     log_m = m.bit_length() - 1
     n = m + log_m
     bf = Butterfly(m, undirected=True)
-    tree = CompleteBinaryTree(n)
 
     load: Dict[BFVertex, int] = {}
     vertex_map: Dict[int, BFVertex] = {}

@@ -28,7 +28,7 @@ RuntimeWarning followed by an undefined float cast.
 from __future__ import annotations
 
 from itertools import chain
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

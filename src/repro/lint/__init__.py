@@ -1,0 +1,56 @@
+"""repro.lint — domain-aware static analysis for this repository.
+
+Generic linters don't know that randomness must flow through
+:func:`repro._compat.resolve_rng`, that every public builder owes the QA
+fuzzer a construction entry and a paper oracle, or that the service
+layer's shared state is lock-guarded.  This package encodes those
+repo-specific invariants as AST passes over a pluggable rule registry:
+
+========  =====================  ==========================================
+rule      name                   waiver pragma
+========  =====================  ==========================================
+R1        rng-discipline         ``# lint: rng-ok(reason)``
+R2        deprecation            ``# lint: deprecated-ok(reason)``
+R3        construction-contract  ``# lint: no-oracle(reason)``
+R4        simulator-protocol     ``# lint: protocol-exempt(reason)``
+R5        determinism            ``# lint: nondet-ok(reason)``
+R6        service-races          ``# lint: race-ok(reason)``
+========  =====================  ==========================================
+
+Run via ``repro lint [--fix] [--format json|text] [paths]``, or
+programmatically::
+
+    from repro.lint import run_lint
+    report = run_lint(["src/repro"])
+    assert report.ok, report.summary()
+"""
+
+from repro.lint.engine import (
+    KNOWN_PRAGMAS,
+    LintConfig,
+    LintModule,
+    Rule,
+    all_rules,
+    apply_fixes,
+    discover_files,
+    parse_module,
+    register_rule,
+    run_lint,
+)
+from repro.lint.findings import LINT_OUTPUT_VERSION, Finding, LintReport
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintConfig",
+    "LintModule",
+    "Rule",
+    "KNOWN_PRAGMAS",
+    "LINT_OUTPUT_VERSION",
+    "all_rules",
+    "apply_fixes",
+    "discover_files",
+    "parse_module",
+    "register_rule",
+    "run_lint",
+]

@@ -1,0 +1,105 @@
+"""Finding and report data model for the domain-aware linter.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintReport` is the outcome of one run over a file set.  Both
+serialize to the stable JSON shape documented in EXPERIMENTS.md (appendix
+"repro lint JSON output") and consumed by ``benchmarks/lint_summary.py``
+— bump :data:`LINT_OUTPUT_VERSION` when the shape changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Finding", "LintReport", "LINT_OUTPUT_VERSION"]
+
+LINT_OUTPUT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: where, what, and (optionally) how to fix it.
+
+    ``fix`` — when the violation is mechanically fixable — is the exact
+    current text of the offending line and its replacement; ``repro lint
+    --fix`` applies it only while the file text still matches.
+    """
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str  # posix-style path as scanned
+    line: int
+    col: int
+    message: str
+    suggestion: str = ""
+    fix: Optional[Tuple[str, str]] = None  # (exact old line, replacement)
+
+    @property
+    def fixable(self) -> bool:
+        return self.fix is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "fixable": self.fixable,
+        }
+
+    def format(self) -> str:
+        tail = f"  [{self.suggestion}]" if self.suggestion else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}{tail}"
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run found, plus scan bookkeeping."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding survived."""
+        return self.errors == 0
+
+    def counts(self) -> Dict[str, int]:
+        """Finding count per rule id, including zero for every rule run."""
+        out: Dict[str, int] = {rule: 0 for rule in self.rules_run}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": LINT_OUTPUT_VERSION,
+            "tool": "repro-lint",
+            "files_scanned": self.files_scanned,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.files_scanned} file(s) scanned, "
+            f"{self.errors} error(s), {self.warnings} warning(s)"
+        )

@@ -1,0 +1,169 @@
+"""R3: the construction contract between ``core/`` and the QA fuzzer.
+
+Every builder the public API exports (an ``__all__`` entry of
+``core/__init__.py`` named ``embed_*`` or ``*_embedding``) must be
+
+1. **fuzzable** — referenced by the construction table
+   (``qa/constructions.py``), so ``repro qa fuzz`` exercises it, and
+2. **oracled** — its fuzz kind carries a ``@register_oracle`` in
+   ``qa/oracles.py``, so fuzzing checks the paper's claimed numbers,
+   not just well-formedness.
+
+A builder that legitimately has neither (a thin rewrapping, say) is
+waived in place: ``# lint: no-oracle(reason)`` on its ``__all__`` entry
+line, or on the ``FuzzConstruction(...)`` line for a kind without an
+oracle.  The rule reasons across files, so it only runs when all three
+contract files are in the scanned set — linting a lone module never
+produces spurious contract findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.lint.engine import LintConfig, LintModule, register_rule
+from repro.lint.findings import Finding
+
+__all__ = ["construction_contract"]
+
+
+def _find(modules: Sequence[LintModule], suffix: str) -> Optional[LintModule]:
+    for m in modules:
+        if m.rel.endswith(suffix):
+            return m
+    return None
+
+
+def _is_builder(name: str) -> bool:
+    return name.startswith("embed_") or name.endswith("_embedding")
+
+
+def _exported_builders(api: LintModule) -> Dict[str, int]:
+    """``__all__`` builder names of the API module, with their lines."""
+    out: Dict[str, int] = {}
+    for node in api.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                    elt.value, str
+                ):
+                    if _is_builder(elt.value):
+                        out[elt.value] = elt.lineno
+    return out
+
+
+def _referenced_names(table: LintModule) -> Set[str]:
+    """Every identifier the construction table mentions (imports + uses)."""
+    names: Set[str] = set()
+    for node in ast.walk(table.tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _registered_kinds(table: LintModule) -> Dict[str, int]:
+    """Fuzz kind -> line of its ``FuzzConstruction("kind", ...)`` call."""
+    out: Dict[str, int] = {}
+    for node in ast.walk(table.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name != "FuzzConstruction" or not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            out[first.value] = node.lineno
+    return out
+
+
+def _oracle_kinds(oracles: LintModule) -> Set[str]:
+    """Kinds decorated ``@register_oracle("kind")``."""
+    out: Set[str] = set()
+    for node in ast.walk(oracles.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for deco in node.decorator_list:
+            if not isinstance(deco, ast.Call) or not deco.args:
+                continue
+            func = deco.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            first = deco.args[0]
+            if (
+                name == "register_oracle"
+                and isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                out.add(first.value)
+    return out
+
+
+@register_rule("R3", "construction-contract", scope="project")
+def construction_contract(
+    modules: Sequence[LintModule], config: LintConfig
+) -> Iterator[Finding]:
+    """Public builders must be fuzzable and their fuzz kinds oracled."""
+    api = _find(modules, config.contract_api)
+    table = _find(modules, config.contract_table)
+    oracles = _find(modules, config.contract_oracles)
+    if api is None or table is None or oracles is None:
+        return  # partial scan: the contract can't be evaluated
+
+    builders = _exported_builders(api)
+    referenced = _referenced_names(table)
+    kinds = _registered_kinds(table)
+    oracled = _oracle_kinds(oracles)
+
+    unregistered: List[str] = [
+        name for name in builders if name not in referenced
+    ]
+    for name in unregistered:
+        line = builders[name]
+        if api.waived("no-oracle", line):
+            continue
+        yield Finding(
+            "R3", "error", api.rel, line, 1,
+            f"public builder {name}() is not registered with the QA "
+            f"construction table",
+            suggestion=f"add a FuzzConstruction to {config.contract_table} "
+            f"(sampler + builder + shrinker), or waive with "
+            f"# lint: no-oracle(reason) on its __all__ entry",
+        )
+
+    for kind, line in sorted(kinds.items()):
+        if kind in oracled:
+            continue
+        if table.waived("no-oracle", line):
+            continue
+        yield Finding(
+            "R3", "error", table.rel, line, 1,
+            f"fuzz kind {kind!r} has no paper oracle",
+            suggestion=f"add @register_oracle({kind!r}) to "
+            f"{config.contract_oracles} comparing measured metrics to the "
+            f"theorem's claim, or waive with # lint: no-oracle(reason)",
+        )

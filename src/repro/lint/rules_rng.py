@@ -1,0 +1,149 @@
+"""R1 (RNG discipline) and R5 (determinism): seeded randomness only.
+
+Every theorem-level experiment in this package must replay byte-identical
+from a seed (the QA corpus depends on it), so randomness may only enter
+through :func:`repro._compat.resolve_rng`:
+
+* **R1** — any call into the ``random`` / ``numpy.random`` modules outside
+  ``_compat`` is an error (``rng.random()`` on a shared stream object is
+  fine; ``random.random()`` on the module is not), and a public function
+  taking *both* ``seed`` and ``rng`` parameters must arbitrate them with
+  ``resolve_rng`` (or forward both to a callee that does).  Waive with
+  ``# lint: rng-ok(reason)``.
+* **R5** — ``core/`` and ``routing/`` kernels must be pure functions of
+  their inputs: wall-clock and entropy reads (``time.time``,
+  ``datetime.now``, ``os.urandom``, ``uuid.uuid4``, ``secrets.*``) are
+  errors there.  Waive with ``# lint: nondet-ok(reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.engine import (
+    LintConfig,
+    LintModule,
+    import_tables,
+    register_rule,
+    resolve_call,
+)
+from repro.lint.findings import Finding
+
+__all__ = ["rng_discipline", "determinism"]
+
+_RNG_PREFIXES = ("random.", "numpy.random.")
+
+_NONDET_EXACT = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+_NONDET_PREFIXES = ("secrets.",)
+
+
+def _param_names(fn: ast.AST) -> List[str]:
+    args = fn.args  # type: ignore[attr-defined]
+    params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    return [a.arg for a in params]
+
+
+@register_rule("R1", "rng-discipline")
+def rng_discipline(module: LintModule, config: LintConfig) -> Iterator[Finding]:
+    """Randomness must flow through ``repro._compat.resolve_rng``."""
+    if module.matches(config.rng_exempt):
+        return
+    mod_aliases, member_aliases = import_tables(module.tree)
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            dotted = resolve_call(node.func, mod_aliases, member_aliases)
+            if dotted is None:
+                continue
+            if any(dotted.startswith(p) for p in _RNG_PREFIXES) or dotted in (
+                "random.Random",
+                "numpy.random.default_rng",
+            ):
+                if module.waived("rng-ok", node.lineno):
+                    continue
+                yield Finding(
+                    "R1", "error", module.rel, node.lineno, node.col_offset + 1,
+                    f"direct call to {dotted}() bypasses the seeded-stream "
+                    f"discipline",
+                    suggestion="take (seed, rng) and call "
+                    "repro._compat.resolve_rng, or accept an rng argument",
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _check_seed_routing(module, node)
+
+
+def _check_seed_routing(
+    module: LintModule, fn: ast.AST
+) -> Iterator[Finding]:
+    """A public ``(seed, rng)`` API must arbitrate through resolve_rng."""
+    name = fn.name  # type: ignore[attr-defined]
+    if name.startswith("_"):
+        return
+    params = _param_names(fn)
+    if "seed" not in params or "rng" not in params:
+        return
+    if module.waived("rng-ok", fn.lineno):  # type: ignore[attr-defined]
+        return
+
+    uses_resolver = False
+    forwards_seed = forwards_rng = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id == "resolve_rng":
+            uses_resolver = True
+        if isinstance(node, ast.Attribute) and node.attr == "resolve_rng":
+            uses_resolver = True
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg == "seed":
+                    forwards_seed = True
+                if kw.arg == "rng":
+                    forwards_rng = True
+    if uses_resolver or (forwards_seed and forwards_rng):
+        return
+    yield Finding(
+        "R1", "error", module.rel,
+        fn.lineno, fn.col_offset + 1,  # type: ignore[attr-defined]
+        f"public function {name}() takes both seed and rng but never "
+        f"routes them through resolve_rng",
+        suggestion="rng = resolve_rng(seed, rng) arbitrates the pair "
+        "(passing both raises)",
+    )
+
+
+@register_rule("R5", "determinism")
+def determinism(module: LintModule, config: LintConfig) -> Iterator[Finding]:
+    """``core/``/``routing/`` kernels may not read wall-clock or entropy."""
+    if not module.in_dirs(config.kernel_dirs):
+        return
+    mod_aliases, member_aliases = import_tables(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = resolve_call(node.func, mod_aliases, member_aliases)
+        if dotted is None:
+            continue
+        if dotted in _NONDET_EXACT or any(
+            dotted.startswith(p) for p in _NONDET_PREFIXES
+        ):
+            if module.waived("nondet-ok", node.lineno):
+                continue
+            yield Finding(
+                "R5", "error", module.rel, node.lineno, node.col_offset + 1,
+                f"nondeterministic call {dotted}() in a kernel module",
+                suggestion="kernels must be pure functions of their inputs; "
+                "take the value as a parameter or move the read to the "
+                "caller",
+            )

@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Tuple
 
 __all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram"]
 
@@ -42,7 +42,7 @@ class Counter:
 
     __slots__ = ("_lock", "value")
 
-    def __init__(self, lock: threading.RLock):
+    def __init__(self, lock: threading.RLock) -> None:
         self._lock = lock
         self.value = 0
 
@@ -58,7 +58,7 @@ class Gauge:
 
     __slots__ = ("_lock", "value")
 
-    def __init__(self, lock: threading.RLock):
+    def __init__(self, lock: threading.RLock) -> None:
         self._lock = lock
         self.value = 0.0
 
@@ -76,7 +76,7 @@ class Histogram:
 
     __slots__ = ("_lock", "count", "total", "min", "max", "buckets", "unit")
 
-    def __init__(self, lock: threading.RLock, unit: str = ""):
+    def __init__(self, lock: threading.RLock, unit: str = "") -> None:
         self._lock = lock
         self.count = 0
         self.total = 0.0
@@ -187,7 +187,7 @@ class MetricsRegistry:
 
     # -- reporting ----------------------------------------------------------
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view of every series.
 
         ``"timers"`` repeats the seconds-unit histograms in the legacy

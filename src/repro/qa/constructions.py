@@ -181,6 +181,30 @@ def _build_cross_product(p: Params):
     )
 
 
+def _build_ccc_single(p: Params):
+    from repro.core import ccc_single_embedding
+
+    return ccc_single_embedding(p["n"])
+
+
+def _build_large_ccc(p: Params):
+    from repro.core import large_ccc_embedding
+
+    return large_ccc_embedding(p["n"])
+
+
+def _build_large_butterfly(p: Params):
+    from repro.core import large_butterfly_embedding
+
+    return large_butterfly_embedding(p["n"])
+
+
+def _build_large_fft(p: Params):
+    from repro.core import large_fft_embedding
+
+    return large_fft_embedding(p["n"])
+
+
 def _grid_shrink(p: Params) -> Iterator[Params]:
     dims = list(p["dims"])
     if p.get("torus"):
@@ -345,6 +369,31 @@ def default_space() -> ConstructionSpace:
                 lambda rng: {"m": 2},
                 _build_cross_product,
                 lambda p: iter(()),
+            ),
+            FuzzConstruction(
+                "ccc-single",
+                # odd and even n take different correction-path shapes
+                lambda rng: {"n": rng.randint(2, 8)},
+                _build_ccc_single,
+                lambda p: _int_down(p, "n", 2),
+            ),
+            FuzzConstruction(
+                "large-ccc",
+                lambda rng: {"n": rng.randint(2, 5)},
+                _build_large_ccc,
+                lambda p: _int_down(p, "n", 2),
+            ),
+            FuzzConstruction(
+                "large-butterfly",
+                lambda rng: {"n": rng.randint(2, 5)},
+                _build_large_butterfly,
+                lambda p: _int_down(p, "n", 2),
+            ),
+            FuzzConstruction(
+                "large-fft",
+                lambda rng: {"n": rng.randint(2, 5)},
+                _build_large_fft,
+                lambda p: _int_down(p, "n", 2),
             ),
         ]
     )

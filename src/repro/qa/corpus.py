@@ -17,7 +17,7 @@ import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 __all__ = ["CorpusEntry", "Corpus", "default_corpus_dir"]
 

@@ -26,11 +26,11 @@ automorphisms and schedules the original finding saw.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro._compat import resolve_rng
 from repro.core.verification import run_oracles
 from repro.qa import oracles as _oracles  # noqa: F401 - importing registers them
 from repro.qa.constructions import ConstructionSpace, default_space
@@ -132,7 +132,7 @@ class Fuzzer:
     ) -> Optional[FuzzFailure]:
         """Run every enabled stage on one point; None means all passed."""
         construction = self.space.get(kind)
-        rng = random.Random(point_seed)
+        rng = resolve_rng(point_seed)
         try:
             subject = construction.build(params)
         except Exception as err:  # noqa: BLE001 - builder crash IS the finding
@@ -242,7 +242,7 @@ class Fuzzer:
             if budget_s is not None and time.monotonic() - start > budget_s:
                 report.budget_exhausted = True
                 break
-            sample_rng = random.Random(f"{self.seed}:sample:{index}")
+            sample_rng = resolve_rng(f"{self.seed}:sample:{index}")
             point_seed = f"{self.seed}:point:{index}"
             kind = allowed[sample_rng.randrange(len(allowed))]
             params = self.space.get(kind).sample(sample_rng)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro._compat import resolve_rng
 from repro.core.embedding import MultiPathEmbedding

@@ -46,7 +46,7 @@ class SimRequest:
     release_step: int = 1
     service_time: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if len(self.path) < 1:
             raise ValueError("packet path must contain at least one node")
         if self.release_step < 1:

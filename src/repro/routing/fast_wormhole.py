@@ -43,7 +43,7 @@ from repro.routing.wormhole import Worm, WormholeDeadlock
 __all__ = ["FastWormhole"]
 
 
-class FastWormhole:
+class FastWormhole:  # lint: protocol-exempt(flit-level surface: inject worms, run() -> last arrival step)
     """Batch flit-level wormhole simulator over ``Q_n``."""
 
     engine = "fast-wormhole"

@@ -15,7 +15,7 @@ a unique destination.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro._compat import resolve_rng
 from repro.core.ccc_multicopy import ccc_multicopy_embedding

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.embedding import Embedding, MultiPathEmbedding
 from repro.hypercube.graph import Hypercube

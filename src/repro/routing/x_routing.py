@@ -17,14 +17,12 @@ other.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro._compat import resolve_rng
 from repro.core.butterfly_multicopy import butterfly_multicopy_embedding
 from repro.core.cross_product import induced_cross_product_embedding
-from repro.core.embedding import MultiPathEmbedding
 from repro.hypercube.moments import moment
-from repro.networks.butterfly import Butterfly
 from repro.routing.pathutils import erase_loops
 from repro.routing.simulator import StoreForwardSimulator
 

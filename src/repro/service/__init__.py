@@ -31,7 +31,7 @@ Modules:
 
 from repro.service.api import DeliveryOutcome, FaultSet, RoutingService, disjoint_paths
 from repro.service.engine import BuildEngine
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics  # lint: deprecated-ok(re-exported shim surface)
 from repro.service.registry import (
     EmbeddingRegistry,
     decode_embedding,

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
-from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
+from repro.core.embedding import MultiCopyEmbedding, MultiPathEmbedding
 from repro.fault.faults import FaultyLinkModel
 from repro.fault.ida import disperse, reconstruct
 from repro.obs.metrics import MetricsRegistry

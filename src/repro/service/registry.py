@@ -127,7 +127,7 @@ class EmbeddingRegistry:
         cache_dir: Optional[Union[str, Path]] = None,
         memory_capacity: int = 32,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         if memory_capacity < 0:
             raise ValueError("memory_capacity must be >= 0")
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()

@@ -1,0 +1,20 @@
+"""R3 positive fixture: an orphaned builder and an unoracled fuzz kind."""
+
+__all__ = [
+    "embed_ring",
+    "orphan_embedding",
+    "rewrap_embedding",  # lint: no-oracle(thin rewrap of embed_ring, same numbers)
+]
+
+
+def embed_ring(n):
+    return ("ring", n)
+
+
+def orphan_embedding(n):
+    # public, but no FuzzConstruction ever references it
+    return ("orphan", n)
+
+
+def rewrap_embedding(n):
+    return embed_ring(n)

@@ -1,0 +1,19 @@
+"""Construction table for the bad contract fixture."""
+
+
+class FuzzConstruction:
+    def __init__(self, kind, sample, build, shrink):
+        self.kind = kind
+
+
+def _build_ring(p):
+    from contract_bad.core import embed_ring
+
+    return embed_ring(p["n"])
+
+
+def default_space():
+    return [
+        FuzzConstruction("ring", lambda rng: {"n": 4}, _build_ring, None),
+        FuzzConstruction("probe", lambda rng: {"n": 2}, _build_ring, None),  # lint: no-oracle(diagnostic kind, no paper claim)
+    ]

@@ -1,0 +1,8 @@
+"""Oracles for the bad contract fixture: the 'ring' kind is not covered."""
+
+
+def register_oracle(kind):
+    def decorate(fn):
+        return fn
+
+    return decorate

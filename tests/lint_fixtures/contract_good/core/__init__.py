@@ -1,0 +1,20 @@
+"""R3 negative fixture: every public builder is fuzzable and oracled."""
+
+__all__ = [
+    "embed_ring",
+    "star_embedding",
+    "count_nodes",
+]
+
+
+def embed_ring(n):
+    return ("ring", n)
+
+
+def star_embedding(n):
+    return ("star", n)
+
+
+def count_nodes(n):
+    # not a builder by naming convention: the contract ignores it
+    return 2**n

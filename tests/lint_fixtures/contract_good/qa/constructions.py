@@ -1,0 +1,25 @@
+"""Construction table for the good contract fixture."""
+
+
+class FuzzConstruction:
+    def __init__(self, kind, sample, build, shrink):
+        self.kind = kind
+
+
+def _build_ring(p):
+    from contract_good.core import embed_ring
+
+    return embed_ring(p["n"])
+
+
+def _build_star(p):
+    from contract_good.core import star_embedding
+
+    return star_embedding(p["n"])
+
+
+def default_space():
+    return [
+        FuzzConstruction("ring", lambda rng: {"n": 4}, _build_ring, None),
+        FuzzConstruction("star", lambda rng: {"n": 4}, _build_star, None),
+    ]

@@ -1,0 +1,18 @@
+"""Oracles for the good contract fixture: every kind is covered."""
+
+
+def register_oracle(kind):
+    def decorate(fn):
+        return fn
+
+    return decorate
+
+
+@register_oracle("ring")
+def ring_oracle(emb, params):
+    yield ("ring:size", True)
+
+
+@register_oracle("star")
+def star_oracle(emb, params):
+    yield ("star:size", True)

@@ -1,0 +1,13 @@
+"""R2 positive fixture: adopts every deprecated shim at once."""
+
+from repro.service.metrics import ServiceMetrics
+
+
+def build_and_run(host, schedule):
+    from repro.routing.simulator import StoreForwardSimulator
+
+    metrics = ServiceMetrics()
+    sim = StoreForwardSimulator(host)
+    for path, release in schedule:
+        sim.inject(path, release)  # pre-obs style
+    return metrics, sim.run()

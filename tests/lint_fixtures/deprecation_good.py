@@ -1,0 +1,27 @@
+"""R2 negative fixture: the replacement APIs, plus a waived shim test."""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_and_run(host, schedule):
+    from repro.routing.simulator import StoreForwardSimulator
+
+    metrics = MetricsRegistry()
+    sim = StoreForwardSimulator(host)
+    result = sim.run(schedule)
+    return metrics, result.makespan
+
+
+def shim_regression_test():
+    # the shim's own tests are the one legitimate call site
+    from repro.service.metrics import ServiceMetrics  # lint: deprecated-ok(shim regression test)
+
+    return ServiceMetrics
+
+
+def wormhole_inject_is_fine(host):
+    from repro.routing.wormhole import WormholeSimulator
+
+    sim = WormholeSimulator(host)
+    sim.inject([0, 1, 3], num_flits=4)  # flit API, not the shim
+    return sim.run()

@@ -1,0 +1,12 @@
+"""R5 positive fixture: a "kernel" module that reads clock and entropy."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp_route(paths):
+    started = time.time()
+    token = os.urandom(8)
+    when = datetime.now()
+    return started, token, when, paths

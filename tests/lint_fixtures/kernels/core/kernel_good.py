@@ -1,0 +1,15 @@
+"""R5 negative fixture: pure kernel, plus a waived instrumentation read."""
+
+import time
+
+
+def route(paths, now=None):
+    # the caller supplies the timestamp; the kernel stays replayable
+    return [(now, p) for p in paths]
+
+
+def profiled_route(paths):
+    start = time.perf_counter()  # perf_counter is profiling, never flagged
+    out = route(paths)
+    elapsed = time.monotonic()  # lint: nondet-ok(fixture exercises the waiver)
+    return out, elapsed - start

@@ -1,0 +1,32 @@
+"""R4 positive fixture: engine classes that break the run() surface."""
+
+
+class SimResult:
+    pass
+
+
+class DriftingEngine:
+    """Wrong first parameter, missing keyword-only params."""
+
+    engine = "drifting"
+
+    def run(self, packets, limit=100):
+        return SimResult()
+
+
+class NoRunEngine:
+    """Claims to be an engine but cannot run at all."""
+
+    engine = "inert"
+
+    def step(self):
+        return None
+
+
+class NoResultEngine:
+    """Right signature, but run() never produces a SimResult."""
+
+    engine = "resultless"
+
+    def run(self, schedule=None, *, max_steps=1000, recorder=None):
+        return 42

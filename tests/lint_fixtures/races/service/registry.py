@@ -1,0 +1,49 @@
+"""R6 fixture: one racy registry, one disciplined one, one waived access."""
+
+import threading
+
+
+class RacyCache:
+    """Deliberate bug farm: ``_store`` is guarded, then touched bare."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._store = {}
+        self.hits = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._store[key] = value  # the write that declares _store shared
+
+    def get(self, key):
+        return self._store.get(key)  # unsynchronized read
+
+    def evict(self, key):
+        self._store.pop(key, None)  # unsynchronized mutator write
+
+    def bump(self):
+        with self._lock:
+            self.hits += 1
+
+    def peek_hits(self):
+        return self.hits  # lint: race-ok(monotonic int read is a stale-ok stat)
+
+
+class DisciplinedCache:
+    """Every access to guarded state takes the lock: zero findings."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._store = {}
+        self.label = "cache"  # never written under lock: not guarded
+
+    def put(self, key, value):
+        with self._lock:
+            self._store[key] = value
+
+    def get(self, key):
+        with self._lock:
+            return self._store.get(key)
+
+    def describe(self):
+        return self.label  # unguarded attr, free to read

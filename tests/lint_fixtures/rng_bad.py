@@ -1,0 +1,24 @@
+"""R1 positive fixture: every statement here violates RNG discipline."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    return random.random()  # direct module call
+
+
+def make_stream():
+    return random.Random(42)  # private stream outside resolve_rng
+
+
+def make_np_stream():
+    return np.random.default_rng(7)
+
+
+def sample_things(items, seed=None, rng=None):
+    # takes both seed and rng but never arbitrates them
+    if rng is None:
+        rng = random.Random(seed)
+    return rng.choice(items)

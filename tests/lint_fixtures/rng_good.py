@@ -1,0 +1,25 @@
+"""R1 negative fixture: disciplined randomness, plus a waived exception."""
+
+import random
+from typing import Optional
+
+from repro._compat import resolve_rng
+
+
+def sample_things(items, seed=None, rng: Optional[random.Random] = None):
+    rng = resolve_rng(seed, rng)
+    return rng.choice(items)
+
+
+def forwarding(items, seed=None, rng=None):
+    # forwarding both to an arbitrating callee is also fine
+    return sample_things(items, seed=seed, rng=rng)
+
+
+def benchmark_noise():
+    return random.Random(0)  # lint: rng-ok(fixture exercises the waiver)
+
+
+def uses_stream(rng):
+    # calls on an rng *object* are the approved pattern, never flagged
+    return rng.randrange(10)

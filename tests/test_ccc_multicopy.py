@@ -10,7 +10,6 @@ from repro.core.ccc_multicopy import (
     level_cycle,
     theorem3_claim,
 )
-from repro.hypercube.graph import Hypercube
 
 
 class TestLevelCycle:

@@ -68,7 +68,7 @@ class TestIDA:
     def test_invalid_params(self):
         with pytest.raises(ValueError):
             disperse(b"x", 2, 3)  # w < m
-        pieces = disperse(b"x", 3, 2)
+        disperse(b"x", 3, 2)
         with pytest.raises(ValueError):
             reconstruct([(9, b"")], 3, 2)  # index out of range
 

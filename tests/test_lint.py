@@ -1,0 +1,257 @@
+"""Tests for repro.lint: each rule against its fixtures, the engine
+machinery (pragmas, fixes, JSON schema), and the clean-repo gate."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as cli_main
+from repro.lint import (
+    KNOWN_PRAGMAS,
+    LintConfig,
+    all_rules,
+    apply_fixes,
+    run_lint,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_SRC = Path(__file__).parents[1] / "src" / "repro"
+
+
+def lint(path, *rules, **config):
+    select = tuple(rules) if rules else None
+    report = run_lint([FIXTURES / path], LintConfig(select=select, **config))
+    return report
+
+
+def rule_findings(report, rule):
+    return [f for f in report.findings if f.rule == rule]
+
+
+class TestRuleRegistry:
+    def test_all_six_rules_register(self):
+        ids = [r.id for r in all_rules()]
+        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6"]
+
+    def test_every_rule_documents_a_waiver(self):
+        # one pragma token per rule, all known to the engine
+        assert len(KNOWN_PRAGMAS) == 6
+
+    def test_select_restricts_rules_run(self):
+        report = lint("rng_bad.py", "R2")
+        assert report.rules_run == ("R2",)
+        assert report.findings == []  # R1 violations invisible to R2
+
+
+class TestRngDiscipline:
+    def test_flags_direct_module_calls(self):
+        report = lint("rng_bad.py", "R1")
+        messages = [f.message for f in rule_findings(report, "R1")]
+        assert any("random.random()" in m for m in messages)
+        assert any("random.Random()" in m for m in messages)
+        assert any("numpy.random.default_rng()" in m for m in messages)
+
+    def test_flags_unarbitrated_seed_rng_pair(self):
+        report = lint("rng_bad.py", "R1")
+        assert any(
+            "sample_things" in f.message and "resolve_rng" in f.message
+            for f in rule_findings(report, "R1")
+        )
+
+    def test_clean_fixture_passes(self):
+        report = lint("rng_good.py", "R1")
+        assert rule_findings(report, "R1") == []
+
+    def test_compat_module_is_exempt(self):
+        report = run_lint([REPO_SRC / "_compat.py"], LintConfig(select=("R1",)))
+        assert report.findings == []
+
+
+class TestDeprecation:
+    def test_flags_shim_import_and_inject_style(self):
+        report = lint("deprecation_bad.py", "R2")
+        findings = rule_findings(report, "R2")
+        assert any("repro.service.metrics" in f.message for f in findings)
+        assert any("inject" in f.message for f in findings)
+
+    def test_import_finding_is_fixable(self):
+        report = lint("deprecation_bad.py", "R2")
+        fixable = [f for f in rule_findings(report, "R2") if f.fixable]
+        assert fixable, "the plain shim import must carry an autofix"
+        old, new = fixable[0].fix
+        assert "ServiceMetrics" in old and "MetricsRegistry" in new
+
+    def test_clean_fixture_passes(self):
+        report = lint("deprecation_good.py", "R2")
+        assert rule_findings(report, "R2") == []
+
+    def test_fix_rewrites_the_import(self, tmp_path):
+        target = tmp_path / "adopter.py"
+        target.write_text(
+            "from repro.service.metrics import ServiceMetrics\n"
+            "m = ServiceMetrics()\n"
+        )
+        report = run_lint([target], LintConfig(select=("R2",)))
+        applied, remaining = apply_fixes(report)
+        assert applied == 1
+        assert "from repro.obs.metrics import MetricsRegistry" in (
+            target.read_text()
+        )
+        assert not any(f.fixable for f in remaining.findings)
+
+
+class TestConstructionContract:
+    def test_orphan_builder_and_unoracled_kind_flagged(self):
+        report = lint("contract_bad", "R3")
+        findings = rule_findings(report, "R3")
+        assert any("orphan_embedding" in f.message for f in findings)
+        assert any("'ring'" in f.message for f in findings)
+        # the two pragma-waived entries stay quiet
+        assert not any("rewrap_embedding" in f.message for f in findings)
+        assert not any("'probe'" in f.message for f in findings)
+
+    def test_covered_contract_passes(self):
+        report = lint("contract_good", "R3")
+        assert rule_findings(report, "R3") == []
+
+    def test_partial_scan_stays_silent(self):
+        # without the table and oracle files the contract can't be judged
+        report = run_lint(
+            [FIXTURES / "contract_bad" / "core" / "__init__.py"],
+            LintConfig(select=("R3",)),
+        )
+        assert report.findings == []
+
+
+class TestSimulatorProtocol:
+    def test_flags_every_protocol_break(self):
+        report = lint("protocol_bad.py", "R4")
+        messages = [f.message for f in rule_findings(report, "R4")]
+        assert any("no run() method" in m for m in messages)
+        assert any("'schedule'" in m for m in messages)
+        assert any("max_steps" in m for m in messages)
+        assert any("never constructs a SimResult" in m for m in messages)
+
+    def test_conforming_and_waived_engines_pass(self):
+        report = lint("protocol_good.py", "R4")
+        assert rule_findings(report, "R4") == []
+
+
+class TestDeterminism:
+    def test_flags_clock_and_entropy_in_kernel_dirs(self):
+        report = lint("kernels/core/kernel_bad.py", "R5")
+        messages = [f.message for f in rule_findings(report, "R5")]
+        assert any("time.time()" in m for m in messages)
+        assert any("os.urandom()" in m for m in messages)
+        assert any("datetime.datetime.now()" in m for m in messages)
+
+    def test_pure_kernel_and_waiver_pass(self):
+        report = lint("kernels/core/kernel_good.py", "R5")
+        assert rule_findings(report, "R5") == []
+
+    def test_rule_is_scoped_to_kernel_dirs(self):
+        # same nondeterministic calls outside core//routing/ are fine
+        report = lint("deprecation_good.py", "R5")
+        assert rule_findings(report, "R5") == []
+
+
+class TestServiceRaces:
+    def test_unlocked_accesses_of_guarded_state_flagged(self):
+        report = lint("races/service/registry.py", "R6")
+        findings = rule_findings(report, "R6")
+        assert any(
+            "read" in f.message and "get()" in f.message for f in findings
+        )
+        assert any(
+            "write" in f.message and "evict()" in f.message for f in findings
+        )
+        # the waived read and the disciplined class stay quiet
+        assert not any("peek_hits" in f.message for f in findings)
+        assert not any("DisciplinedCache" in f.message for f in findings)
+
+    def test_detector_only_runs_on_configured_modules(self):
+        report = run_lint(
+            [FIXTURES / "races" / "service" / "registry.py"],
+            LintConfig(select=("R6",), race_modules=("elsewhere.py",)),
+        )
+        assert report.findings == []
+
+
+class TestEngine:
+    def test_unknown_pragma_is_a_finding(self, tmp_path):
+        target = tmp_path / "odd.py"
+        target.write_text("x = 1  # lint: bogus-token(who knows)\n")
+        report = run_lint([target])
+        assert any(
+            f.rule == "pragma" and "bogus-token" in f.message
+            for f in report.findings
+        )
+
+    def test_reasonless_pragma_is_a_finding(self, tmp_path):
+        target = tmp_path / "odd.py"
+        target.write_text("x = 1  # lint: rng-ok()\n")
+        report = run_lint([target])
+        assert any(
+            f.rule == "pragma" and "needs a reason" in f.message
+            for f in report.findings
+        )
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        report = run_lint([tmp_path])
+        assert report.files_scanned == 2
+        assert any(f.rule == "parse" for f in report.findings)
+
+    def test_json_shape_is_stable(self):
+        report = lint("rng_bad.py", "R1")
+        data = report.to_dict()
+        assert data["version"] == 1
+        assert data["tool"] == "repro-lint"
+        assert set(data) == {
+            "version", "tool", "files_scanned", "errors", "warnings",
+            "counts", "findings",
+        }
+        assert data["counts"]["R1"] == data["errors"] == len(data["findings"])
+        for f in data["findings"]:
+            assert set(f) == {
+                "rule", "severity", "path", "line", "col", "message",
+                "suggestion", "fixable",
+            }
+        json.dumps(data)  # round-trippable
+
+
+class TestCli:
+    def test_lint_bad_fixture_exits_nonzero(self, capsys):
+        code = cli_main(
+            ["lint", "--select", "R1", str(FIXTURES / "rng_bad.py")]
+        )
+        assert code == 1
+        assert "R1 error" in capsys.readouterr().out
+
+    def test_lint_json_output_parses(self, capsys):
+        code = cli_main(
+            [
+                "lint", "--format", "json", "--select", "R1",
+                str(FIXTURES / "rng_good.py"),
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["errors"] == 0
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out
+
+
+class TestRepositoryIsClean:
+    def test_repro_package_lints_clean(self):
+        report = run_lint([REPO_SRC])
+        assert report.ok, "\n".join(
+            f.format() for f in report.findings
+        )
+        # all six rules actually ran over a substantial file set
+        assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6")
+        assert report.files_scanned > 50

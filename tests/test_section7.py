@@ -1,6 +1,5 @@
 """Tests for Section 7: X routing, the dilated butterfly, disjoint paths."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st

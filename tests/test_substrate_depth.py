@@ -26,7 +26,6 @@ class TestOddDecompositionStructure:
         # each cycle of Q_n = Q_{n-1} x K_2 traverses copy 0 fully, crosses
         # one rung, traverses copy 1 fully, crosses back
         dec = hamiltonian_decomposition(n)
-        top = 1 << (n - 1)
         for cyc in dec.cycles:
             sides = [v >> (n - 1) for v in cyc]
             # exactly two transitions around the cycle

@@ -11,7 +11,7 @@ from repro.core.tree_multipath import (
     theorem5_embedding,
     tree_to_cbt_map,
 )
-from repro.networks.tree import CompleteBinaryTree, random_binary_tree
+from repro.networks.tree import random_binary_tree
 
 
 class TestButterflyMulticopy:
