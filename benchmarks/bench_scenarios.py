@@ -1,0 +1,121 @@
+"""S4: adversarial traffic scenarios and fault campaigns.
+
+Two series behind EXPERIMENTS.md section S4:
+
+* **fault-tolerance curve** — on Q_8 under the permutation scenario, kill
+  k = 1..7 random links (static) and compare delivered fraction with and
+  without IDA failover over the 8 edge-disjoint paths.  The paper's §1
+  reliability claim as a measured quantity: the IDA arm stays >= 0.99
+  through k = n-1 kills while the single-path arm degrades monotonically
+  in expectation.
+* **saturation sweep** — offered vs accepted load and p99 latency per
+  scenario; the adversarial patterns (bit-reversal, many-to-one)
+  saturate far below uniform poisson traffic under e-cube routing.
+"""
+
+from conftest import print_table
+
+from repro.scenarios import CampaignConfig, run_campaign, saturation_sweep
+
+
+def test_s4_fault_campaign_curve(benchmark):
+    rows = []
+    for k in range(1, 8):
+        rep = run_campaign(
+            CampaignConfig(n=8, kill_links=k, kill_step=0, seed=0)
+        )
+        rows.append(
+            (
+                k,
+                f"{rep.single.delivered_fraction:.4f}",
+                f"{rep.ida.delivered_fraction:.4f}",
+                f"{rep.reconstructions}/{rep.reconstruction_checks}",
+            )
+        )
+        # the acceptance claim: IDA failover holds >= 0.99 through n-1 kills
+        assert rep.ida.delivered_fraction >= 0.99
+        assert rep.single.delivered_fraction < 1.0
+        assert rep.reconstructions == rep.reconstruction_checks
+    print_table(
+        "S4: delivered fraction vs killed links "
+        "(Q_8, permutation, static kill, seed 0)",
+        rows,
+        ["k links", "single path", "IDA failover", "payload checks"],
+    )
+
+    benchmark(
+        lambda: run_campaign(
+            CampaignConfig(n=8, kill_links=4, kill_step=0, seed=0)
+        )
+    )
+
+
+def test_s4_mid_run_kill(benchmark):
+    """The mid-run variant: packets that cleared the region still count."""
+    static = run_campaign(
+        CampaignConfig(n=8, kill_links=16, kill_step=0, seed=1)
+    )
+    midrun = run_campaign(
+        CampaignConfig(n=8, kill_links=16, kill_step=None, seed=1)
+    )
+    # activating the same faults mid-run can only spare packets
+    assert (
+        midrun.single.delivered_fraction >= static.single.delivered_fraction
+    )
+    assert midrun.kill_step >= 1
+    print_table(
+        "S4: static vs mid-run activation (Q_8, 16 killed links, seed 1)",
+        [
+            ("static (step 0)", f"{static.single.delivered_fraction:.4f}",
+             f"{static.ida.delivered_fraction:.4f}"),
+            (f"mid-run (step {midrun.kill_step})",
+             f"{midrun.single.delivered_fraction:.4f}",
+             f"{midrun.ida.delivered_fraction:.4f}"),
+        ],
+        ["activation", "single path", "IDA failover"],
+    )
+
+    benchmark(
+        lambda: run_campaign(
+            CampaignConfig(n=8, kill_links=16, kill_step=None, seed=1)
+        )
+    )
+
+
+def test_s4_saturation_by_scenario(benchmark):
+    rows = []
+    for name in ("poisson", "bit-reversal", "transpose", "many-to-one"):
+        sweep = saturation_sweep(
+            name, 7, [0.25, 0.5, 1.0], horizon=24, seed=0
+        )
+        for r in sweep:
+            rows.append(
+                (
+                    name,
+                    r["load"],
+                    r["offered"],
+                    r["accepted"],
+                    r["latency_p50"],
+                    r["latency_p99"],
+                    r["congestion"],
+                )
+            )
+    print_table(
+        "S4: offered vs accepted load and latency (Q_7, horizon 24, seed 0)",
+        rows,
+        [
+            "scenario", "load", "offered", "accepted",
+            "p50", "p99", "congestion",
+        ],
+    )
+    by = {}
+    for row in rows:
+        by.setdefault(row[0], []).append(row)
+    # adversarial incast accepts far less than uniform traffic at load 1
+    assert by["many-to-one"][-1][3] < by["poisson"][-1][3]
+    # accepted load never exceeds offered load
+    assert all(r[3] <= r[2] + 1e-9 for r in rows)
+
+    benchmark(
+        lambda: saturation_sweep("bit-reversal", 7, [1.0], horizon=24, seed=0)
+    )

@@ -64,22 +64,35 @@ def utilization_sweep(ns: Iterable[int]) -> List[Row]:
 
 
 def fault_tolerance_sweep(
-    n: int, probs: Iterable[float], trials: int = 3
+    n: int,
+    probs: Iterable[float],
+    trials: int = 3,
+    scenario: str = "permutation",
 ) -> List[Row]:
-    """Delivery rate vs link fault probability (multipath+IDA vs single)."""
-    from repro.core import embed_cycle_load1, graycode_cycle_embedding
-    from repro.fault import FaultyLinkModel, multipath_delivery_experiment
+    """Delivery rate vs link fault probability (multipath+IDA vs single).
 
-    emb = embed_cycle_load1(n)
-    gray = graycode_cycle_embedding(n)
+    Runs through the :mod:`repro.scenarios` campaign engine: each trial
+    replays the scenario's traffic through the simulators under a static
+    random fault set, once as single dimension-order packets and once
+    IDA-dispersed over the ``n`` edge-disjoint paths.
+    """
+    from repro.scenarios.campaign import CampaignConfig, run_campaign
+
     rows: List[Row] = []
     for prob in probs:
         multi = single = 0.0
         for seed in range(trials):
-            faults = FaultyLinkModel.random(emb.host, prob, seed=seed)
-            multi += multipath_delivery_experiment(emb, faults).delivery_rate
-            ok = sum(faults.path_alive(p) for p in gray.edge_paths.values())
-            single += ok / gray.guest.num_edges
+            rep = run_campaign(
+                CampaignConfig(
+                    n=n,
+                    scenario=scenario,
+                    fault_prob=prob,
+                    kill_step=0,
+                    seed=f"sweep:{seed}",
+                )
+            )
+            multi += rep.ida.delivered_fraction
+            single += rep.single.delivered_fraction
         rows.append(
             {
                 "fault_prob": prob,

@@ -12,6 +12,11 @@ Usage examples::
     python -m repro compare --n 6
     python -m repro broadcast --n 6 --packets 512
     python -m repro faults --n 8 --prob 0.05
+    python -m repro scenarios ls                      # traffic generators
+    python -m repro scenarios run bit-reversal --n 8 --load 0.5
+    python -m repro scenarios campaign --n 8 --kill-links 4
+    python -m repro scenarios sweep poisson --n 7 --loads 0.25,0.5,1.0
+    python -m repro scenarios smoke --n 6
     python -m repro sweep utilization --n 10
     python -m repro save cycle emb.json --n 8 && python -m repro load emb.json
     python -m repro validate
@@ -86,6 +91,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _add_campaign_args(p) -> None:
+        p.add_argument("--n", type=int, default=8, help="hypercube dimension")
+        p.add_argument("--load", type=float, default=1.0)
+        p.add_argument("--horizon", type=int, default=8)
+        p.add_argument("--kill-links", type=int, default=0)
+        p.add_argument("--kill-nodes", type=int, default=0)
+        p.add_argument(
+            "--kill-step", default="0",
+            help="step faults activate (0 = from the start, "
+            "'auto' = half the fault-free makespan)",
+        )
+        p.add_argument("--width", type=int, default=None)
+        p.add_argument("--pieces", type=int, default=None)
+        p.add_argument("--seed", default="0")
+        p.add_argument(
+            "--engine", choices=["fast", "reference"], default="fast"
+        )
+
     fig = sub.add_parser("figures", help="print the paper's Figures 1-4")
     fig.add_argument("--n", type=int, default=8, help="hypercube dimension")
 
@@ -106,10 +129,51 @@ def build_parser() -> argparse.ArgumentParser:
     bc.add_argument("--n", type=int, default=6)
     bc.add_argument("--packets", type=int, default=512)
 
-    flt = sub.add_parser("faults", help="fault-tolerant delivery experiment")
-    flt.add_argument("--n", type=int, default=8)
-    flt.add_argument("--prob", type=float, default=0.05)
-    flt.add_argument("--seed", type=int, default=0)
+    flt = sub.add_parser(
+        "faults",
+        help="fault campaign: single-path vs IDA failover under link kills",
+    )
+    _add_campaign_args(flt)
+    flt.add_argument(
+        "--prob", type=float, default=None,
+        help="legacy alias: fail each link with this probability "
+        "(overrides --kill-links/--kill-nodes)",
+    )
+
+    scn = sub.add_parser(
+        "scenarios", help="adversarial traffic scenarios and fault campaigns"
+    )
+    scn_sub = scn.add_subparsers(dest="scenarios_command", required=True)
+    scn_sub.add_parser("ls", help="list the registered traffic generators")
+    sr = scn_sub.add_parser("run", help="build a scenario and route it")
+    sr.add_argument("scenario", help="generator name (see: scenarios ls)")
+    sr.add_argument("--n", type=int, default=8)
+    sr.add_argument("--load", type=float, default=1.0)
+    sr.add_argument("--horizon", type=int, default=8)
+    sr.add_argument("--seed", default="0")
+    sr.add_argument("--engine", choices=["fast", "reference"], default="fast")
+    sc = scn_sub.add_parser(
+        "campaign", help="kill links/nodes, compare with vs without IDA"
+    )
+    sc.add_argument("scenario", nargs="?", default="permutation")
+    _add_campaign_args(sc)
+    sc.add_argument("--json", action="store_true", help="emit the full report")
+    sw = scn_sub.add_parser(
+        "sweep", help="saturation sweep: offered vs accepted load, latency"
+    )
+    sw.add_argument("scenario")
+    sw.add_argument("--n", type=int, default=8)
+    sw.add_argument(
+        "--loads", type=str, default="0.1,0.25,0.5,0.75,1.0,1.5",
+        help="comma-separated offered loads",
+    )
+    sw.add_argument("--horizon", type=int, default=32)
+    sw.add_argument("--seed", default="0")
+    sw.add_argument("--engine", choices=["fast", "reference"], default="fast")
+    sm = scn_sub.add_parser(
+        "smoke", help="every generator builds and routes on both engines"
+    )
+    sm.add_argument("--n", type=int, default=6)
 
     swp = sub.add_parser("sweep", help="run one of the measured series")
     swp.add_argument(
@@ -389,19 +453,137 @@ def _cmd_broadcast(args) -> int:
     return 0
 
 
-def _cmd_faults(args) -> int:
-    from repro.core import embed_cycle_load1
-    from repro.fault import FaultyLinkModel, multipath_delivery_experiment
+def _campaign_config(args, scenario: str):
+    from repro.scenarios.campaign import CampaignConfig
 
-    emb = embed_cycle_load1(args.n)
-    faults = FaultyLinkModel.random(emb.host, args.prob, seed=args.seed)
-    rep = multipath_delivery_experiment(emb, faults)
-    print(
-        f"Q_{args.n}, link fault probability {args.prob}: "
-        f"{rep.delivered}/{rep.total_edges} edges delivered "
-        f"({rep.delivery_rate:.1%}) via IDA over the disjoint paths"
+    kill_step = (
+        None if str(args.kill_step) == "auto" else int(args.kill_step)
     )
+    prob = getattr(args, "prob", None)
+    if prob is None and args.kill_links == 0 and args.kill_nodes == 0:
+        # the historical `repro faults` default workload
+        prob = 0.05
+    return CampaignConfig(
+        n=args.n,
+        scenario=scenario,
+        load=args.load,
+        horizon=args.horizon,
+        kill_links=args.kill_links,
+        kill_nodes=args.kill_nodes,
+        kill_step=kill_step,
+        fault_prob=prob,
+        width=args.width,
+        pieces=args.pieces,
+        seed=args.seed,
+        engine=args.engine,
+    )
+
+
+def _cmd_faults(args) -> int:
+    from repro.scenarios.campaign import run_campaign
+
+    rep = run_campaign(_campaign_config(args, "permutation"))
+    print(rep.format())
     return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.scenarios import (
+        build_schedule,
+        get_scenario,
+        scenario_names,
+        schedule_digest,
+    )
+
+    if args.scenarios_command == "ls":
+        for name in scenario_names():
+            gen = get_scenario(name)
+            extras = (
+                " (" + ", ".join(f"{k}={v}" for k, v in gen.defaults.items()) + ")"
+                if gen.defaults
+                else ""
+            )
+            print(f"{name:<14} {gen.description}{extras}")
+        return 0
+
+    if args.scenarios_command == "run":
+        from repro.hypercube.graph import Hypercube
+        from repro.obs import LinkRecorder
+        from repro.routing.fast_simulator import FastStoreForward
+        from repro.routing.simulator import StoreForwardSimulator
+
+        host = Hypercube(args.n)
+        schedule = build_schedule(
+            args.scenario, host, load=args.load, horizon=args.horizon,
+            seed=args.seed,
+        )
+        sim = (
+            StoreForwardSimulator(host, tie_break="priority")
+            if args.engine == "reference"
+            else FastStoreForward(host)
+        )
+        recorder = LinkRecorder(host)
+        result = sim.run(schedule, recorder=recorder)
+        print(
+            f"{args.scenario} on Q_{args.n}: load {args.load}, horizon "
+            f"{args.horizon}, digest {schedule_digest(schedule)}"
+        )
+        print(
+            f"  {result.delivered}/{result.injected} packets delivered, "
+            f"makespan {result.makespan}, peak link congestion "
+            f"{recorder.congestion} [{args.engine}]"
+        )
+        return 0
+
+    if args.scenarios_command == "campaign":
+        import json as _json
+
+        from repro.scenarios.campaign import run_campaign
+
+        rep = run_campaign(_campaign_config(args, args.scenario))
+        if args.json:
+            print(_json.dumps(rep.to_dict(), indent=2))
+        else:
+            print(rep.format())
+        return 0
+
+    if args.scenarios_command == "sweep":
+        from repro.scenarios.sweeps import format_sweep_rows, saturation_sweep
+
+        loads = [float(x) for x in args.loads.split(",") if x.strip()]
+        rows = saturation_sweep(
+            args.scenario, args.n, loads, horizon=args.horizon,
+            seed=args.seed, engine=args.engine,
+        )
+        print(format_sweep_rows(rows))
+        return 0
+
+    # smoke: every registered generator builds and routes on both engines
+    from repro.hypercube.graph import Hypercube
+    from repro.routing.fast_simulator import FastStoreForward
+    from repro.routing.simulator import StoreForwardSimulator
+
+    host = Hypercube(args.n)
+    failures = 0
+    for name in scenario_names():
+        schedule = build_schedule(
+            name, host, load=0.5, horizon=4, seed=f"smoke:{name}"
+        )
+        rebuilt = build_schedule(
+            name, host, load=0.5, horizon=4, seed=f"smoke:{name}"
+        )
+        ref = StoreForwardSimulator(host, tie_break="priority").run(schedule)
+        fast = FastStoreForward(host).run(schedule)
+        ok = (
+            schedule_digest(schedule) == schedule_digest(rebuilt)
+            and ref.measured() == fast.measured()
+        )
+        failures += not ok
+        print(
+            f"{'ok' if ok else 'FAIL':<5} {name:<14} "
+            f"{len(schedule):>4} packet(s)  makespan {fast.makespan}"
+        )
+    return 1 if failures else 0
 
 
 def _cmd_sweep(args) -> int:
@@ -848,6 +1030,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "broadcast": _cmd_broadcast,
         "faults": _cmd_faults,
+        "scenarios": _cmd_scenarios,
         "sweep": _cmd_sweep,
         "save": _cmd_save,
         "load": _cmd_load,

@@ -7,13 +7,15 @@ implemented along the independent paths."
 * :mod:`repro.fault.gf256` — GF(2^8) field arithmetic (from scratch);
 * :mod:`repro.fault.ida` — Rabin's Information Dispersal Algorithm: split a
   message into ``w`` pieces such that any ``m`` reconstruct it;
-* :mod:`repro.fault.faults` — link-fault injection over a multipath
-  embedding and end-to-end delivery experiments.
+* :mod:`repro.fault.faults` — link/node fault injection (static or
+  activated at a mid-run step) over a multipath embedding and end-to-end
+  delivery experiments.
 """
 
 from repro.fault.gf256 import GF256
 from repro.fault.ida import disperse, reconstruct
 from repro.fault.faults import (
+    FaultModel,
     FaultyLinkModel,
     multipath_delivery_experiment,
     redundancy_tradeoff_sweep,
@@ -23,6 +25,7 @@ __all__ = [
     "GF256",
     "disperse",
     "reconstruct",
+    "FaultModel",
     "FaultyLinkModel",
     "multipath_delivery_experiment",
     "redundancy_tradeoff_sweep",

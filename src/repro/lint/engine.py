@@ -77,13 +77,15 @@ class LintConfig:
     # R2: the deprecation shims themselves
     deprecation_exempt: Tuple[str, ...] = ("service/metrics.py",)
     # R5: directory names whose modules are deterministic kernels
-    kernel_dirs: Tuple[str, ...] = ("core", "routing")
+    kernel_dirs: Tuple[str, ...] = ("core", "routing", "scenarios")
     # R6: modules whose lock discipline is checked
     race_modules: Tuple[str, ...] = ("service/registry.py", "service/engine.py")
-    # R3: the three files defining the construction contract
+    # R3: the files defining the construction contract
     contract_api: str = "core/__init__.py"
     contract_table: str = "qa/constructions.py"
     contract_oracles: str = "qa/oracles.py"
+    # R3: the scenario registry; every @register_scenario kind needs an oracle
+    contract_scenarios: str = "scenarios/generators.py"
 
 
 @dataclass

@@ -9,12 +9,19 @@ Every builder the public API exports (an ``__all__`` entry of
    ``qa/oracles.py``, so fuzzing checks the paper's claimed numbers,
    not just well-formedness.
 
+The same contract extends to the traffic-scenario registry
+(``scenarios/generators.py``): every ``@register_scenario("name")``
+generator must carry a ``@register_oracle("scenario:<name>")`` so fuzzing
+over adversarial traffic checks the pattern's closed form, not just
+schedule well-formedness.
+
 A builder that legitimately has neither (a thin rewrapping, say) is
 waived in place: ``# lint: no-oracle(reason)`` on its ``__all__`` entry
-line, or on the ``FuzzConstruction(...)`` line for a kind without an
-oracle.  The rule reasons across files, so it only runs when all three
-contract files are in the scanned set — linting a lone module never
-produces spurious contract findings.
+line, on the ``FuzzConstruction(...)`` line for a kind without an
+oracle, or on the ``@register_scenario`` decorator line.  The rule
+reasons across files, so each leg only runs when the files it needs are
+in the scanned set — linting a lone module never produces spurious
+contract findings.
 """
 
 from __future__ import annotations
@@ -96,6 +103,33 @@ def _registered_kinds(table: LintModule) -> Dict[str, int]:
     return out
 
 
+def _registered_scenarios(scenarios: LintModule) -> Dict[str, int]:
+    """Scenario name -> line of its ``@register_scenario("name")``."""
+    out: Dict[str, int] = {}
+    for node in ast.walk(scenarios.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for deco in node.decorator_list:
+            if not isinstance(deco, ast.Call) or not deco.args:
+                continue
+            func = deco.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            first = deco.args[0]
+            if (
+                name == "register_scenario"
+                and isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                out[first.value] = deco.lineno
+    return out
+
+
 def _oracle_kinds(oracles: LintModule) -> Set[str]:
     """Kinds decorated ``@register_oracle("kind")``."""
     out: Set[str] = set()
@@ -131,8 +165,24 @@ def construction_contract(
     api = _find(modules, config.contract_api)
     table = _find(modules, config.contract_table)
     oracles = _find(modules, config.contract_oracles)
+    scenarios = _find(modules, config.contract_scenarios)
+    if oracles is not None and scenarios is not None:
+        oracled_kinds = _oracle_kinds(oracles)
+        for name, line in sorted(_registered_scenarios(scenarios).items()):
+            if f"scenario:{name}" in oracled_kinds:
+                continue
+            if scenarios.waived("no-oracle", line):
+                continue
+            yield Finding(
+                "R3", "error", scenarios.rel, line, 1,
+                f"scenario {name!r} has no pattern oracle",
+                suggestion=f"add @register_oracle('scenario:{name}') to "
+                f"{config.contract_oracles} certifying the traffic "
+                f"pattern's closed form, or waive with "
+                f"# lint: no-oracle(reason)",
+            )
     if api is None or table is None or oracles is None:
-        return  # partial scan: the contract can't be evaluated
+        return  # partial scan: the builder contract can't be evaluated
 
     builders = _exported_builders(api)
     referenced = _referenced_names(table)

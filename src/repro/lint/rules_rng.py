@@ -10,8 +10,8 @@ through :func:`repro._compat.resolve_rng`:
   taking *both* ``seed`` and ``rng`` parameters must arbitrate them with
   ``resolve_rng`` (or forward both to a callee that does).  Waive with
   ``# lint: rng-ok(reason)``.
-* **R5** — ``core/`` and ``routing/`` kernels must be pure functions of
-  their inputs: wall-clock and entropy reads (``time.time``,
+* **R5** — ``core/``, ``routing/`` and ``scenarios/`` kernels must be
+  pure functions of their inputs: wall-clock and entropy reads (``time.time``,
   ``datetime.now``, ``os.urandom``, ``uuid.uuid4``, ``secrets.*``) are
   errors there.  Waive with ``# lint: nondet-ok(reason)``.
 """
@@ -125,7 +125,8 @@ def _check_seed_routing(
 
 @register_rule("R5", "determinism")
 def determinism(module: LintModule, config: LintConfig) -> Iterator[Finding]:
-    """``core/``/``routing/`` kernels may not read wall-clock or entropy."""
+    """``core/``/``routing/``/``scenarios/`` kernels may not read
+    wall-clock or entropy."""
     if not module.in_dirs(config.kernel_dirs):
         return
     mod_aliases, member_aliases = import_tables(module.tree)

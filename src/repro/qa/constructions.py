@@ -395,5 +395,56 @@ def default_space() -> ConstructionSpace:
                 _build_large_fft,
                 lambda p: _int_down(p, "n", 2),
             ),
+            *_scenario_constructions(),
         ]
     )
+
+
+def _build_scenario(name: str, p: Params) -> Any:
+    from repro.scenarios.subject import scenario_subject
+
+    return scenario_subject(
+        name,
+        int(p["n"]),
+        load=float(p["load"]),
+        horizon=int(p["horizon"]),
+        seed=p["scenario_seed"],
+    )
+
+
+def _scenario_shrink(p: Params) -> Iterator[Params]:
+    if p["n"] > 2:
+        yield _shrunk(p, n=p["n"] - 1)
+    if p["horizon"] > 1:
+        yield _shrunk(p, horizon=p["horizon"] // 2)
+    if p["load"] > 0.25:
+        yield _shrunk(p, load=0.25)
+
+
+def _scenario_constructions() -> Iterator[FuzzConstruction]:
+    """One fuzz construction per registered traffic scenario.
+
+    The adversarial generators ride the same pipeline as the paper
+    constructions: each point builds a
+    :class:`repro.scenarios.ScenarioSubject`, so verification,
+    metamorphic relabeling and the engine differential all run over
+    adversarial traffic.  Kinds are ``scenario:<name>``; the lint
+    contract rule cross-checks them against ``@register_scenario``.
+    """
+    from repro.scenarios.registry import scenario_names
+
+    def sampler(rng: random.Random) -> Params:
+        return {
+            "n": rng.randint(3, 6),
+            "load": rng.choice([0.25, 0.5, 1.0]),
+            "horizon": rng.randint(2, 6),
+            "scenario_seed": rng.randrange(2**16),
+        }
+
+    for name in scenario_names():
+        yield FuzzConstruction(
+            f"scenario:{name}",
+            sampler,
+            (lambda p, _name=name: _build_scenario(_name, p)),
+            _scenario_shrink,
+        )

@@ -252,3 +252,184 @@ def large_fft_oracle(emb: Any, params: Dict[str, Any]) -> Iterator[InvariantChec
     yield claim_check("cor3fft:load", m["load"], params["n"] + 1)
     yield claim_check("cor3fft:dilation", m["dilation"], 1)
     yield claim_check("cor3fft:congestion", m["congestion"], 1)
+
+
+# -- scenario oracles -------------------------------------------------------
+#
+# Traffic generators have no theorem claim; their oracles certify the
+# *pattern* instead: the schedule replays byte-identical from its seed,
+# every path is the e-cube path of its endpoints, destinations follow the
+# closed form (bit reversal, rotation, offset, sink...), and the injection
+# count respects the load knob.  Determinism lives here and not in
+# ScenarioSubject.verify() on purpose: the metamorphic stage compares
+# verify reports between a base subject and its relabeled image, and an
+# image cannot be regenerated from a seed.
+
+
+def _scenario_common(
+    tag: str, subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    from repro.routing.permutation import dimension_order_path
+    from repro.scenarios.subject import scenario_subject
+
+    rebuilt = scenario_subject(
+        subject.name,
+        params["n"],
+        load=params["load"],
+        horizon=params["horizon"],
+        seed=params["scenario_seed"],
+    )
+    yield claim_check(f"{tag}:deterministic", subject.digest(), rebuilt.digest())
+    ecube = all(
+        path
+        == tuple(dimension_order_path(params["n"], path[0], path[-1]))
+        for path, _release in subject.schedule
+    )
+    yield InvariantCheck(
+        f"{tag}:ecube-paths", ecube, "every path is the dimension-order path"
+    )
+    horizon = params["horizon"]
+    yield InvariantCheck(
+        f"{tag}:release-window",
+        all(1 <= r <= horizon for _, r in subject.schedule),
+        f"releases within [1, {horizon}]",
+    )
+    cap = subject.host.num_nodes * horizon * (int(params["load"]) + 1)
+    yield claim_check(f"{tag}:injection-cap", len(subject.schedule), cap, "<=")
+
+
+def _scenario_pairs(subject: Any) -> Iterator[Any]:
+    for path, _release in subject.schedule:
+        yield path[0], path[-1]
+
+
+@register_oracle("scenario:bit-reversal")
+def scenario_bit_reversal_oracle(
+    subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    """Every packet targets the bit-reversed address of its source."""
+    from repro.routing.permutation import bit_reversal_permutation
+
+    yield from _scenario_common("scn:bitrev", subject, params)
+    table = bit_reversal_permutation(params["n"])
+    yield InvariantCheck(
+        "scn:bitrev:pattern",
+        all(dst == table[src] for src, dst in _scenario_pairs(subject)),
+        "dst == reverse(src) for every packet",
+    )
+
+
+@register_oracle("scenario:transpose")
+def scenario_transpose_oracle(
+    subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    """Every packet's destination is its source rotated by n//2 bits."""
+    yield from _scenario_common("scn:transpose", subject, params)
+    n = params["n"]
+    rot, mask = n // 2, (1 << n) - 1
+    yield InvariantCheck(
+        "scn:transpose:pattern",
+        all(
+            dst == (((src << rot) | (src >> (n - rot))) & mask)
+            for src, dst in _scenario_pairs(subject)
+        ),
+        "dst == rotate(src, n//2) for every packet",
+    )
+
+
+@register_oracle("scenario:shuffle")
+def scenario_shuffle_oracle(
+    subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    """Every packet's destination is its source rotated left by one bit."""
+    yield from _scenario_common("scn:shuffle", subject, params)
+    n = params["n"]
+    mask = (1 << n) - 1
+    yield InvariantCheck(
+        "scn:shuffle:pattern",
+        all(
+            dst == (((src << 1) | (src >> (n - 1))) & mask)
+            for src, dst in _scenario_pairs(subject)
+        ),
+        "dst == rotate-left-1(src) for every packet",
+    )
+
+
+@register_oracle("scenario:tornado")
+def scenario_tornado_oracle(
+    subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    """Every packet's destination sits at the tornado offset."""
+    yield from _scenario_common("scn:tornado", subject, params)
+    size = 1 << params["n"]
+    offset = size // 2 - 1
+    yield InvariantCheck(
+        "scn:tornado:pattern",
+        all(
+            dst == (src + offset) % size
+            for src, dst in _scenario_pairs(subject)
+        ),
+        f"dst == src + {offset} mod {size} for every packet",
+    )
+
+
+@register_oracle("scenario:hot-spot")
+def scenario_hot_spot_oracle(
+    subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    """The hot node receives at least half its configured traffic share.
+
+    Statistical, so gated: with hot_fraction 0.25 and >= 256 packets a
+    share below 1/8 has probability < e^-20 (Chernoff) — far rarer than a
+    real regression; smaller samples skip the check.
+    """
+    yield from _scenario_common("scn:hotspot", subject, params)
+    total = len(subject.schedule)
+    if total >= 256:
+        hot_share = (
+            sum(1 for _src, dst in _scenario_pairs(subject) if dst == 0) / total
+        )
+        yield claim_check("scn:hotspot:share", hot_share, 0.125, ">=")
+
+
+@register_oracle("scenario:many-to-one")
+def scenario_many_to_one_oracle(
+    subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    """Every packet drains into the single sink."""
+    yield from _scenario_common("scn:incast", subject, params)
+    yield InvariantCheck(
+        "scn:incast:pattern",
+        all(dst == 0 for _src, dst in _scenario_pairs(subject)),
+        "every destination is the sink (node 0)",
+    )
+
+
+@register_oracle("scenario:poisson")
+def scenario_poisson_oracle(
+    subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    """Open-loop uniform traffic: only the common structural checks apply."""
+    yield from _scenario_common("scn:poisson", subject, params)
+
+
+@register_oracle("scenario:permutation")
+def scenario_permutation_oracle(
+    subject: Any, params: Dict[str, Any]
+) -> Iterator[InvariantCheck]:
+    """One fixed permutation per run: the source->destination map is a
+    consistent injective function across the whole schedule."""
+    yield from _scenario_common("scn:perm", subject, params)
+    mapping: Dict[int, int] = {}
+    consistent = True
+    for src, dst in _scenario_pairs(subject):
+        if mapping.setdefault(src, dst) != dst:
+            consistent = False
+            break
+    injective = len(set(mapping.values())) == len(mapping)
+    yield InvariantCheck(
+        "scn:perm:function", consistent, "each source keeps one destination"
+    )
+    yield InvariantCheck(
+        "scn:perm:injective", injective, "destinations do not collide"
+    )

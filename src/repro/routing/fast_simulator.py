@@ -68,6 +68,7 @@ class FastStoreForward:
         *,
         max_steps: int = 10_000_000,
         recorder: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ):
         """Run a packet schedule to completion.
 
@@ -77,6 +78,12 @@ class FastStoreForward:
         ``service_time != 1`` raise ``ValueError`` — use the reference
         :class:`~repro.routing.simulator.StoreForwardSimulator` for atomic
         multi-packet messages.
+
+        ``faults`` (a :class:`repro.fault.FaultModel`) drops packets whose
+        next hop is dead from ``faults.active_from`` onward — the same
+        fail-stop semantics as the reference engine, field-for-field
+        (dropped packets record ``done_steps`` of ``-1`` and are excluded
+        from ``delivered``).
 
         Calling with no schedule (or a bare int ``max_steps``) runs packets
         previously added via :meth:`inject` and returns the last arrival
@@ -91,8 +98,10 @@ class FastStoreForward:
                 max_steps = schedule
             paths, releases = self._paths, self._releases
             self._paths, self._releases = [], []
-            done_step, steps = self._run_arrays(paths, releases, max_steps, recorder)
-            return int(done_step.max()) if done_step.size else 0
+            done_step, steps = self._run_arrays(
+                paths, releases, max_steps, recorder, faults
+            )
+            return max(0, int(done_step.max())) if done_step.size else 0
 
         requests = normalize_schedule(schedule)
         if any(r.service_time != 1 for r in requests):
@@ -104,12 +113,13 @@ class FastStoreForward:
         releases = [r.release_step for r in requests]
         with profile_span("sim.fast_store_forward", packets=len(paths)):
             done_step, steps = self._run_arrays(
-                paths, releases, max_steps, recorder
+                paths, releases, max_steps, recorder, faults
             )
-        makespan = int(done_step.max()) if done_step.size else 0
+        # dropped packets carry done_step -1; makespan counts arrivals only
+        makespan = max(0, int(done_step.max())) if done_step.size else 0
         return SimResult(
             makespan=makespan,
-            delivered=len(requests),
+            delivered=int((done_step >= 0).sum()),
             injected=len(requests),
             steps=steps,
             done_steps=tuple(int(d) for d in done_step),
@@ -123,12 +133,18 @@ class FastStoreForward:
         releases: List[int],
         max_steps: int,
         recorder: Optional[Any],
+        faults: Optional[Any] = None,
     ) -> Tuple[np.ndarray, int]:
         """Vectorized step loop; returns (per-packet done steps, steps run)."""
         num = len(paths)
         if num == 0:
             return np.zeros(0, dtype=np.int64), 0
         n = self.host.n
+        dead_hop = None
+        fault_from = 0
+        if faults is not None and (faults.failed or faults.failed_nodes):
+            dead_hop = faults.dead_link_mask()
+            fault_from = faults.active_from
         # shared -1-padded edge-id encoding; validates every hop by XOR
         # popcount *before* any log2, so a zero-move hop (u == u) raises the
         # same clean ValueError the reference engine's edge_id would instead
@@ -163,6 +179,19 @@ class FastStoreForward:
                 step = int(release[active].min()) - 1
                 continue
             want = edges[idx, hop[idx]]
+            if dead_hop is not None and step >= fault_from:
+                # drop packets whose next hop is dead, mirroring the
+                # reference engine's top-of-step purge (done_step -1)
+                doomed = dead_hop[want]
+                if doomed.any():
+                    kill = idx[doomed]
+                    active[kill] = False
+                    done_step[kill] = -1
+                    remaining -= int(kill.size)
+                    idx = idx[~doomed]
+                    want = want[~doomed]
+                    if idx.size == 0:
+                        continue
             # one winner per link: sort by (link, priority), take group heads
             order = np.lexsort((priority[idx], want))
             sorted_links = want[order]
@@ -181,5 +210,5 @@ class FastStoreForward:
         if recorder:
             used = np.nonzero(link_counts)[0]
             recorder.add_link_counts(used, link_counts[used])
-            recorder.add_deliveries(done_step)
+            recorder.add_deliveries(done_step[done_step >= 0])
         return done_step, step

@@ -117,6 +117,7 @@ class StoreForwardSimulator:
         *,
         max_steps: int = 10_000_000,
         recorder: Optional[Any] = None,
+        faults: Optional[Any] = None,
     ):
         """Run a packet schedule to completion.
 
@@ -125,6 +126,16 @@ class StoreForwardSimulator:
         (e.g. a :class:`repro.obs.LinkRecorder`) receives per-link
         transmission, queue-depth and delivery events — with ``None`` (the
         default) the hot loop performs no recording work at all.
+
+        ``faults`` (a :class:`repro.fault.FaultModel`) drops packets: from
+        ``faults.active_from`` onward, any queued packet whose next hop
+        crosses a failed link or touches a failed node is discarded at the
+        top of the step (``done_steps`` records ``-1``, ``delivered``
+        excludes it).  Transmissions already in progress complete —
+        fail-stop at transmission granularity — and zero-hop packets always
+        deliver at step 0, before any fault can activate.  The vectorized
+        engine implements the identical semantics, so faulty runs stay
+        differential-testable.
 
         Calling with no schedule (or a bare int, the old ``max_steps``
         positional) runs packets previously added via :meth:`inject` and
@@ -141,7 +152,7 @@ class StoreForwardSimulator:
                 max_steps = schedule
             packets = self._pending
             self._pending = []
-            last_done, _ = self._run_packets(packets, max_steps, recorder)
+            last_done, _ = self._run_packets(packets, max_steps, recorder, faults)
             return last_done
 
         requests = normalize_schedule(schedule)
@@ -150,7 +161,9 @@ class StoreForwardSimulator:
             for i, r in enumerate(requests)
         ]
         with profile_span("sim.store_forward", packets=len(packets)):
-            last_done, steps = self._run_packets(packets, max_steps, recorder)
+            last_done, steps = self._run_packets(
+                packets, max_steps, recorder, faults
+            )
         done_steps = tuple(
             pkt.done_step if pkt.done_step is not None else -1 for pkt in packets
         )
@@ -169,6 +182,7 @@ class StoreForwardSimulator:
         packets: List[SimPacket],
         max_steps: int,
         recorder: Optional[Any],
+        faults: Optional[Any] = None,
     ) -> Tuple[int, int]:
         """Drive ``packets`` to completion; returns (last arrival, steps run)."""
         # per-run state: without this reset, ``delivered`` and the step
@@ -201,6 +215,12 @@ class StoreForwardSimulator:
                 raise RuntimeError(f"simulation exceeded {max_steps} steps")
             for pkt in releases.pop(step, []):
                 self._enqueue(pkt)
+            if faults is not None and faults.active(step):
+                # every queued packet blocked by a dead link/node is dropped
+                # before arbitration; all packets queued on one link share
+                # its endpoints, so the whole queue lives or dies together
+                for eid in [e for e in self._queues if faults.hop_dead(e)]:
+                    in_flight -= len(self._queues.pop(eid))
             # start transmissions on idle links (FIFO per link); with a port
             # limit, each node starts at most that many sends per step
             # (links already mid-transmission count against the budget)

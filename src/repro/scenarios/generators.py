@@ -1,0 +1,165 @@
+"""The built-in adversarial traffic generators.
+
+Each generator is an *open-loop* source: at every injection step in
+``range(1, horizon + 1)`` every node draws a number of arrivals with mean
+``load`` (integer part deterministic, fractional part Bernoulli — so the
+offered load is exact in expectation and the knob is continuous), picks a
+destination by its pattern, and ships one packet along the deterministic
+dimension-order (e-cube) path.  That path choice is the point: these are
+the classical worst cases *for* oblivious dimension-order routing
+(bit-reversal and transpose concentrate ``2^(n/2)`` packets on middle
+links; tornado defeats minimal adaptivity; hot-spot and many-to-one model
+incast), which is the congestion the paper's multipath constructions are
+designed to spread.
+
+Self-addressed arrivals are skipped (nothing is transmitted), so measured
+injection counts sit at or just below ``load * nodes * horizon``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.hypercube.graph import Hypercube
+from repro.routing.permutation import (
+    bit_reversal_permutation,
+    dimension_order_path,
+    random_permutation,
+)
+from repro.scenarios.registry import Schedule, register_scenario
+
+__all__ = ["arrivals"]
+
+
+def arrivals(rng: random.Random, load: float) -> int:
+    """Arrivals for one (node, step) cell: mean ``load``, integer-valued."""
+    whole = int(load)
+    frac = load - whole
+    return whole + (1 if frac > 0 and rng.random() < frac else 0)
+
+
+def _open_loop(
+    host: Hypercube,
+    rng: random.Random,
+    load: float,
+    horizon: int,
+    dest: Callable[[int], int],
+) -> Schedule:
+    """The shared open-loop injection loop; ``dest(src)`` picks targets."""
+    schedule: Schedule = []
+    for step in range(1, horizon + 1):
+        for src in range(host.num_nodes):
+            for _ in range(arrivals(rng, load)):
+                dst = dest(src)
+                if dst == src:
+                    continue
+                path = tuple(dimension_order_path(host.n, src, dst))
+                schedule.append((path, step))
+    return schedule
+
+
+@register_scenario("bit-reversal")
+def bit_reversal(
+    host: Hypercube, rng: random.Random, *, load: float, horizon: int
+) -> Schedule:
+    """Bit-reversal permutation: node v sends to reverse(v)."""
+    table = bit_reversal_permutation(host.n)
+    return _open_loop(host, rng, load, horizon, lambda src: table[src])
+
+
+@register_scenario("transpose")
+def transpose(
+    host: Hypercube, rng: random.Random, *, load: float, horizon: int
+) -> Schedule:
+    """Matrix transpose: rotate the address by n/2 (swap halves)."""
+    n, mask = host.n, host.num_nodes - 1
+    rot = n // 2
+    if rot == 0:
+        return []
+    return _open_loop(
+        host, rng, load, horizon,
+        lambda src: ((src << rot) | (src >> (n - rot))) & mask,
+    )
+
+
+@register_scenario("shuffle")
+def shuffle(
+    host: Hypercube, rng: random.Random, *, load: float, horizon: int
+) -> Schedule:
+    """Perfect shuffle: rotate the address left by one bit."""
+    n, mask = host.n, host.num_nodes - 1
+    if n < 2:
+        return []
+    return _open_loop(
+        host, rng, load, horizon,
+        lambda src: ((src << 1) | (src >> (n - 1))) & mask,
+    )
+
+
+@register_scenario("tornado")
+def tornado(
+    host: Hypercube, rng: random.Random, *, load: float, horizon: int
+) -> Schedule:
+    """Tornado offset: v sends to (v + 2^(n-1) - 1) mod 2^n.
+
+    The ring-adversarial offset pattern adapted to the hypercube address
+    space (degenerate for n = 1, where the offset is zero).
+    """
+    size = host.num_nodes
+    offset = size // 2 - 1
+    return _open_loop(
+        host, rng, load, horizon, lambda src: (src + offset) % size
+    )
+
+
+@register_scenario("hot-spot", hot=0, hot_fraction=0.25)
+def hot_spot(
+    host: Hypercube, rng: random.Random, *, load: float, horizon: int,
+    hot: int = 0, hot_fraction: float = 0.25,
+) -> Schedule:
+    """Hot-spot: each packet targets one hot node with extra probability."""
+    if not 0 <= hot_fraction <= 1:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    size = host.num_nodes
+
+    def dest(src: int) -> int:
+        if rng.random() < hot_fraction:
+            return hot % size
+        return rng.randrange(size)
+
+    return _open_loop(host, rng, load, horizon, dest)
+
+
+@register_scenario("many-to-one", sink=0)
+def many_to_one(
+    host: Hypercube, rng: random.Random, *, load: float, horizon: int,
+    sink: int = 0,
+) -> Schedule:
+    """Incast: every node sends to a single sink."""
+    sink %= host.num_nodes
+    return _open_loop(host, rng, load, horizon, lambda src: sink)
+
+
+@register_scenario("poisson")
+def poisson(
+    host: Hypercube, rng: random.Random, *, load: float, horizon: int
+) -> Schedule:
+    """Uniform-random open-loop arrivals — the baseline saturation traffic."""
+    size = host.num_nodes
+    return _open_loop(
+        host, rng, load, horizon, lambda src: rng.randrange(size)
+    )
+
+
+@register_scenario("permutation")
+def permutation(
+    host: Hypercube, rng: random.Random, *, load: float, horizon: int
+) -> Schedule:
+    """A fresh random permutation, fixed for the whole run: v -> perm[v].
+
+    The workload the historical ``repro faults`` experiment used, now a
+    first-class scenario (and the campaign engine's default).
+    """
+    perm = random_permutation(host.num_nodes, rng=rng)
+    return _open_loop(host, rng, load, horizon, lambda src: perm[src])

@@ -1,0 +1,151 @@
+"""A generated scenario as a first-class QA subject.
+
+:class:`ScenarioSubject` wraps a built schedule in the shape the QA
+harness expects of an embedding-like subject: ``host``, an
+``edge_paths``-style path table (one single path per packet index, so
+:func:`repro.qa.schedules.all_host_paths` and the metamorphic/differential
+stages consume it unchanged), a non-strict :meth:`verify` report whose
+checks and metrics are automorphism-invariant, and a :meth:`relabel` hook
+:func:`repro.hypercube.automorphisms.relabel_embedding` dispatches to.
+
+Determinism (same seed, same schedule digest) is deliberately *not* part
+of :meth:`verify`: a relabeled image cannot be regenerated from its seed,
+and the metamorphic stage compares verify reports between base and image.
+It is checked by the per-scenario fuzz oracles instead
+(:mod:`repro.qa.oracles`), which only run on the base point.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.core.verification import InvariantCheck, VerificationReport
+from repro.hypercube.graph import Hypercube
+from repro.scenarios.registry import Schedule, build_schedule, schedule_digest
+
+__all__ = ["ScenarioSubject", "scenario_subject"]
+
+
+class ScenarioSubject:
+    """One built traffic scenario: host, schedule, and QA hooks."""
+
+    def __init__(
+        self,
+        name: str,
+        host: Hypercube,
+        schedule: Schedule,
+        params: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.host = host
+        self.schedule: Schedule = [
+            (tuple(path), int(release)) for path, release in schedule
+        ]
+        self.params = dict(params or {})
+        # one single host path per packet index — the classical-embedding
+        # shape the QA schedule samplers and the CLI flatteners understand
+        self.edge_paths = {
+            i: path for i, (path, _release) in enumerate(self.schedule)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioSubject({self.name!r}, Q_{self.host.n}, "
+            f"{len(self.schedule)} packet(s))"
+        )
+
+    def digest(self) -> str:
+        """The schedule's canonical content hash."""
+        return schedule_digest(self.schedule)
+
+    def verify(self, strict: bool = True) -> VerificationReport:
+        """Structural validity: hypercube paths, sane release steps.
+
+        Every check and metric here is invariant under host automorphisms
+        (the metamorphic stage relies on that).
+        """
+        size = self.host.num_nodes
+        bad_path = ""
+        for i, (path, _release) in enumerate(self.schedule):
+            if not path or any(not 0 <= v < size for v in path):
+                bad_path = f"packet {i}: node out of range in {path}"
+                break
+            for a, b in zip(path, path[1:]):
+                x = a ^ b
+                if x == 0 or x & (x - 1):
+                    bad_path = f"packet {i}: {a} -> {b} is not a Q_n edge"
+                    break
+            if bad_path:
+                break
+        checks = [
+            InvariantCheck(
+                "scenario:paths",
+                not bad_path,
+                bad_path or f"{len(self.schedule)} valid hypercube path(s)",
+            ),
+            InvariantCheck(
+                "scenario:releases",
+                all(r >= 1 for _, r in self.schedule),
+                "every release step >= 1",
+            ),
+        ]
+        metrics: Dict[str, Any] = {}
+        if all(c.passed for c in checks):
+            hops = sum(len(p) - 1 for p, _ in self.schedule)
+            metrics = {
+                "packets": len(self.schedule),
+                "hops": hops,
+                "max_path": max(
+                    (len(p) - 1 for p, _ in self.schedule), default=0
+                ),
+                "last_release": max(
+                    (r for _, r in self.schedule), default=0
+                ),
+            }
+        report = VerificationReport(
+            subject=f"scenario:{self.name}",
+            checks=tuple(checks),
+            metrics=metrics,
+        )
+        if strict:
+            report.raise_if_failed()
+        return report
+
+    def relabel(self, auto: Any, verify: bool = True) -> "ScenarioSubject":
+        """The scenario pushed through a host automorphism, hop by hop."""
+        image = ScenarioSubject(
+            self.name,
+            self.host,
+            [
+                (tuple(auto(v) for v in path), release)
+                for path, release in self.schedule
+            ],
+            params=self.params,
+        )
+        if verify:
+            image.verify()
+        return image
+
+
+def scenario_subject(
+    name: str,
+    n: int,
+    *,
+    load: float = 1.0,
+    horizon: int = 8,
+    seed: Optional[Any] = None,
+    rng: Optional[random.Random] = None,
+    **params: Any,
+) -> ScenarioSubject:
+    """Build scenario ``name`` on ``Q_n`` as a :class:`ScenarioSubject`."""
+    host = Hypercube(n)
+    schedule = build_schedule(
+        name, host, load=load, horizon=horizon, seed=seed, rng=rng, **params
+    )
+    return ScenarioSubject(
+        name,
+        host,
+        schedule,
+        params={"n": n, "load": load, "horizon": horizon, **params},
+    )

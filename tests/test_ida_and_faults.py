@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import embed_cycle_load1, graycode_cycle_embedding
-from repro.fault import FaultyLinkModel, multipath_delivery_experiment
+from repro.fault import FaultModel, FaultyLinkModel, multipath_delivery_experiment
 from repro.fault.ida import cauchy_matrix, disperse, reconstruct
 from repro.hypercube.graph import Hypercube
 
@@ -155,3 +155,149 @@ class TestRedundancySweep:
         emb = embed_cycle_load1(6)
         rows = redundancy_tradeoff_sweep(emb, 0.0, trials=1)
         assert all(r["delivery_rate"] == 1.0 for r in rows)
+
+
+class TestNodeAndExactFaults:
+    """FaultModel extensions: node faults, exact-k kills, mid-run activation."""
+
+    def test_random_links_exact_count_and_symmetric(self):
+        host = Hypercube(5)
+        fm = FaultModel.random_links(host, 7, seed=3)
+        assert len(fm.failed) == 14  # 7 undirected links, both directions
+        for eid in fm.failed:
+            u, v = host.edge_from_id(eid)
+            assert host.edge_id(v, u) in fm.failed
+
+    def test_random_links_bounds(self):
+        host = Hypercube(3)
+        assert not FaultModel.random_links(host, 0, seed=1).failed
+        full = FaultModel.random_links(host, host.num_edges // 2, seed=1)
+        assert len(full.failed) == host.num_edges
+        with pytest.raises(ValueError):
+            FaultModel.random_links(host, host.num_edges // 2 + 1, seed=1)
+        with pytest.raises(ValueError):
+            FaultModel.random_links(host, -1, seed=1)
+
+    def test_random_nodes(self):
+        host = Hypercube(5)
+        fm = FaultModel.random_nodes(host, 4, seed=8)
+        assert len(fm.failed_nodes) == 4
+        dead = next(iter(fm.failed_nodes))
+        # every hop into or out of a dead node is dead
+        for d in range(host.n):
+            assert fm.hop_dead(host.edge_id(dead, dead ^ (1 << d)))
+            assert fm.hop_dead(host.edge_id(dead ^ (1 << d), dead))
+
+    def test_path_alive_node_aware(self):
+        host = Hypercube(4)
+        fm = FaultModel(host, failed_nodes={5})
+        assert not fm.path_alive([1, 5, 7])   # transits the dead node
+        assert not fm.path_alive([5])         # zero-hop on a dead node
+        assert fm.path_alive([0, 1, 3])
+        assert fm.path_alive([3])
+
+    def test_merged_unions_and_takes_earliest_activation(self):
+        host = Hypercube(4)
+        a = FaultModel.random_links(host, 2, seed=1, active_from=5)
+        b = FaultModel.random_nodes(host, 1, seed=2, active_from=3)
+        m = a.merged(b)
+        assert m.failed == a.failed
+        assert m.failed_nodes == b.failed_nodes
+        assert m.active_from == 3
+        with pytest.raises(ValueError):
+            a.merged(FaultModel.random_links(Hypercube(3), 1, seed=1))
+
+    def test_dead_link_mask_matches_hop_dead(self):
+        host = Hypercube(4)
+        fm = FaultModel.random_links(host, 3, seed=4)
+        fm = fm.merged(FaultModel.random_nodes(host, 2, seed=5))
+        mask = fm.dead_link_mask()
+        assert mask.shape == (host.num_nodes * host.n,)
+        for eid in range(host.num_edges):
+            assert bool(mask[eid]) == fm.hop_dead(eid)
+
+
+class TestMidRunFaults:
+    """Regression: a fault injected mid-run, on both engines, in agreement."""
+
+    def _schedule(self, host):
+        # long paths released over several steps so the kill lands mid-flight
+        from repro.routing.permutation import dimension_order_path
+
+        sched = []
+        for src in range(host.num_nodes):
+            dst = src ^ (host.num_nodes - 1)
+            sched.append((tuple(dimension_order_path(host.n, src, dst)), 1))
+            sched.append(
+                (tuple(dimension_order_path(host.n, dst, src)), 3)
+            )
+        return sched
+
+    @pytest.mark.parametrize("active_from", [0, 2, 4, 100])
+    def test_engines_agree(self, active_from):
+        from repro.routing.fast_simulator import FastStoreForward
+        from repro.routing.simulator import StoreForwardSimulator
+
+        host = Hypercube(5)
+        sched = self._schedule(host)
+        faults = FaultModel.random_links(
+            host, 6, seed=11, active_from=active_from
+        )
+        ref = StoreForwardSimulator(host, tie_break="priority").run(
+            sched, faults=faults
+        )
+        fast = FastStoreForward(host).run(sched, faults=faults)
+        assert ref.measured() == fast.measured()
+        assert ref.done_steps == fast.done_steps
+
+    def test_mid_run_kill_spares_early_packets(self):
+        from repro.routing.simulator import StoreForwardSimulator
+
+        host = Hypercube(4)
+        # packet 0 crosses link 0->1 at step 1; packet 1 crosses it at
+        # release 5 after the same link dies at step 3
+        sched = [((0, 1), 1), ((0, 1), 5)]
+        faults = FaultModel(
+            host,
+            failed={host.edge_id(0, 1), host.edge_id(1, 0)},
+            active_from=3,
+        )
+        res = StoreForwardSimulator(host).run(sched, faults=faults)
+        assert res.done_steps == (1, -1)
+        assert res.delivered == 1
+
+    def test_late_activation_is_a_no_op(self):
+        from repro.routing.fast_simulator import FastStoreForward
+
+        host = Hypercube(4)
+        sched = self._schedule(host)
+        clean = FastStoreForward(host).run(sched)
+        faults = FaultModel.random_links(
+            host, 5, seed=2, active_from=clean.makespan + 1
+        )
+        faulty = FastStoreForward(host).run(sched, faults=faults)
+        assert faulty.measured() == clean.measured()
+
+
+class TestIDAThreshold:
+    """Reconstruction at exactly n-k surviving shares, and one below."""
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7, 8])
+    def test_exact_threshold_reconstructs(self, n):
+        message = bytes(range(64))
+        m = -(-n // 2)  # the campaign default: ceil(n/2) of n pieces
+        pieces = disperse(message, n, m)
+        # exactly m survivors — every contiguous window of the pieces
+        for start in range(n - m + 1):
+            got = reconstruct(pieces[start : start + m], n, m)
+            assert got == message
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7, 8])
+    def test_one_below_threshold_fails(self, n):
+        message = b"threshold probe"
+        m = -(-n // 2)
+        pieces = disperse(message, n, m)
+        if m == 1:
+            pytest.skip("m=1 cannot go below threshold")
+        with pytest.raises(ValueError):
+            reconstruct(pieces[: m - 1], n, m)
