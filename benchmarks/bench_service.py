@@ -22,6 +22,7 @@ from repro.service import (
     BuildEngine,
     EmbeddingRegistry,
     EmbeddingSpec,
+    RouteRequest,
     RoutingService,
     build_spec,
 )
@@ -144,7 +145,7 @@ def test_warm_route_serving_rate():
     requests = 2_000
     t0 = time.perf_counter()
     for i in range(requests):
-        service.route(spec, edges[i % len(edges)])
+        service.route(spec, RouteRequest(edges[i % len(edges)]))
     elapsed = time.perf_counter() - t0
     rate = requests / elapsed
     print_table(

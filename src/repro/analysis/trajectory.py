@@ -1,9 +1,11 @@
 """Recorded performance trajectory: fast engines timed against their references.
 
-The repo carries three fast/reference pairs — vectorized verification vs
+The repo carries four fast/reference pairs — vectorized verification vs
 the scalar ``verify_reference`` walk, :class:`FastStoreForward` vs
-:class:`StoreForwardSimulator`, and :class:`FastWormhole` vs
-:class:`WormholeSimulator`.  This module times both sides of each pair on
+:class:`StoreForwardSimulator`, :class:`FastWormhole` vs
+:class:`WormholeSimulator`, and the service's batched
+``route_batch()`` vs its per-call ``route()``.  This module times both
+sides of each pair on
 fixed named workloads and writes the result as machine-readable *points*
 (``workload``, ``engine``, ``wall_s``, ``speedup``) to ``BENCH_perf.json``.
 
@@ -164,6 +166,51 @@ def _storeforward_workload(name: str, n: int, reps: int, quick: bool) -> Workloa
     )
 
 
+def _service_workload(name: str, n: int, requests: int, quick: bool) -> Workload:
+    def build():
+        import tempfile
+
+        from repro._compat import resolve_rng
+        from repro.service.api import RoutingService
+        from repro.service.registry import EmbeddingRegistry
+        from repro.service.specs import EmbeddingSpec, RouteRequest
+
+        registry = EmbeddingRegistry(
+            cache_dir=tempfile.mkdtemp(prefix="repro-bench-")
+        )
+        service = RoutingService(registry=registry)
+        spec = EmbeddingSpec.make("cycle", n=n)
+        shard = service.shard_for(spec)  # build + publish outside the timer
+        edges = shard.csr.edges
+        stream = resolve_rng(0)
+        batch = []
+        for _ in range(requests):
+            u, v = edges[stream.randrange(len(edges))]
+            batch.append((v, u) if stream.random() < 0.5 else (u, v))
+        service.route_batch(spec, batch[:1])  # warm the resolve path
+        return service, spec, [RouteRequest(edge) for edge in batch]
+
+    def agree(ref, fast_out):
+        if len(ref) != len(fast_out.requests):
+            return False
+        return all(
+            resp.paths == fast_out.paths(i) for i, resp in enumerate(ref)
+        )
+
+    return Workload(
+        name=name,
+        description=(
+            f"one route_batch() vs {requests} per-call route()s on the "
+            f"Q_{n} multipath cycle (both orientations, shared-memory shard)"
+        ),
+        build=build,
+        fast=lambda ctx: ctx[0].route_batch(ctx[1], ctx[2]),
+        reference=lambda ctx: [ctx[0].route(ctx[1], r) for r in ctx[2]],
+        agree=agree,
+        quick=quick,
+    )
+
+
 def default_workloads() -> List[Workload]:
     """The recorded trajectory: quick CI subset plus the full-scale probes.
 
@@ -179,6 +226,7 @@ def default_workloads() -> List[Workload]:
             scale_only=True, repeats=1,
         ),
         _storeforward_workload("storeforward:q10:perm-x4", 10, reps=4, quick=True),
+        _service_workload("service:route-batch:q12", 12, requests=16384, quick=True),
         _wormhole_workload("wormhole:q10:m16x2", 10, num_flits=16, overlays=2, quick=True),
         _wormhole_workload("wormhole:q12:m16x4", 12, num_flits=16, overlays=4, quick=False),
     ]

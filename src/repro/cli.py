@@ -26,6 +26,8 @@ Usage examples::
     python -m repro cache clear
     python -m repro route cycle --n 8 --edge 0 1      # w disjoint host paths
     python -m repro route cycle --n 8 --edge 0 1 --faults 0.05
+    python -m repro route cycle --n 12 --batch 4096   # vectorized batch routing
+    python -m repro serve cycle --n 12 --rate 50000 --requests 20000
     python -m repro obs report cycle --n 8            # instrumented delivery
     python -m repro obs trace cycle --n 8             # profiled build spans
     python -m repro obs export cycle --n 8 --format json
@@ -231,6 +233,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--pieces", type=int, default=None,
         help="IDA pieces needed to reconstruct (default 1: max tolerance)",
     )
+    rt.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="resolve N randomly drawn guest edges in one route_batch call "
+        "and report the sustained request rate",
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="open-loop load harness over the batching serve() front-end",
+    )
+    _add_spec_arguments(srv)
+    srv.add_argument(
+        "--rate", type=float, default=20000.0,
+        help="offered Poisson arrival rate, requests/s (default 20000)",
+    )
+    srv.add_argument(
+        "--requests", type=int, default=10000,
+        help="total requests to offer (default 10000)",
+    )
+    srv.add_argument(
+        "--max-batch", type=int, default=1024,
+        help="largest micro-batch the front-end coalesces (default 1024)",
+    )
+    srv.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="batching delay budget in milliseconds (default 2.0)",
+    )
+    srv.add_argument("--seed", type=int, default=0)
 
     obs = sub.add_parser(
         "obs", help="instrumented simulation: report, trace, export"
@@ -703,12 +733,39 @@ def _cmd_cache(args) -> int:
 
 def _cmd_route(args) -> int:
     import ast
+    import time
 
-    from repro.service import FaultSet, RoutingService, EmbeddingRegistry
+    from repro.fault.faults import FaultModel
+    from repro.service import EmbeddingRegistry, RouteRequest, RoutingService
 
     service = RoutingService(registry=EmbeddingRegistry(cache_dir=args.cache_dir))
     spec = _spec_from_args(args)
     emb = service.get_embedding(spec)
+
+    if args.batch is not None:
+        from repro._compat import resolve_rng
+
+        rng = resolve_rng(args.seed)
+        shard = service.shard_for(spec)
+        edges = []
+        for _ in range(args.batch):
+            u, v = rng.choice(shard.csr.edges)
+            edges.append((v, u) if rng.random() < 0.5 else (u, v))
+        start = time.perf_counter()
+        result = service.route_batch(spec, edges)
+        elapsed = time.perf_counter() - start
+        rate = len(result) / elapsed if elapsed else float("inf")
+        print(
+            f"{spec.describe()}: {len(result)} request(s) -> "
+            f"{result.total_paths} path(s) in {elapsed * 1e3:.2f} ms "
+            f"({rate:,.0f} req/s)"
+        )
+        first = result[0]
+        print(f"  e.g. {first.guest_edge} -> {first.width} path(s), "
+              f"first: {' -> '.join(map(str, first.paths[0]))}")
+        service.close()
+        return 0
+
     if args.edge is not None:
         try:
             edge = tuple(ast.literal_eval(x) for x in args.edge)
@@ -723,14 +780,17 @@ def _cmd_route(args) -> int:
         edge = next(iter(
             emb.copies[0].edge_paths if hasattr(emb, "copies") else emb.edge_paths
         ))
-    paths = service.route(spec, edge)
+    response = service.route(spec, RouteRequest(edge))
+    paths = response.paths
     print(f"{spec.describe()}: guest edge {edge} -> {len(paths)} host path(s)")
     for i, path in enumerate(paths):
         print(f"  [{i}] {' -> '.join(map(str, path))}")
+    exit_code = 0
     if args.faults is not None:
-        faults = FaultSet.random(emb.host, args.faults, seed=args.seed)
+        faults = FaultModel.random(emb.host, args.faults, seed=args.seed)
         outcome = service.route_fault_tolerant(
-            spec, edge, pieces_needed=args.pieces, faults=faults
+            spec,
+            RouteRequest(edge, faults=faults, pieces_needed=args.pieces),
         )
         status = "delivered" if outcome.delivered else "LOST"
         print(
@@ -738,8 +798,40 @@ def _cmd_route(args) -> int:
             f"{len(outcome.alive_paths)}/{outcome.width} surviving paths "
             f"(need {outcome.pieces_needed}, overhead {outcome.overhead:.1f}x)"
         )
-        return 0 if outcome.delivered else 1
-    return 0
+        exit_code = 0 if outcome.delivered else 1
+    service.close()
+    return exit_code
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import EmbeddingRegistry, RoutingService, open_loop_load
+
+    service = RoutingService(registry=EmbeddingRegistry(cache_dir=args.cache_dir))
+    spec = _spec_from_args(args)
+    shard = service.shard_for(spec)  # warm build + publish before the clock
+    print(
+        f"serving {spec.describe()} from shard {shard.info.name or '(local)'} "
+        f"({shard.info.num_paths} path(s), {shard.info.nbytes / 1e6:.1f} MB)"
+    )
+    report = open_loop_load(
+        service,
+        spec,
+        rate=args.rate,
+        total=args.requests,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+    )
+    print(f"  {report.describe()}")
+    snapshot = service.metrics.snapshot()
+    sizes = snapshot["histograms"].get("serve_batch_size")
+    if sizes:
+        print(
+            f"  batches: {sizes['count']} "
+            f"(mean {sizes['mean']:.0f}, max {sizes['max']:.0f} requests)"
+        )
+    service.close()
+    return 0 if report.errors == 0 else 1
 
 
 def _all_paths(emb):
@@ -1037,6 +1129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "cache": _cmd_cache,
         "route": _cmd_route,
+        "serve": _cmd_serve,
         "obs": _cmd_obs,
         "bench": _cmd_bench,
         "qa": _cmd_qa,

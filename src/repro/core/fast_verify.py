@@ -28,15 +28,27 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.embedding import MultiCopyEmbedding, MultiPathEmbedding
 from repro.core.verification import InvariantCheck, VerificationReport
-from repro.hypercube.pathcode import flatten_paths, hop_endpoints
+from repro.hypercube.pathcode import (
+    CSR_FLAG_DTYPE,
+    CSR_NODE_DTYPE,
+    CSR_OFFSET_DTYPE,
+    flatten_paths,
+    gather_paths,
+    hop_endpoints,
+)
 from repro.obs.profile import profile_span
 
 __all__ = [
+    "PathCSR",
+    "embedding_csr",
     "verify_embedding",
     "verify_multipath",
     "reference_verify_embedding",
@@ -466,4 +478,209 @@ def reference_verify_multipath(emb: Any, strict: bool = True) -> VerificationRep
             "dilation": dilation,
             "congestion": max(per_host_edge.values()) if per_host_edge else 0,
         },
+    )
+
+
+# -- CSR export for the serving layer -----------------------------------------
+
+
+def _rev(edge: Any) -> Any:
+    u, v = edge
+    return (v, u)
+
+
+@dataclass(frozen=True)
+class PathCSR:
+    """The flat, shareable form of an embedding's routing answer.
+
+    All the host paths an embedding carries, concatenated into the
+    :func:`~repro.hypercube.pathcode.flatten_paths` layout and grouped into
+    per-guest-edge *bundles* so a routing request is two offset lookups plus
+    one gather — no dict-of-tuples walking, no per-path Python.  The arrays
+    obey the pathcode dtype contract (``CSR_NODE_DTYPE`` /
+    ``CSR_OFFSET_DTYPE`` / ``CSR_FLAG_DTYPE``), which is what the
+    shared-memory shard layer checks before mapping a segment zero-copy.
+
+    ``path_reversed[p]`` says path ``p`` is stored against its bundle's
+    canonical orientation (it came from a :class:`MultiCopyEmbedding` copy
+    that holds only the reverse edge); serving the reversed guest edge
+    XORs one more flip on top, so both orientations resolve from the same
+    stored bytes.
+    """
+
+    host_n: int
+    edges: Tuple[Any, ...]  # canonical guest edge of each bundle
+    nodes: np.ndarray  # CSR_NODE_DTYPE, concatenated path nodes
+    path_offsets: np.ndarray  # CSR_OFFSET_DTYPE, num_paths + 1
+    bundle_offsets: np.ndarray  # CSR_OFFSET_DTYPE, num_bundles + 1
+    path_reversed: np.ndarray = field(repr=False)  # CSR_FLAG_DTYPE
+
+    @property
+    def num_paths(self) -> int:
+        return int(self.path_offsets.size - 1)
+
+    @property
+    def num_bundles(self) -> int:
+        return int(self.bundle_offsets.size - 1)
+
+    @cached_property
+    def edge_index(self) -> Dict[Any, Tuple[int, bool]]:
+        """Both orientations of every guest edge -> ``(bundle id, flip)``.
+
+        Stored orientations always win: the reverse fallback is added only
+        for orientations no bundle claims directly, mirroring
+        :func:`repro.service.api.disjoint_paths`'s forward-then-reverse
+        lookup order.
+        """
+        index: Dict[Any, Tuple[int, bool]] = {}
+        for gid, edge in enumerate(self.edges):
+            index[edge] = (gid, False)
+        for gid, edge in enumerate(self.edges):
+            reverse = _rev(edge)
+            if reverse not in index:
+                index[reverse] = (gid, True)
+        return index
+
+    def resolve(
+        self, guest_edges: Sequence[Any]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Selected ``(path_ids, flips, request_offsets)`` for a request batch.
+
+        The only per-request Python is one dict lookup; everything after is
+        offset arithmetic.  Raises ``KeyError`` with the same shape of
+        message as per-call routing when an edge is unknown in *both*
+        orientations.
+        """
+        count = len(guest_edges)
+        gids = np.empty(count, dtype=CSR_OFFSET_DTYPE)
+        flips = np.empty(count, dtype=CSR_FLAG_DTYPE)
+        index = self.edge_index
+        for i, edge in enumerate(guest_edges):
+            hit = index.get(edge)
+            if hit is None:
+                sample = self.edges[0] if self.edges else None
+                raise KeyError(
+                    f"guest edge {edge!r} not in embedding "
+                    f"(edges look like {sample!r})"
+                )
+            gids[i] = hit[0]
+            flips[i] = hit[1]
+        starts = self.bundle_offsets[gids]
+        widths = self.bundle_offsets[gids + 1] - starts
+        request_offsets = np.zeros(count + 1, dtype=CSR_OFFSET_DTYPE)
+        np.cumsum(widths, out=request_offsets[1:])
+        total = int(request_offsets[-1])
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            request_offsets[:-1], widths
+        )
+        path_ids = np.repeat(starts, widths) + within
+        flip = self.path_reversed[path_ids].astype(bool) ^ np.repeat(
+            flips, widths
+        ).astype(bool)
+        return path_ids, flip, request_offsets
+
+    def take(
+        self, guest_edges: Sequence[Any]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gathered ``(nodes, path_offsets, request_offsets)`` for a batch.
+
+        Request ``i`` owns paths ``request_offsets[i]:request_offsets[i+1]``
+        of the output layout, each already oriented source -> destination
+        for the *requested* edge direction.
+        """
+        path_ids, flip, request_offsets = self.resolve(guest_edges)
+        out_nodes, out_offsets = gather_paths(
+            self.nodes, self.path_offsets, path_ids, reverse=flip
+        )
+        return out_nodes, out_offsets, request_offsets
+
+    def nbytes(self) -> int:
+        """Total payload bytes under the dtype contract (header excluded)."""
+        return int(
+            self.nodes.nbytes
+            + self.path_offsets.nbytes
+            + self.bundle_offsets.nbytes
+            + self.path_reversed.nbytes
+        )
+
+
+def _leaf_edge_paths(emb: Any, out: List[Dict[Any, Tuple[Tuple[int, ...], ...]]]) -> None:
+    """Flatten an embedding into per-copy ``{edge: (path, ...)}`` dicts.
+
+    Multi-copy embeddings contribute one dict per (recursively flattened)
+    copy, in copy order — the same order per-call routing walks them.
+    """
+    if isinstance(emb, MultiCopyEmbedding):
+        for copy in emb.copies:
+            _leaf_edge_paths(copy, out)
+        return
+    if isinstance(emb, MultiPathEmbedding):
+        out.append(
+            {edge: tuple(tuple(p) for p in bundle) for edge, bundle in emb.edge_paths.items()}
+        )
+        return
+    out.append({edge: (tuple(path),) for edge, path in emb.edge_paths.items()})
+
+
+def embedding_csr(emb: Any) -> PathCSR:
+    """Export an embedding's full routing answer as a :class:`PathCSR`.
+
+    Bundle order and per-bundle path order match what
+    :func:`repro.service.api.disjoint_paths` returns per call, so batch
+    results are field-identical to per-call results.  Orientations merge
+    into one bundle (with per-path reverse flags) exactly when no single
+    copy stores both directions as distinct guest edges; a copy that
+    *does* store both keeps them as separate bundles, because flipping one
+    cannot reproduce the other.
+    """
+    leaves: List[Dict[Any, Tuple[Tuple[int, ...], ...]]] = []
+    _leaf_edge_paths(emb, leaves)
+    # edges whose pair appears in both orientations inside one leaf must
+    # stay distinct bundles in both orientations
+    split: Set[Any] = set()
+    for leaf in leaves:
+        for edge in leaf:
+            if _rev(edge) in leaf and _rev(edge) != edge:
+                split.add(edge)
+    canonical: List[Any] = []
+    seen: Set[Any] = set()
+    for leaf in leaves:
+        for edge in leaf:
+            if edge in seen:
+                continue
+            if _rev(edge) in seen and edge not in split and _rev(edge) not in split:
+                continue  # merged into the first-seen orientation
+            seen.add(edge)
+            canonical.append(edge)
+
+    paths: List[Tuple[int, ...]] = []
+    flags: List[bool] = []
+    bundle_sizes: List[int] = []
+    for edge in canonical:
+        reverse = _rev(edge)
+        size = 0
+        for leaf in leaves:
+            bundle = leaf.get(edge)
+            if bundle is not None:
+                paths.extend(bundle)
+                flags.extend(False for _ in bundle)
+                size += len(bundle)
+                continue
+            bundle = leaf.get(reverse)
+            if bundle is not None:
+                paths.extend(bundle)
+                flags.extend(True for _ in bundle)
+                size += len(bundle)
+        bundle_sizes.append(size)
+
+    nodes, path_offsets = flatten_paths(paths)
+    bundle_offsets = np.zeros(len(canonical) + 1, dtype=CSR_OFFSET_DTYPE)
+    np.cumsum(np.asarray(bundle_sizes, dtype=np.int64), out=bundle_offsets[1:])
+    return PathCSR(
+        host_n=emb.host.n,
+        edges=tuple(canonical),
+        nodes=nodes.astype(CSR_NODE_DTYPE, copy=False),
+        path_offsets=path_offsets.astype(CSR_OFFSET_DTYPE, copy=False),
+        bundle_offsets=bundle_offsets,
+        path_reversed=np.asarray(flags, dtype=CSR_FLAG_DTYPE),
     )

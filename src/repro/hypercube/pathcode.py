@@ -33,12 +33,25 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "CSR_FLAG_DTYPE",
+    "CSR_NODE_DTYPE",
+    "CSR_OFFSET_DTYPE",
+    "gather_paths",
     "hop_dimensions",
     "hop_endpoints",
     "hop_edge_ids",
     "flatten_paths",
     "path_edge_matrix",
 ]
+
+# The dtype contract of every flat CSR path batch in the package.  The
+# shared-memory shard layer serializes these names into its segment headers
+# and refuses to map a segment whose arrays disagree — keeping one producer
+# (this module) and many consumers (verification kernels, batch routing,
+# worker processes) byte-compatible.
+CSR_NODE_DTYPE = np.dtype(np.int64)  #: concatenated path nodes
+CSR_OFFSET_DTYPE = np.dtype(np.int64)  #: path / bundle offset vectors
+CSR_FLAG_DTYPE = np.dtype(np.uint8)  #: per-path orientation flags
 
 
 def _first_bad_hop(us: np.ndarray, vs: np.ndarray, bad: np.ndarray) -> Tuple[int, int]:
@@ -93,6 +106,46 @@ def flatten_paths(
         chain.from_iterable(paths), dtype=np.int64, count=int(offsets[-1])
     )
     return nodes, offsets
+
+
+def gather_paths(
+    nodes: np.ndarray,
+    offsets: np.ndarray,
+    path_ids: np.ndarray,
+    reverse: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gather selected paths of a flattened batch into a new CSR batch.
+
+    ``path_ids`` selects rows of the ``(nodes, offsets)`` layout (repeats
+    allowed); ``reverse``, when given, is a boolean vector aligned with
+    ``path_ids`` and flips the node order of the selected path — the
+    whole gather, including reversal, is offset arithmetic plus one fancy
+    index, with no per-path Python work.  Returns ``(out_nodes,
+    out_offsets)`` in the :func:`flatten_paths` layout.
+    """
+    path_ids = np.asarray(path_ids, dtype=CSR_OFFSET_DTYPE)
+    if path_ids.size and (
+        int(path_ids.min()) < 0 or int(path_ids.max()) >= offsets.size - 1
+    ):
+        raise IndexError("path id out of range for this batch")
+    starts = offsets[path_ids]
+    stops = offsets[path_ids + 1]
+    lengths = stops - starts
+    out_offsets = np.zeros(path_ids.size + 1, dtype=CSR_OFFSET_DTYPE)
+    np.cumsum(lengths, out=out_offsets[1:])
+    total = int(out_offsets[-1])
+    if total == 0:
+        return np.zeros(0, dtype=CSR_NODE_DTYPE), out_offsets
+    # position of each output node within its own path
+    within = np.arange(total, dtype=np.int64) - np.repeat(out_offsets[:-1], lengths)
+    if reverse is None:
+        idx = np.repeat(starts, lengths) + within
+    else:
+        rev = np.asarray(reverse, dtype=bool)
+        base = np.where(rev, stops - 1, starts)
+        sign = np.where(rev, np.int64(-1), np.int64(1))
+        idx = np.repeat(base, lengths) + np.repeat(sign, lengths) * within
+    return np.ascontiguousarray(nodes[idx], dtype=CSR_NODE_DTYPE), out_offsets
 
 
 def hop_endpoints(

@@ -79,7 +79,12 @@ class LintConfig:
     # R5: directory names whose modules are deterministic kernels
     kernel_dirs: Tuple[str, ...] = ("core", "routing", "scenarios")
     # R6: modules whose lock discipline is checked
-    race_modules: Tuple[str, ...] = ("service/registry.py", "service/engine.py")
+    race_modules: Tuple[str, ...] = (
+        "service/registry.py",
+        "service/engine.py",
+        "service/shards.py",
+        "service/frontend.py",
+    )
     # R3: the files defining the construction contract
     contract_api: str = "core/__init__.py"
     contract_table: str = "qa/constructions.py"

@@ -15,6 +15,12 @@ the holes, statically:
   lock in a non-``__init__`` method (``__init__`` runs before the object
   escapes, so unlocked writes there are fine).
 
+One delegation idiom is recognized as synchronized: a call that receives
+*both* the lock and the guarded attribute (``teardown(self._lock,
+self._shards)``) hands synchronization to the callee — the shard
+lifecycle's ``weakref.finalize`` teardown helper is the motivating case,
+since the finalizer must own the map without keeping the manager alive.
+
 This is deliberately intraprocedural: a private helper that relies on
 *its caller* holding the lock is flagged, because nothing stops a future
 caller from skipping the lock.  Such helpers either take the lock
@@ -143,6 +149,16 @@ def _accesses(
                 scan(item.context_expr, locked)
             for stmt in node.body:
                 scan(stmt, locked or takes_lock)
+            return
+        if isinstance(node, ast.Call):
+            # lock handoff: a callee given the lock itself is trusted to
+            # synchronize the guarded arguments it receives alongside it
+            hands_lock = any(_self_attr(arg) in locks for arg in node.args)
+            scan(node.func, locked)
+            for arg in node.args:
+                scan(arg, locked or hands_lock)
+            for kw in node.keywords:
+                scan(kw.value, locked or hands_lock)
             return
         attr = _self_attr(node)
         if attr and attr not in locks:

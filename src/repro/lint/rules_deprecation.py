@@ -11,6 +11,9 @@ runtime; this rule stops *new* code from adopting them, at review time:
   store-and-forward engines — pass a schedule to ``run()`` instead.
   (The wormhole engines' ``inject`` is their current flit API, not a
   shim, and is not flagged.)
+* imports of the retired ``FaultSet`` alias from the service layer — the
+  fault model's one true home is :class:`repro.fault.faults.FaultModel`.
+  The plain single-name import form carries an autofix.
 
 Waive with ``# lint: deprecated-ok(reason)`` — the shim's own re-export
 surface and its dedicated tests are the legitimate users.
@@ -28,6 +31,9 @@ __all__ = ["deprecation"]
 
 _SHIM_MODULE = "repro.service.metrics"
 _SHIM_NAME = "ServiceMetrics"
+_FAULTSET_NAME = "FaultSet"
+# modules whose FaultSet attribute is the deprecated alias
+_FAULTSET_MODULES = frozenset({"repro", "repro.service", "repro.service.api"})
 # constructors whose inject() is the deprecated pre-obs surface
 _SHIMMED_SIMULATORS = frozenset({"StoreForwardSimulator", "FastStoreForward"})
 
@@ -80,6 +86,32 @@ def _check_imports(module: LintModule) -> Iterator[Finding]:
                         suggestion="instantiate repro.obs.metrics."
                         "MetricsRegistry directly",
                     )
+        if isinstance(node, ast.ImportFrom) and node.module in _FAULTSET_MODULES:
+            for alias in node.names:
+                if alias.name != _FAULTSET_NAME or module.waived(
+                    "deprecated-ok", node.lineno
+                ):
+                    continue
+                fix = None
+                old_line = module.lines[node.lineno - 1]
+                if (
+                    old_line.strip()
+                    == f"from {node.module} import {_FAULTSET_NAME}"
+                ):
+                    indent = old_line[: len(old_line) - len(old_line.lstrip())]
+                    fix = (
+                        old_line,
+                        f"{indent}from repro.fault.faults import FaultModel",
+                    )
+                yield Finding(
+                    "R2", "error", module.rel, node.lineno,
+                    node.col_offset + 1,
+                    f"import of retired {_FAULTSET_NAME} alias from "
+                    f"{node.module}",
+                    suggestion="use repro.fault.faults.FaultModel "
+                    "(same class; the alias only warns and forwards)",
+                    fix=fix,
+                )
         elif isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.name == _SHIM_MODULE and not module.waived(

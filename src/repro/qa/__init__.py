@@ -24,6 +24,7 @@ from repro.qa.differential import (
     WormDivergence,
     differential_check,
     max_flow_width_check,
+    route_batch_differential,
     run_pair,
     run_wormhole_pair,
     verification_differential,
@@ -53,6 +54,7 @@ __all__ = [
     "WormDivergence",
     "differential_check",
     "max_flow_width_check",
+    "route_batch_differential",
     "run_pair",
     "run_wormhole_pair",
     "verification_differential",

@@ -22,6 +22,13 @@ the vectorized ``verify()`` kernels against the scalar
 ``verify_reference()`` walk, compared signature-for-signature (check
 names + outcomes, all metrics).
 
+:func:`route_batch_differential` referees the serving layer's fourth
+fast/reference pair: the flat CSR gather behind
+:meth:`repro.service.api.RoutingService.route_batch` against per-call
+:func:`repro.service.api.disjoint_paths`, on a fuzzed batch of guest
+edges drawn in both orientations — the batch answer must be
+*field-identical*, path for path, node for node.
+
 Independently, :func:`max_flow_width_check` cross-examines claimed
 edge-disjoint widths with an algorithm that shares no code with the
 verifier: networkx max-flow over the directed hypercube with unit
@@ -60,6 +67,7 @@ __all__ = [
     "run_wormhole_pair",
     "wormhole_differential_check",
     "verification_differential",
+    "route_batch_differential",
     "max_flow_width_check",
 ]
 
@@ -277,6 +285,67 @@ def verification_differential(emb: Any) -> List[InvariantCheck]:
                 else "passing details agree with the scalar referee",
             )
         )
+    return checks
+
+
+def route_batch_differential(
+    emb: Any, rng: random.Random, requests: int = 32
+) -> List[InvariantCheck]:
+    """Referee the batched CSR gather against per-call path lookup.
+
+    Draws ``requests`` guest edges from the embedding (each served in a
+    random orientation), resolves them all in one
+    :meth:`~repro.core.fast_verify.PathCSR.take`, and demands the slice
+    each request owns equals :func:`repro.service.api.disjoint_paths` for
+    that edge — same bundle order, same path order, same nodes.  Subjects
+    that are not embeddings (simulation scenarios route by packet id, not
+    guest edge) contribute no checks.
+    """
+    from repro.core.embedding import (
+        Embedding,
+        MultiCopyEmbedding,
+        MultiPathEmbedding,
+    )
+    from repro.core.fast_verify import embedding_csr
+    from repro.service.api import disjoint_paths
+
+    if not isinstance(emb, (Embedding, MultiCopyEmbedding, MultiPathEmbedding)):
+        return []
+    csr = embedding_csr(emb)
+    if not csr.edges:
+        return []
+    batch = []
+    for _ in range(requests):
+        u, v = csr.edges[rng.randrange(len(csr.edges))]
+        batch.append((v, u) if rng.random() < 0.5 else (u, v))
+    nodes, path_offsets, request_offsets = csr.take(batch)
+    checks: List[InvariantCheck] = []
+    for i, edge in enumerate(batch):
+        expected = tuple(tuple(p) for p in disjoint_paths(emb, edge))
+        lo, hi = int(request_offsets[i]), int(request_offsets[i + 1])
+        got = tuple(
+            tuple(nodes[path_offsets[j] : path_offsets[j + 1]].tolist())
+            for j in range(lo, hi)
+        )
+        if got != expected:
+            checks.append(
+                InvariantCheck(
+                    f"diff:batch:{edge}",
+                    False,
+                    f"batched gather returned {got} but per-call routing "
+                    f"returned {expected}",
+                )
+            )
+    checks.append(
+        InvariantCheck(
+            "diff:batch",
+            not checks,
+            f"{len(checks)} of {len(batch)} batched request(s) diverge "
+            f"from per-call routing"
+            if checks
+            else f"{len(batch)} batched request(s) agree with per-call routing",
+        )
+    )
     return checks
 
 

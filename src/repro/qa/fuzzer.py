@@ -14,7 +14,10 @@ For each point the fuzzer runs, in order:
    verification report and simulated metrics (:mod:`repro.qa.metamorphic`);
 5. **differential** — both simulator engines must agree field-for-field
    on a schedule drawn from the embedding's paths
-   (:mod:`repro.qa.differential`), which also shrinks any divergence;
+   (:mod:`repro.qa.differential`), which also shrinks any divergence,
+   and the serving layer's batched CSR gather must be field-identical
+   to per-call routing on a fuzzed request batch
+   (:func:`repro.qa.differential.route_batch_differential`);
 6. **flow** — networkx max-flow cross-examination of claimed widths.
 
 A failing point is shrunk against the construction's own ``shrink``
@@ -38,6 +41,7 @@ from repro.qa.corpus import Corpus, CorpusEntry
 from repro.qa.differential import (
     differential_check,
     max_flow_width_check,
+    route_batch_differential,
     verification_differential,
 )
 from repro.qa.metamorphic import metamorphic_check
@@ -185,6 +189,12 @@ class Fuzzer:
                     divergence.describe(),
                     schedule=schedule_to_jsonable(divergence.schedule),
                 )
+            for check in route_batch_differential(subject, rng):
+                if not check.passed:
+                    return FuzzFailure(
+                        kind, params, "differential",
+                        f"{check.name}: {check.detail}",
+                    )
 
         if "flow" in self.checks:
             for check in max_flow_width_check(

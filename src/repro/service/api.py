@@ -1,14 +1,25 @@
 """`RoutingService` — the request-serving facade over the paper's machinery.
 
-One object answers the three service questions:
+One object answers the service questions:
 
 * :meth:`RoutingService.get_embedding` — a verified construction, memoized
   through the two-tier registry;
-* :meth:`RoutingService.route` — the ``w`` edge-disjoint host paths an
-  embedding provides for a guest edge (the paper's Section 2/7 payload);
-* :meth:`RoutingService.route_fault_tolerant` — IDA-dispersed delivery
-  over those paths that transparently fails over to the surviving subset
-  under a :class:`FaultSet`, exactly the Section 1 application.
+* :meth:`RoutingService.route_batch` — **the** routing entry point since
+  the batch API redesign: thousands of :class:`RouteRequest`\\ s resolved
+  per call by numpy gathers against the embedding's shared-memory CSR
+  shard (see :mod:`repro.service.shards`), returned as a lazy
+  :class:`BatchRouteResult`;
+* :meth:`RoutingService.route` / :meth:`RoutingService.route_fault_tolerant`
+  — thin single-item wrappers over the batch path; the latter adds
+  IDA-dispersed delivery that fails over to the surviving path subset
+  under a :class:`repro.fault.faults.FaultModel`, exactly the Section 1
+  application.
+
+The pre-batch positional forms — ``route(spec, (u, v))`` returning a bare
+path tuple, ``route_fault_tolerant(spec, (u, v), message, faults=...)``,
+and the ``FaultSet`` alias — still work behind
+:class:`~repro._compat.ReproDeprecationWarning` shims; CI's ``-W error``
+job keeps package code off them.
 
 Everything is observable via :meth:`RoutingService.stats`.
 """
@@ -16,22 +27,38 @@ Everything is observable via :meth:`RoutingService.stats`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro._compat import warn_deprecated
 from repro.core.embedding import MultiCopyEmbedding, MultiPathEmbedding
-from repro.fault.faults import FaultyLinkModel
+from repro.core.fast_verify import embedding_csr
+from repro.fault.faults import FaultModel
 from repro.fault.ida import disperse, reconstruct
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import profile_span
 from repro.service.engine import BuildEngine
 from repro.service.registry import EmbeddingRegistry
-from repro.service.specs import EmbeddingSpec
+from repro.service.shards import ShardManager, ShardView
+from repro.service.specs import (
+    BatchRouteResult,
+    EmbeddingSpec,
+    RouteRequest,
+    RouteResponse,
+)
 
-__all__ = ["RoutingService", "FaultSet", "DeliveryOutcome"]
+__all__ = ["RoutingService", "DeliveryOutcome", "disjoint_paths"]
 
-# The service-level name for a set of failed directed links; the fault
-# machinery's model is exactly that, so it *is* the type.
-FaultSet = FaultyLinkModel
+_DEFAULT_MESSAGE = b"routing multiple paths in hypercubes"
+
+
+def __getattr__(name: str) -> Any:
+    if name == "FaultSet":
+        warn_deprecated(
+            "repro.service.FaultSet is deprecated; use "
+            "repro.fault.faults.FaultModel (it is the same class)"
+        )
+        return FaultModel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -59,12 +86,30 @@ def disjoint_paths(emb, guest_edge) -> Tuple[Tuple[int, ...], ...]:
     path per copy (k alternative routes).  A guest edge given against the
     stored orientation resolves to the reversed paths — the hypercube is
     directed, and the reverse of edge-disjoint paths is edge-disjoint.
+    Copies of a :class:`MultiCopyEmbedding` are looked up independently:
+    a copy that stores only the reverse orientation contributes its
+    reversed paths, and a copy that stores neither orientation is skipped
+    — the lookup fails only when *no* copy knows the edge.
     """
     u, v = guest_edge
     if isinstance(emb, MultiCopyEmbedding):
-        out = []
+        out: List[Tuple[int, ...]] = []
+        found = False
         for copy in emb.copies:
-            out.extend(disjoint_paths(copy, (u, v)))
+            try:
+                paths = disjoint_paths(copy, (u, v))
+            except KeyError:
+                continue
+            found = True
+            out.extend(paths)
+        if not found:
+            sample = next(
+                (e for copy in emb.copies for e in copy.edge_paths), None
+            )
+            raise KeyError(
+                f"guest edge {guest_edge!r} not in embedding "
+                f"(edges look like {sample!r})"
+            )
         return tuple(out)
     paths = emb.edge_paths.get((u, v))
     if paths is None:
@@ -84,13 +129,14 @@ def disjoint_paths(emb, guest_edge) -> Tuple[Tuple[int, ...], ...]:
 
 
 class RoutingService:
-    """Facade: memoized embeddings + routing requests + fault tolerance."""
+    """Facade: memoized embeddings + batch routing + fault tolerance."""
 
     def __init__(
         self,
         registry: Optional[EmbeddingRegistry] = None,
         engine: Optional[BuildEngine] = None,
         metrics: Optional[MetricsRegistry] = None,
+        shards: Optional[ShardManager] = None,
     ):
         if metrics is None:
             metrics = registry.metrics if registry is not None else MetricsRegistry()
@@ -100,6 +146,9 @@ class RoutingService:
         )
         self.engine = engine if engine is not None else BuildEngine(
             self.registry, metrics=self.metrics
+        )
+        self.shards = shards if shards is not None else ShardManager(
+            metrics=self.metrics
         )
 
     # -- embeddings ------------------------------------------------------------
@@ -113,26 +162,76 @@ class RoutingService:
         """Prefetch a batch of specs through the concurrent engine."""
         return self.engine.warm(specs, parallel=parallel)
 
+    def shard_for(self, spec: EmbeddingSpec) -> ShardView:
+        """The (published-on-first-use) CSR shard serving ``spec``.
+
+        The segment name in ``.info.name`` is what worker processes pass
+        to :meth:`repro.service.shards.ShardManager.attach`.
+        """
+        key = spec.cache_key()
+        return self.shards.get_or_publish(
+            key, lambda: embedding_csr(self.get_embedding(spec))
+        )
+
     # -- routing -------------------------------------------------------------------
 
-    def route(self, spec: EmbeddingSpec, guest_edge) -> Tuple[Tuple[int, ...], ...]:
-        """The disjoint host paths serving ``guest_edge`` under ``spec``."""
-        with profile_span("service.route", kind=spec.kind):
-            with self.metrics.time("route"):
-                emb = self.get_embedding(spec)
-                paths = disjoint_paths(emb, guest_edge)
-        self.metrics.incr("routes")
-        return paths
+    def route_batch(
+        self,
+        spec: EmbeddingSpec,
+        requests: Sequence[Union[RouteRequest, Tuple[Any, Any]]],
+    ) -> BatchRouteResult:
+        """Resolve a whole batch of requests in one vectorized pass.
+
+        ``requests`` may mix :class:`RouteRequest` objects and bare
+        ``(u, v)`` guest edges (a bare edge is just a request with default
+        delivery knobs — no deprecation involved).  The answer stays in
+        flat CSR arrays; index the returned :class:`BatchRouteResult` to
+        materialize per-request paths, which are field-identical to what
+        per-call :meth:`route` returns for the same edge.
+        """
+        reqs = [
+            r if isinstance(r, RouteRequest) else RouteRequest(r) for r in requests
+        ]
+        with profile_span("service.route_batch", kind=spec.kind):
+            shard = self.shard_for(spec)
+            with self.metrics.time("route_batch"):
+                nodes, path_offsets, request_offsets = shard.csr.take(
+                    [r.guest_edge for r in reqs]
+                )
+        self.metrics.histogram("route_batch_size").observe(len(reqs))
+        self.metrics.incr("routes", len(reqs))
+        return BatchRouteResult(reqs, nodes, path_offsets, request_offsets)
+
+    def route(
+        self,
+        spec: EmbeddingSpec,
+        request: Union[RouteRequest, Tuple[Any, Any]],
+    ):
+        """Single-request wrapper over :meth:`route_batch`.
+
+        Pass a :class:`RouteRequest` and get a :class:`RouteResponse`.
+        The pre-redesign form — a bare guest-edge tuple in, a bare tuple
+        of paths out — still works behind a deprecation warning.
+        """
+        if not isinstance(request, RouteRequest):
+            warn_deprecated(
+                "route(spec, (u, v)) returning a bare path tuple is "
+                "deprecated; pass RouteRequest((u, v)) and read .paths off "
+                "the RouteResponse (or use route_batch for many edges)"
+            )
+            return self.route_batch(spec, [RouteRequest(request)]).paths(0)
+        with self.metrics.time("route"):
+            return self.route_batch(spec, [request])[0]
 
     def route_fault_tolerant(
         self,
         spec: EmbeddingSpec,
-        guest_edge,
-        message: bytes = b"routing multiple paths in hypercubes",
-        faults: Optional[FaultSet] = None,
+        request: Union[RouteRequest, Tuple[Any, Any]],
+        message: Optional[bytes] = None,
+        faults: Optional[FaultModel] = None,
         pieces_needed: Optional[int] = None,
     ) -> DeliveryOutcome:
-        """Deliver ``message`` across the disjoint paths despite ``faults``.
+        """Deliver a message across the disjoint paths despite faults.
 
         The message is IDA-dispersed into one piece per path; any
         ``pieces_needed`` surviving paths reconstruct it, so delivery
@@ -140,23 +239,41 @@ class RoutingService:
         ``pieces_needed=1`` (full dispersal redundancy, overhead ``w``)
         survives up to ``w - 1`` failures — raise it to trade bandwidth
         for tolerance, per the paper's Section 1 trade-off.
+
+        Delivery parameters ride on the :class:`RouteRequest`; the old
+        positional/keyword form is shimmed with a deprecation warning.
         """
-        paths = self.route(spec, guest_edge)
+        if not isinstance(request, RouteRequest):
+            warn_deprecated(
+                "route_fault_tolerant(spec, (u, v), message, faults=...) is "
+                "deprecated; put message/faults/pieces_needed on a "
+                "RouteRequest"
+            )
+            request = RouteRequest(
+                request,
+                message=message,
+                faults=faults,
+                pieces_needed=pieces_needed,
+            )
+        payload = request.message if request.message is not None else _DEFAULT_MESSAGE
+        response: RouteResponse = self.route_batch(spec, [request])[0]
+        paths = response.paths
         w = len(paths)
-        m = 1 if pieces_needed is None else pieces_needed
+        m = 1 if request.pieces_needed is None else request.pieces_needed
         if not 1 <= m <= w:
             raise ValueError(f"pieces_needed must be in [1, {w}], got {m}")
+        model = request.faults
         alive = tuple(
             i
             for i, p in enumerate(paths)
-            if faults is None or faults.path_alive(p)
+            if model is None or model.path_alive(p)
         )
         failed = tuple(i for i in range(w) if i not in alive)
-        pieces = disperse(message, w, m)
+        pieces = disperse(payload, w, m)
         survivors = [pieces[i] for i in alive]
         if len(survivors) >= m:
             recovered = reconstruct(survivors, w, m)
-            if recovered != message:
+            if recovered != payload:
                 raise AssertionError("IDA reconstruction mismatch")
             self.metrics.incr("deliveries")
             return DeliveryOutcome(True, recovered, w, alive, failed, m)
@@ -168,3 +285,7 @@ class RoutingService:
     def stats(self) -> dict:
         """Counters, timers and tier occupancy for this service instance."""
         return self.registry.stats()
+
+    def close(self) -> None:
+        """Unlink the published shards (the registry/engine stay usable)."""
+        self.shards.close()

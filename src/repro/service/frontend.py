@@ -1,0 +1,321 @@
+"""Batching front-end + open-loop load harness for the routing service.
+
+The serving loop that turns the vectorized :meth:`route_batch` kernel into
+a request/response system: callers :meth:`~BatchingFrontend.submit`
+individual :class:`RouteRequest`\\ s and get futures; a drainer thread
+coalesces whatever arrived within ``max_wait_s`` (up to ``max_batch``)
+into one ``route_batch`` call and fans the responses back out.  Under
+load the batches grow toward ``max_batch`` and per-request cost collapses
+to the gather kernel's amortized cost; when idle, a lone request pays at
+most ``max_wait_s`` of batching delay.
+
+:func:`serve` is the asyncio face over the same engine (futures bridged
+with ``asyncio.wrap_future``); :func:`open_loop_load` is the measurement
+harness — Poisson arrivals at a fixed offered rate that *never* wait for
+completions (open loop, so the service can actually fall behind), with
+sustained throughput and latency percentiles in the returned
+:class:`LoadReport` and every sample mirrored into the service's metrics
+registry (``serve_latency`` histogram, ``serve_batch_size`` per batch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro._compat import resolve_rng
+from repro.service.specs import EmbeddingSpec, RouteRequest, RouteResponse
+
+__all__ = ["BatchingFrontend", "LoadReport", "open_loop_load", "serve"]
+
+RequestLike = Union[RouteRequest, Tuple[Any, Any]]
+
+
+class BatchingFrontend:
+    """Micro-batching request front-end over one service + spec.
+
+    Thread-safe: any number of producer threads may ``submit``; one
+    drainer thread owns the ``route_batch`` calls.  A failed batch is
+    retried request-by-request so one bad edge rejects only its own
+    future, not its batch neighbours'.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        spec: EmbeddingSpec,
+        max_batch: int = 1024,
+        max_wait_s: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.service = service
+        self.spec = spec
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._queue: "queue.SimpleQueue[Optional[Tuple[RouteRequest, Future]]]" = (
+            queue.SimpleQueue()
+        )
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopping = False
+        self._batches = 0
+        self._served = 0
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "BatchingFrontend":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            self._stopping = False
+            thread = threading.Thread(
+                target=self._drain_loop, name="repro-frontend", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+        # warm the shard outside the hot loop so the first batch's latency
+        # measures routing, not construction
+        self.service.shard_for(self.spec)
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            if not self._started or self._stopping:
+                return
+            self._stopping = True
+            thread = self._thread
+        self._queue.put(None)  # wake the drainer
+        if thread is not None:
+            thread.join()
+        with self._lock:
+            self._started = False
+            self._thread = None
+
+    def __enter__(self) -> "BatchingFrontend":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- producer side -------------------------------------------------------
+
+    def submit(self, request: RequestLike) -> "Future[RouteResponse]":
+        """Enqueue one request; the future resolves to its RouteResponse."""
+        with self._lock:
+            if not self._started or self._stopping:
+                raise RuntimeError("frontend is not running; use it as a context manager")
+        if not isinstance(request, RouteRequest):
+            request = RouteRequest(request)
+        future: "Future[RouteResponse]" = Future()
+        self._queue.put((request, future))
+        return future
+
+    # -- drainer -------------------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                with self._lock:
+                    if self._stopping:
+                        return
+                continue
+            if item is None:
+                self._flush_remaining()
+                return
+            batch = [item]
+            deadline = time.perf_counter() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                budget = deadline - time.perf_counter()
+                if budget <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=budget)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    self._resolve(batch)
+                    self._flush_remaining()
+                    return
+                batch.append(nxt)
+            self._resolve(batch)
+
+    def _flush_remaining(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not None:
+                self._resolve([item])
+
+    def _resolve(self, batch: List[Tuple[RouteRequest, Future]]) -> None:
+        requests = [req for req, _ in batch]
+        try:
+            result = self.service.route_batch(self.spec, requests)
+        except Exception:
+            # retry one-by-one: only the offending request gets the error
+            for req, future in batch:
+                try:
+                    single = self.service.route_batch(self.spec, [req])
+                except Exception as err:
+                    future.set_exception(err)
+                else:
+                    future.set_result(single[0])
+        else:
+            for i, (_, future) in enumerate(batch):
+                future.set_result(result[i])
+        with self._lock:
+            self._batches += 1
+            self._served += len(batch)
+        self.service.metrics.histogram("serve_batch_size").observe(len(batch))
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            batches, served = self._batches, self._served
+        return {
+            "batches": batches,
+            "served": served,
+            "mean_batch": served / batches if batches else 0.0,
+        }
+
+
+async def serve(
+    service: Any,
+    spec: EmbeddingSpec,
+    requests: Sequence[RequestLike],
+    max_batch: int = 1024,
+    max_wait_s: float = 0.002,
+) -> List[RouteResponse]:
+    """Resolve ``requests`` through a batching front-end, asyncio-style.
+
+    Submissions bridge to the drainer thread via ``asyncio.wrap_future``,
+    so an event loop can multiplex thousands of outstanding routing
+    requests without blocking; responses come back in request order.
+    """
+    loop = asyncio.get_running_loop()
+    with BatchingFrontend(service, spec, max_batch, max_wait_s) as frontend:
+        futures = [
+            asyncio.wrap_future(frontend.submit(r), loop=loop) for r in requests
+        ]
+        return list(await asyncio.gather(*futures))
+
+
+@dataclass
+class LoadReport:
+    """What an open-loop run offered, completed, and cost in latency."""
+
+    offered: int
+    completed: int
+    errors: int
+    duration_s: float
+    offered_rate: float  # requests/s the harness tried to inject
+    sustained_rps: float  # completions/s actually achieved
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+    mean_batch: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.completed}/{self.offered} ok @ {self.sustained_rps:,.0f} req/s "
+            f"(offered {self.offered_rate:,.0f}/s), "
+            f"p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms, "
+            f"mean batch {self.mean_batch:.0f}"
+        )
+
+
+def _percentile(sorted_ms: List[float], q: float) -> float:
+    if not sorted_ms:
+        return 0.0
+    idx = min(len(sorted_ms) - 1, max(0, round(q * (len(sorted_ms) - 1))))
+    return sorted_ms[int(idx)]
+
+
+def open_loop_load(
+    service: Any,
+    spec: EmbeddingSpec,
+    rate: float,
+    total: int,
+    seed: Optional[int] = None,
+    rng: Optional[Any] = None,
+    max_batch: int = 1024,
+    max_wait_s: float = 0.002,
+) -> LoadReport:
+    """Offer ``total`` Poisson arrivals at ``rate`` req/s, never waiting.
+
+    Arrivals are injected on schedule whether or not earlier requests have
+    completed — the open-loop discipline that exposes saturation instead
+    of hiding it behind client backpressure.  Guest edges are drawn
+    uniformly (both orientations) from the embedding's shard, with the
+    deterministic :func:`repro._compat.resolve_rng` stream discipline.
+    Per-request latency lands in the service's ``serve_latency`` histogram
+    and in the report's percentiles.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if total < 1:
+        raise ValueError(f"total must be >= 1, got {total}")
+    stream = resolve_rng(seed, rng, default_seed=0)
+    edges = list(service.shard_for(spec).csr.edges)
+    picks = []
+    for _ in range(total):
+        u, v = stream.choice(edges)
+        picks.append((v, u) if stream.random() < 0.5 else (u, v))
+    gaps = [stream.expovariate(rate) for _ in range(total)]
+
+    done: List[Tuple[float, Optional[BaseException]]] = []
+    done_lock = threading.Lock()
+    metrics = service.metrics
+
+    with BatchingFrontend(service, spec, max_batch, max_wait_s) as frontend:
+        t0 = time.perf_counter()
+        next_at = t0
+        futures = []
+        for edge, gap in zip(picks, gaps):
+            next_at += gap
+            delay = next_at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            sent = time.perf_counter()
+            future = frontend.submit(edge)
+
+            def record(f: Future, sent: float = sent) -> None:
+                elapsed = time.perf_counter() - sent
+                metrics.observe("serve_latency", elapsed)
+                with done_lock:
+                    done.append((elapsed, f.exception()))
+
+            future.add_done_callback(record)
+            futures.append(future)
+        for future in futures:
+            future.exception()  # wait; errors are tallied, not raised
+        duration = time.perf_counter() - t0
+        stats = frontend.stats()
+
+    latencies_ms = sorted(elapsed * 1e3 for elapsed, _ in done)
+    errors = sum(1 for _, err in done if err is not None)
+    completed = len(done) - errors
+    return LoadReport(
+        offered=total,
+        completed=completed,
+        errors=errors,
+        duration_s=duration,
+        offered_rate=rate,
+        sustained_rps=completed / duration if duration > 0 else 0.0,
+        p50_ms=_percentile(latencies_ms, 0.50),
+        p99_ms=_percentile(latencies_ms, 0.99),
+        max_ms=latencies_ms[-1] if latencies_ms else 0.0,
+        mean_batch=stats["mean_batch"],
+    )

@@ -10,6 +10,13 @@ arguments into one.
 Keys are stable across processes and machines: they hash the canonical
 JSON of ``(kind, sorted params, construction version)`` — nothing
 time-, path- or interpreter-dependent.
+
+Since the batch API redesign this module also carries the routing
+vocabulary: :class:`RouteRequest` (one guest edge plus optional delivery
+parameters), :class:`RouteResponse` (the resolved disjoint paths), and
+:class:`BatchRouteResult` — the CSR-shaped answer of
+:meth:`~repro.service.api.RoutingService.route_batch`, which stays in
+flat arrays until a caller materializes individual responses.
 """
 
 from __future__ import annotations
@@ -17,9 +24,17 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["EmbeddingSpec", "build_spec", "CONSTRUCTION_VERSION", "KINDS"]
+__all__ = [
+    "BatchRouteResult",
+    "EmbeddingSpec",
+    "RouteRequest",
+    "RouteResponse",
+    "build_spec",
+    "CONSTRUCTION_VERSION",
+    "KINDS",
+]
 
 # Bump when any construction changes its output for the same parameters;
 # old cache entries then miss (different key) instead of serving stale
@@ -113,3 +128,95 @@ def _build_spec(spec: EmbeddingSpec):
 
         return large_cycle_embedding(p["n"])
     raise ValueError(f"unknown guest kind {spec.kind!r}")
+
+
+# -- routing vocabulary -------------------------------------------------------
+
+
+@dataclass
+class RouteRequest:
+    """One routing question: a guest edge plus optional delivery knobs.
+
+    ``message``/``faults``/``pieces_needed`` only matter to
+    :meth:`~repro.service.api.RoutingService.route_fault_tolerant`; plain
+    routing ignores them.  ``faults`` is a
+    :class:`repro.fault.faults.FaultModel` (kept untyped here so the spec
+    vocabulary stays import-light for worker processes).
+    """
+
+    guest_edge: Tuple[Any, Any]
+    message: Optional[bytes] = None
+    faults: Optional[Any] = None
+    pieces_needed: Optional[int] = None
+
+
+@dataclass
+class RouteResponse:
+    """The answer for one request: its ``w`` edge-disjoint host paths."""
+
+    guest_edge: Tuple[Any, Any]
+    paths: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.paths)
+
+
+class BatchRouteResult:
+    """A resolved batch, kept in flat CSR arrays until materialized.
+
+    ``route_batch`` answers thousands of requests as three arrays — the
+    concatenated path nodes, per-path offsets, and per-request offsets —
+    so the hot path never builds Python tuples.  Materialization is lazy:
+    ``result[i]`` (or :meth:`paths`) converts one request's slice into the
+    same ``tuple(tuple(int, ...), ...)`` shape per-call routing returns,
+    field-identical by construction.
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[RouteRequest],
+        nodes: Any,
+        path_offsets: Any,
+        request_offsets: Any,
+    ) -> None:
+        self.requests = list(requests)
+        self.nodes = nodes
+        self.path_offsets = path_offsets
+        self.request_offsets = request_offsets
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def total_paths(self) -> int:
+        return int(self.path_offsets.shape[0] - 1)
+
+    def width(self, i: int) -> int:
+        """Number of disjoint paths serving request ``i``."""
+        return int(self.request_offsets[i + 1] - self.request_offsets[i])
+
+    def paths(self, i: int) -> Tuple[Tuple[int, ...], ...]:
+        """Request ``i``'s paths as plain tuples (the per-call shape)."""
+        lo, hi = int(self.request_offsets[i]), int(self.request_offsets[i + 1])
+        offsets = self.path_offsets
+        nodes = self.nodes
+        return tuple(
+            tuple(nodes[int(offsets[j]) : int(offsets[j + 1])].tolist())
+            for j in range(lo, hi)
+        )
+
+    def __getitem__(self, i: int) -> RouteResponse:
+        if not -len(self.requests) <= i < len(self.requests):
+            raise IndexError(f"request index {i} out of range")
+        if i < 0:
+            i += len(self.requests)
+        return RouteResponse(self.requests[i].guest_edge, self.paths(i))
+
+    def __iter__(self) -> Iterator[RouteResponse]:
+        for i in range(len(self.requests)):
+            yield self[i]
+
+    def responses(self) -> List[RouteResponse]:
+        """Materialize every response (the slow, convenient view)."""
+        return list(self)

@@ -11,3 +11,9 @@ def build_and_run(host, schedule):
     for path, release in schedule:
         sim.inject(path, release)  # pre-obs style
     return metrics, sim.run()
+
+
+def faults_via_retired_alias(host):
+    from repro.service import FaultSet
+
+    return FaultSet(host, {1})

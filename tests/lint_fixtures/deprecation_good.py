@@ -25,3 +25,15 @@ def wormhole_inject_is_fine(host):
     sim = WormholeSimulator(host)
     sim.inject([0, 1, 3], num_flits=4)  # flit API, not the shim
     return sim.run()
+
+
+def faults_live_in_the_fault_package(host):
+    from repro.fault.faults import FaultModel
+
+    return FaultModel(host, {0})
+
+
+def alias_shim_test():
+    from repro.service import FaultSet  # lint: deprecated-ok(alias shim regression test)
+
+    return FaultSet

@@ -47,3 +47,26 @@ class DisciplinedCache:
 
     def describe(self):
         return self.label  # unguarded attr, free to read
+
+
+def _teardown(lock, store):
+    with lock:
+        store.clear()
+
+
+class HandoffCache:
+    """Teardown hands the callee the lock along with the guarded map."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._store = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._store[key] = value
+
+    def close(self):
+        _teardown(self._lock, self._store)  # synchronized by handoff
+
+    def leak(self):
+        _teardown(None, self._store)  # no lock handed over: flagged

@@ -84,6 +84,25 @@ class TestDeprecation:
         report = lint("deprecation_good.py", "R2")
         assert rule_findings(report, "R2") == []
 
+    def test_flags_retired_faultset_alias(self):
+        report = lint("deprecation_bad.py", "R2")
+        findings = rule_findings(report, "R2")
+        assert any("FaultSet" in f.message for f in findings)
+
+    def test_faultset_fix_rewrites_to_fault_model(self, tmp_path):
+        target = tmp_path / "adopter.py"
+        target.write_text(
+            "from repro.service import FaultSet\n"
+            "faults = FaultSet(host, {1})\n"
+        )
+        report = run_lint([target], LintConfig(select=("R2",)))
+        applied, remaining = apply_fixes(report)
+        assert applied == 1
+        assert "from repro.fault.faults import FaultModel" in (
+            target.read_text()
+        )
+        assert not any(f.fixable for f in remaining.findings)
+
     def test_fix_rewrites_the_import(self, tmp_path):
         target = tmp_path / "adopter.py"
         target.write_text(
@@ -167,6 +186,21 @@ class TestServiceRaces:
         # the waived read and the disciplined class stay quiet
         assert not any("peek_hits" in f.message for f in findings)
         assert not any("DisciplinedCache" in f.message for f in findings)
+
+    def test_lock_handoff_call_is_synchronized(self):
+        report = lint("races/service/registry.py", "R6")
+        findings = rule_findings(report, "R6")
+        # passing self._lock alongside the guarded map delegates the
+        # synchronization to the callee — the shard-teardown idiom
+        assert not any("close()" in f.message for f in findings)
+        # the same call without the lock stays a violation
+        assert any(
+            "read" in f.message and "leak()" in f.message for f in findings
+        )
+
+    def test_shard_modules_are_covered_by_default(self):
+        assert "service/shards.py" in LintConfig().race_modules
+        assert "service/frontend.py" in LintConfig().race_modules
 
     def test_detector_only_runs_on_configured_modules(self):
         report = run_lint(

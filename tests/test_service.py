@@ -1,15 +1,19 @@
 """Tests for the service layer: registry, engine, facade, metrics."""
 
 import json
+import random
 
 import pytest
 
+from repro.fault.faults import FaultModel
 from repro.obs import MetricsRegistry
 from repro.service import (
+    BatchRouteResult,
     BuildEngine,
     EmbeddingRegistry,
     EmbeddingSpec,
-    FaultSet,
+    RouteRequest,
+    RouteResponse,
     RoutingService,
     build_spec,
     decode_embedding,
@@ -208,11 +212,13 @@ class TestRoutingService:
     def test_route_returns_disjoint_paths(self, tmp_path):
         svc = self._service(tmp_path)
         spec = cycle_spec(8)
-        paths = svc.route(spec, (0, 1))
+        response = svc.route(spec, RouteRequest((0, 1)))
+        assert isinstance(response, RouteResponse)
+        assert response.guest_edge == (0, 1)
         emb = svc.get_embedding(spec)
-        assert len(paths) == emb.width
+        assert response.width == emb.width
         used = set()
-        for p in paths:
+        for p in response.paths:
             for a, b in zip(p, p[1:]):
                 eid = emb.host.edge_id(a, b)
                 assert eid not in used  # pairwise edge-disjoint
@@ -221,35 +227,35 @@ class TestRoutingService:
     def test_route_reversed_edge(self, tmp_path):
         svc = self._service(tmp_path)
         spec = cycle_spec(6)
-        fwd = svc.route(spec, (0, 1))
-        rev = svc.route(spec, (1, 0))
+        fwd = svc.route(spec, RouteRequest((0, 1))).paths
+        rev = svc.route(spec, RouteRequest((1, 0))).paths
         assert rev == tuple(tuple(reversed(p)) for p in fwd)
 
     def test_route_unknown_edge_raises(self, tmp_path):
         with pytest.raises(KeyError):
-            self._service(tmp_path).route(cycle_spec(6), (0, 5))
+            self._service(tmp_path).route(cycle_spec(6), RouteRequest((0, 5)))
 
     def test_route_multicopy_gives_one_path_per_copy(self, tmp_path):
         svc = self._service(tmp_path)
         spec = EmbeddingSpec.make("ccc", n=4)
         emb = svc.get_embedding(spec)
         edge = next(iter(emb.copies[0].edge_paths))
-        assert len(svc.route(spec, edge)) == emb.k
+        assert svc.route(spec, RouteRequest(edge)).width == emb.k
 
     def test_fault_tolerant_survives_w_minus_1_failures(self, tmp_path):
         svc = self._service(tmp_path)
         spec = cycle_spec(8)
         emb = svc.get_embedding(spec)
-        paths = svc.route(spec, (0, 1))
+        paths = svc.route(spec, RouteRequest((0, 1))).paths
         w = len(paths)
         assert w >= 4
         # kill every path but the last: fail the first link of each
         failed = {
             emb.host.edge_id(p[0], p[1]) for p in paths[:-1] if len(p) > 1
         }
-        faults = FaultSet(emb.host, failed)
+        faults = FaultModel(emb.host, failed)
         out = svc.route_fault_tolerant(
-            spec, (0, 1), b"survive", faults=faults
+            spec, RouteRequest((0, 1), message=b"survive", faults=faults)
         )
         assert out.delivered and out.message == b"survive"
         assert len(out.failed_paths) == w - 1
@@ -259,10 +265,13 @@ class TestRoutingService:
         svc = self._service(tmp_path)
         spec = cycle_spec(8)
         emb = svc.get_embedding(spec)
-        paths = svc.route(spec, (0, 1))
+        paths = svc.route(spec, RouteRequest((0, 1))).paths
         failed = {emb.host.edge_id(p[0], p[1]) for p in paths}
         out = svc.route_fault_tolerant(
-            spec, (0, 1), b"gone", faults=FaultSet(emb.host, failed)
+            spec,
+            RouteRequest(
+                (0, 1), message=b"gone", faults=FaultModel(emb.host, failed)
+            ),
         )
         assert not out.delivered and out.message is None
         assert svc.metrics.count("delivery_failures") == 1
@@ -271,23 +280,25 @@ class TestRoutingService:
         svc = self._service(tmp_path)
         spec = cycle_spec(8)
         emb = svc.get_embedding(spec)
-        paths = svc.route(spec, (0, 1))
+        paths = svc.route(spec, RouteRequest((0, 1))).paths
         w = len(paths)
-        kill = lambda k: FaultSet(  # noqa: E731
+        kill = lambda k: FaultModel(  # noqa: E731
             emb.host,
             {emb.host.edge_id(p[0], p[1]) for p in paths[:k] if len(p) > 1},
         )
         # need m=3 pieces: tolerates w-3 failures, not w-2
         assert svc.route_fault_tolerant(
-            spec, (0, 1), b"x", faults=kill(w - 3), pieces_needed=3
+            spec,
+            RouteRequest((0, 1), b"x", faults=kill(w - 3), pieces_needed=3),
         ).delivered
         assert not svc.route_fault_tolerant(
-            spec, (0, 1), b"x", faults=kill(w - 2), pieces_needed=3
+            spec,
+            RouteRequest((0, 1), b"x", faults=kill(w - 2), pieces_needed=3),
         ).delivered
 
     def test_no_faults_default_delivers(self, tmp_path):
         out = self._service(tmp_path).route_fault_tolerant(
-            cycle_spec(6), (0, 1), b"clear skies"
+            cycle_spec(6), RouteRequest((0, 1), message=b"clear skies")
         )
         assert out.delivered and out.message == b"clear skies"
         assert out.failed_paths == ()
@@ -296,12 +307,12 @@ class TestRoutingService:
         svc = self._service(tmp_path)
         with pytest.raises(ValueError):
             svc.route_fault_tolerant(
-                cycle_spec(6), (0, 1), b"x", pieces_needed=99
+                cycle_spec(6), RouteRequest((0, 1), b"x", pieces_needed=99)
             )
 
     def test_stats_surface(self, tmp_path):
         svc = self._service(tmp_path)
-        svc.route(cycle_spec(6), (0, 1))
+        svc.route(cycle_spec(6), RouteRequest((0, 1)))
         snap = svc.stats()
         assert snap["counters"]["routes"] == 1
         assert snap["timers"]["get_embedding"]["count"] == 1
@@ -312,6 +323,89 @@ class TestRoutingService:
         emb = svc.get_embedding(spec)
         edge = next(iter(emb.edge_paths))
         assert len(disjoint_paths(emb, edge)) == 1
+
+    def test_disjoint_paths_skips_copies_missing_the_edge(self):
+        # regression: a multi-copy embedding where one copy stores neither
+        # orientation used to fail the whole lookup instead of skipping
+        from repro.core.embedding import Embedding, MultiCopyEmbedding
+        from repro.hypercube.graph import Hypercube
+
+        host = Hypercube(2)
+        knows = Embedding(
+            host=host, guest=None, vertex_map={0: 0, 1: 1},
+            edge_paths={(1, 0): (1, 0)}, name="knows-reverse-only",
+        )
+        ignorant = Embedding(
+            host=host, guest=None, vertex_map={2: 2, 3: 3},
+            edge_paths={(2, 3): (2, 3)}, name="other-edges-only",
+        )
+        emb = MultiCopyEmbedding(
+            host=host, guest=None, copies=[knows, ignorant]
+        )
+        assert disjoint_paths(emb, (0, 1)) == ((0, 1),)
+        assert disjoint_paths(emb, (1, 0)) == ((1, 0),)
+        with pytest.raises(KeyError):
+            disjoint_paths(emb, (0, 2))
+
+
+class TestBatchRouting:
+    def _service(self, tmp_path):
+        return RoutingService(registry=EmbeddingRegistry(cache_dir=tmp_path))
+
+    def test_batch_result_surface(self, tmp_path):
+        svc = self._service(tmp_path)
+        spec = cycle_spec(6)
+        batch = svc.route_batch(spec, [(0, 1), RouteRequest((2, 1)), (1, 0)])
+        assert isinstance(batch, BatchRouteResult)
+        assert len(batch) == 3
+        assert batch.total_paths == sum(batch.width(i) for i in range(3))
+        assert [r.guest_edge for r in batch.requests] == [(0, 1), (2, 1), (1, 0)]
+        first, last = batch[0], batch[-1]
+        assert isinstance(first, RouteResponse)
+        assert last.paths == tuple(
+            tuple(reversed(p)) for p in first.paths
+        )
+        assert [r.guest_edge for r in batch] == [(0, 1), (2, 1), (1, 0)]
+
+    def test_batch_matches_per_call_fuzzed(self, tmp_path):
+        svc = self._service(tmp_path)
+        rng = random.Random(11)
+        for spec in (cycle_spec(8), EmbeddingSpec.make("ccc", n=4)):
+            edges = list(svc.shard_for(spec).csr.edges)
+            requests = []
+            for _ in range(64):
+                u, v = edges[rng.randrange(len(edges))]
+                requests.append((v, u) if rng.random() < 0.5 else (u, v))
+            batch = svc.route_batch(spec, requests)
+            for i, edge in enumerate(requests):
+                assert batch.paths(i) == svc.route(spec, RouteRequest(edge)).paths
+
+    def test_batch_unknown_edge_raises(self, tmp_path):
+        svc = self._service(tmp_path)
+        with pytest.raises(KeyError):
+            svc.route_batch(cycle_spec(6), [(0, 1), (0, 5)])
+
+    def test_empty_batch(self, tmp_path):
+        svc = self._service(tmp_path)
+        batch = svc.route_batch(cycle_spec(6), [])
+        assert len(batch) == 0 and batch.total_paths == 0
+
+    def test_batch_observability(self, tmp_path):
+        svc = self._service(tmp_path)
+        svc.route_batch(cycle_spec(6), [(0, 1), (1, 2)])
+        snap = svc.metrics.snapshot()
+        assert snap["counters"]["routes"] == 2
+        assert snap["counters"]["shard_misses"] == 1
+        svc.route_batch(cycle_spec(6), [(2, 3)])
+        assert svc.metrics.count("shard_hits") == 1
+        assert snap["gauges"]["shards_active"] == 1
+
+    def test_close_unlinks_shards(self, tmp_path):
+        svc = self._service(tmp_path)
+        svc.route_batch(cycle_spec(6), [(0, 1)])
+        assert svc.shards.info() != {}
+        svc.close()
+        assert svc.shards.info() == {}
 
 
 class TestMetrics:
