@@ -136,6 +136,76 @@ def _wormhole_workload(name: str, n: int, num_flits: int, overlays: int,
     )
 
 
+def _batched_worm_work(n: int, lanes: int, worms: int, num_flits: int) -> tuple:
+    from repro.hypercube.graph import Hypercube
+    from repro.routing.permutation import dimension_order_path, random_permutation
+
+    comp = (1 << n) - 1
+    batches = []
+    for b in range(lanes):
+        srcs = random_permutation(1 << n, seed=b + 1)[:worms]
+        batches.append(
+            [
+                (dimension_order_path(n, u, u ^ comp), num_flits, 1 + (i % 4))
+                for i, u in enumerate(srcs)
+            ]
+        )
+    return Hypercube(n), batches
+
+
+def _lane_outcome(makespan, recorder) -> tuple:
+    return (
+        makespan,
+        tuple(
+            sorted(
+                (int(e), int(c))
+                for e, c in recorder.link_transmissions.items()
+            )
+        ),
+    )
+
+
+def _batched_wormhole_workload(name: str, n: int, lanes: int, worms: int,
+                               num_flits: int, quick: bool) -> Workload:
+    from repro.obs import LinkRecorder
+    from repro.routing.batched import BatchedWormhole
+    from repro.routing.wormhole import WormholeSimulator
+
+    def fast(ctx):
+        host, batches = ctx
+        recs = [LinkRecorder(host=host) for _ in batches]
+        outs = BatchedWormhole(host).run_many(batches, recorders=recs)
+        return [
+            _lane_outcome(o.makespan, r) for o, r in zip(outs, recs)
+        ]
+
+    def reference(ctx):
+        host, batches = ctx
+        res = []
+        for sched in batches:
+            sim = WormholeSimulator(host)
+            rec = LinkRecorder(host=host)
+            for path, flits, release in sched:
+                sim.inject(path, flits, release)
+            res.append(_lane_outcome(sim.run(recorder=rec), rec))
+        return res
+
+    return Workload(
+        name=name,
+        description=(
+            f"{lanes} independent Q_{n} wormhole runs in one batched call: "
+            f"{worms} complement-traffic worms per lane, M={num_flits} "
+            f"flits, per-lane congestion recorders vs the scalar loop"
+        ),
+        build=lambda: _batched_worm_work(n, lanes, worms, num_flits),
+        fast=fast,
+        reference=reference,
+        agree=lambda ref, fast_out: ref == fast_out,
+        quick=quick,
+        repeats=1,
+    )
+
+
 def _storeforward_workload(name: str, n: int, reps: int, quick: bool) -> Workload:
     from repro.hypercube.graph import Hypercube
     from repro.routing.fast_simulator import FastStoreForward
@@ -229,6 +299,10 @@ def default_workloads() -> List[Workload]:
         _service_workload("service:route-batch:q12", 12, requests=16384, quick=True),
         _wormhole_workload("wormhole:q10:m16x2", 10, num_flits=16, overlays=2, quick=True),
         _wormhole_workload("wormhole:q12:m16x4", 12, num_flits=16, overlays=4, quick=False),
+        _batched_wormhole_workload(
+            "batched:q12:wormhole-x100", 12,
+            lanes=100, worms=64, num_flits=128, quick=True,
+        ),
     ]
 
 

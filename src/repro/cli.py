@@ -108,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pieces", type=int, default=None)
         p.add_argument("--seed", default="0")
         p.add_argument(
-            "--engine", choices=["fast", "reference"], default="fast"
+            "--engine", choices=["fast", "reference", "batched"],
+            default="fast",
         )
 
     fig = sub.add_parser("figures", help="print the paper's Figures 1-4")
@@ -153,7 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
     sr.add_argument("--load", type=float, default=1.0)
     sr.add_argument("--horizon", type=int, default=8)
     sr.add_argument("--seed", default="0")
-    sr.add_argument("--engine", choices=["fast", "reference"], default="fast")
+    sr.add_argument(
+        "--engine", choices=["fast", "reference", "batched"], default="fast"
+    )
     sc = scn_sub.add_parser(
         "campaign", help="kill links/nodes, compare with vs without IDA"
     )
@@ -171,7 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument("--horizon", type=int, default=32)
     sw.add_argument("--seed", default="0")
-    sw.add_argument("--engine", choices=["fast", "reference"], default="fast")
+    sw.add_argument(
+        "--engine", choices=["fast", "reference", "batched"], default="fast"
+    )
     sm = scn_sub.add_parser(
         "smoke", help="every generator builds and routes on both engines"
     )
@@ -353,6 +358,15 @@ def build_parser() -> argparse.ArgumentParser:
     qd.add_argument("--seed", type=int, default=0, help="base RNG seed")
     qd.add_argument(
         "--packets", type=int, default=40, help="max packets per schedule"
+    )
+    qb = qa_sub.add_parser(
+        "batched", help="differential-test the batched tensor engines"
+    )
+    qb.add_argument("--seeds", type=int, default=100, help="random batches")
+    qb.add_argument("--n", type=int, default=4, help="hypercube dimension")
+    qb.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    qb.add_argument(
+        "--lanes", type=int, default=4, help="max lanes per batch"
     )
     qr = qa_sub.add_parser("replay", help="re-run a saved reproducer")
     qr.add_argument("entry", help="corpus entry id or path to its JSON file")
@@ -547,13 +561,20 @@ def _cmd_scenarios(args) -> int:
             args.scenario, host, load=args.load, horizon=args.horizon,
             seed=args.seed,
         )
-        sim = (
-            StoreForwardSimulator(host, tie_break="priority")
-            if args.engine == "reference"
-            else FastStoreForward(host)
-        )
         recorder = LinkRecorder(host)
-        result = sim.run(schedule, recorder=recorder)
+        if args.engine == "batched":
+            from repro.routing.batched import BatchedStoreForward
+
+            [result] = BatchedStoreForward(host).run_many(
+                [schedule], recorders=[recorder]
+            )
+        else:
+            sim = (
+                StoreForwardSimulator(host, tie_break="priority")
+                if args.engine == "reference"
+                else FastStoreForward(host)
+            )
+            result = sim.run(schedule, recorder=recorder)
         print(
             f"{args.scenario} on Q_{args.n}: load {args.load}, horizon "
             f"{args.horizon}, digest {schedule_digest(schedule)}"
@@ -1052,6 +1073,51 @@ def _cmd_qa(args) -> int:
         print(
             f"{args.seeds} random schedule(s) on Q_{args.n}: engines agree "
             f"field-for-field"
+        )
+        return 0
+
+    if args.qa_command == "batched":
+        from repro._compat import resolve_rng
+        from repro.fault.faults import FaultModel
+        from repro.hypercube.graph import Hypercube
+        from repro.qa.differential import (
+            batched_differential_check,
+            batched_wormhole_differential_check,
+        )
+        from repro.qa.schedules import (
+            random_schedule_batch,
+            random_worm_schedule_batch,
+        )
+
+        host = Hypercube(args.n)
+        for i in range(args.seeds):
+            rng = resolve_rng(f"{args.seed}:batched:{i}")
+            batch = random_schedule_batch(host, rng, max_lanes=args.lanes)
+            faults = None
+            if rng.random() < 0.5:
+                faults = [
+                    FaultModel.random_links(
+                        host, k=1, rng=rng,
+                        active_from=rng.choice([0, 1, 3]),
+                    )
+                    if rng.random() < 0.5
+                    else None
+                    for _ in batch
+                ]
+            divergence = batched_differential_check(host, batch, faults=faults)
+            if divergence is None:
+                worm_batch = random_worm_schedule_batch(
+                    host, rng, max_lanes=min(3, args.lanes)
+                )
+                divergence = batched_wormhole_differential_check(
+                    host, worm_batch
+                )
+            if divergence is not None:
+                print(f"seed {i}: {divergence.describe()}")
+                return 1
+        print(
+            f"{args.seeds} random batch(es) on Q_{args.n}: batched engines "
+            f"match the scalar engines lane-for-lane"
         )
         return 0
 

@@ -50,10 +50,12 @@ from repro.obs.recorder import LinkRecorder
 from repro.qa.schedules import (
     Schedule,
     WormSchedule,
+    shrink_batch,
     shrink_schedule,
     shrink_worm_schedule,
 )
 from repro.routing.api import SimResult
+from repro.routing.batched import BatchedStoreForward, BatchedWormhole
 from repro.routing.fast_simulator import FastStoreForward
 from repro.routing.fast_wormhole import FastWormhole
 from repro.routing.simulator import StoreForwardSimulator
@@ -66,6 +68,9 @@ __all__ = [
     "differential_check",
     "run_wormhole_pair",
     "wormhole_differential_check",
+    "BatchDivergence",
+    "batched_differential_check",
+    "batched_wormhole_differential_check",
     "verification_differential",
     "route_batch_differential",
     "max_flow_width_check",
@@ -230,6 +235,212 @@ def wormhole_differential_check(
     fields = tuple(k for k in reference if reference[k] != fast[k])
     return WormDivergence(
         host.n, buffer_capacity, current, fields, reference, fast
+    )
+
+
+# -- batched tensor engines --------------------------------------------------
+
+
+@dataclass
+class BatchDivergence:
+    """A batch on which the batched engine disagrees with the scalar one.
+
+    ``lane`` is the index of the first diverging lane in the (already
+    minimized) ``schedules``; ``reference``/``fast`` are that lane's two
+    outcomes — ``SimResult``-like for store-and-forward, observable dicts
+    for wormhole.  ``fields`` names what differs ("recorder" covers the
+    per-lane congestion snapshot).
+    """
+
+    host_n: int
+    engine: str
+    schedules: List[List]
+    faults: Optional[List[Any]]
+    lane: int
+    fields: Tuple[str, ...]
+    reference: Any
+    fast: Any
+
+    def describe(self) -> str:
+        sizes = [len(lane) for lane in self.schedules]
+        return (
+            f"{self.engine} batch diverges on Q_{self.host_n} "
+            f"(lanes={sizes}, faults={'yes' if self.faults else 'no'}) at "
+            f"lane {self.lane} on {self.fields}: "
+            f"reference {self.reference} vs batched {self.fast}"
+        )
+
+
+def _batch_diverging_lane(
+    host: Any,
+    batch: List[Schedule],
+    faults: Optional[List[Any]],
+    batched_cls: Optional[type] = None,
+) -> Optional[Tuple[int, Tuple[str, ...], SimResult, SimResult]]:
+    """First lane where run_many() differs from per-lane FastStoreForward.
+
+    Identity is total per lane: every ``SimResult`` measured field
+    (makespan, delivered, injected, steps, ``done_steps`` including the
+    ``-1`` fault-drop sentinel) plus the recorder snapshot.
+    """
+    if batched_cls is None:
+        # resolved at call time so tests can swap in a sabotaged engine
+        batched_cls = BatchedStoreForward
+    batch_recs = [LinkRecorder(host=host) for _ in batch]
+    results = batched_cls(host).run_many(
+        batch, recorders=batch_recs, faults=faults
+    )
+    for i, schedule in enumerate(batch):
+        scalar_rec = LinkRecorder(host=host)
+        scalar = FastStoreForward(host).run(
+            schedule,
+            recorder=scalar_rec,
+            faults=faults[i] if faults else None,
+        )
+        fields = scalar.diff_fields(results[i])
+        if fields:
+            return i, fields, scalar, results[i]
+        if scalar_rec.snapshot() != batch_recs[i].snapshot():
+            return i, ("recorder",), scalar, results[i]
+    return None
+
+
+def batched_differential_check(
+    host: Any,
+    batch: List[Schedule],
+    faults: Optional[List[Any]] = None,
+    batched_cls: Optional[type] = None,
+) -> Optional[BatchDivergence]:
+    """None when every lane matches the scalar engine; else a minimized
+    :class:`BatchDivergence`.
+
+    Shrinking is greedy over :func:`repro.qa.schedules.shrink_batch`
+    (drop lane halves, drop single lanes, then shrink one lane at a
+    time), interleaved with dropping the fault models entirely — the
+    minimal reproducer is usually a single short lane, often fault-free.
+    """
+    found = _batch_diverging_lane(host, batch, faults, batched_cls)
+    if found is None:
+        return None
+    current = [[(tuple(p), int(r)) for p, r in lane] for lane in batch]
+    cur_faults = list(faults) if faults else None
+
+    def lanes_and_faults(candidate):
+        # lane-drop candidates shorten the batch; faults must follow.
+        # shrink_batch preserves lane order, so align by lane identity.
+        if cur_faults is None or len(candidate) == len(current):
+            return cur_faults
+        kept, j = [], 0
+        for lane in candidate:
+            while j < len(current) and current[j] is not lane:
+                j += 1
+            if j < len(current):
+                kept.append(cur_faults[j])
+                j += 1
+            else:
+                return None  # rewritten lane: keep faults positionally
+        return kept
+
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        if cur_faults is not None:
+            if _batch_diverging_lane(host, current, None, batched_cls) is not None:
+                cur_faults = None
+                shrinking = True
+                continue
+        for candidate in shrink_batch(current, shrink_schedule):
+            cand_faults = lanes_and_faults(candidate)
+            if cand_faults is None and cur_faults is not None:
+                cand_faults = cur_faults[: len(candidate)] if len(
+                    candidate
+                ) == len(current) else None
+                if cand_faults is None:
+                    continue
+            if _batch_diverging_lane(
+                host, candidate, cand_faults, batched_cls
+            ) is not None:
+                current = candidate
+                cur_faults = cand_faults
+                shrinking = True
+                break
+    found = _batch_diverging_lane(host, current, cur_faults, batched_cls)
+    assert found is not None
+    lane, fields, reference, fast = found
+    return BatchDivergence(
+        host.n,
+        "store-forward",
+        current,
+        cur_faults,
+        lane,
+        fields,
+        reference.measured(),
+        fast.measured(),
+    )
+
+
+def _batched_worm_lane(
+    host: Any, batch: List[WormSchedule], buffer_capacity: int
+) -> Optional[Tuple[int, Tuple[str, ...], Dict[str, Any], Dict[str, Any]]]:
+    """First lane where BatchedWormhole differs from FastWormhole."""
+    recs = [LinkRecorder(host=host) for _ in batch]
+    outs = BatchedWormhole(host, buffer_capacity=buffer_capacity).run_many(
+        batch, recorders=recs
+    )
+    for i, schedule in enumerate(batch):
+        scalar = _run_worm_engine(FastWormhole, host, schedule, buffer_capacity)
+        out = outs[i]
+        got = {
+            "makespan": None if out.deadlocked else out.makespan,
+            "deadlock": out.deadlock,
+            "worms": tuple(
+                (w.done_step, w.head_link, tuple(w.flits_crossed))
+                for w in out.worms
+            ),
+            "owner": out.owner,
+            "recorder": recs[i].snapshot(),
+        }
+        fields = tuple(k for k in scalar if scalar[k] != got[k])
+        if fields:
+            return i, fields, scalar, got
+    return None
+
+
+def batched_wormhole_differential_check(
+    host: Any, batch: List[WormSchedule], buffer_capacity: int = 1
+) -> Optional[BatchDivergence]:
+    """None when every wormhole lane matches FastWormhole; else minimized.
+
+    Agreement is the full wormhole observable per lane — makespan or the
+    deadlock message (same step, same worm count), per-worm final state,
+    surviving link ownership, recorder snapshot.  A deadlocked lane must
+    freeze in the batched engine exactly where the scalar engine raised.
+    """
+    if _batched_worm_lane(host, batch, buffer_capacity) is None:
+        return None
+    current = [
+        [(tuple(p), int(m), int(r)) for p, m, r in lane] for lane in batch
+    ]
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for candidate in shrink_batch(current, shrink_worm_schedule):
+            if _batched_worm_lane(host, candidate, buffer_capacity) is not None:
+                current = candidate
+                shrinking = True
+                break
+    found = _batched_worm_lane(host, current, buffer_capacity)
+    assert found is not None
+    lane, fields, reference, fast = found
+    return BatchDivergence(
+        host.n,
+        "wormhole",
+        current,
+        None,
+        lane,
+        fields,
+        {k: reference[k] for k in fields},
+        {k: fast[k] for k in fields},
     )
 
 

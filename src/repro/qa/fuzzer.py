@@ -18,7 +18,13 @@ For each point the fuzzer runs, in order:
    and the serving layer's batched CSR gather must be field-identical
    to per-call routing on a fuzzed request batch
    (:func:`repro.qa.differential.route_batch_differential`);
-6. **flow** — networkx max-flow cross-examination of claimed widths.
+6. **batched_differential** — the batched tensor engines
+   (:mod:`repro.routing.batched`) must reproduce the scalar fast
+   engines lane-for-lane on fuzzed schedule batches: every ``SimResult``
+   field (including ``done_steps=-1`` fault drops under per-lane
+   ``FaultModel``s) and the full wormhole observable (including
+   per-lane deadlock state), with shrinking to a minimal failing batch;
+7. **flow** — networkx max-flow cross-examination of claimed widths.
 
 A failing point is shrunk against the construction's own ``shrink``
 candidates (greedily, preserving the failing stage) and saved to the
@@ -38,7 +44,10 @@ from repro.core.verification import run_oracles
 from repro.qa import oracles as _oracles  # noqa: F401 - importing registers them
 from repro.qa.constructions import ConstructionSpace, default_space
 from repro.qa.corpus import Corpus, CorpusEntry
+from repro.fault.faults import FaultModel
 from repro.qa.differential import (
+    batched_differential_check,
+    batched_wormhole_differential_check,
     differential_check,
     max_flow_width_check,
     route_batch_differential,
@@ -47,13 +56,22 @@ from repro.qa.differential import (
 from repro.qa.metamorphic import metamorphic_check
 from repro.qa.schedules import (
     embedding_schedule,
+    random_worm_schedule_batch,
     schedule_from_jsonable,
     schedule_to_jsonable,
 )
 
 __all__ = ["FuzzFailure", "FuzzReport", "Fuzzer"]
 
-STAGES = ("build", "verify", "oracle", "metamorphic", "differential", "flow")
+STAGES = (
+    "build",
+    "verify",
+    "oracle",
+    "metamorphic",
+    "differential",
+    "batched_differential",
+    "flow",
+)
 
 
 @dataclass
@@ -195,6 +213,55 @@ class Fuzzer:
                         kind, params, "differential",
                         f"{check.name}: {check.detail}",
                     )
+
+        if "batched_differential" in self.checks:
+            lanes = rng.randint(2, 4)
+            batch = [
+                embedding_schedule(
+                    subject, rng, max_packets=max(4, self.max_packets // 2)
+                )
+                for _ in range(lanes)
+            ]
+            faults = None
+            # tiny hosts (Q_1 has a single undirected link) cap the kill
+            # count below the 1-2 links the mix otherwise draws
+            max_kill = min(2, subject.host.num_edges // 2)
+            if max_kill >= 1 and rng.random() < 0.5:
+                faults = [
+                    FaultModel.random_links(
+                        subject.host,
+                        k=rng.randint(1, max_kill),
+                        rng=rng,
+                        active_from=rng.choice([0, 1, 3]),
+                    )
+                    if rng.random() < 0.5
+                    else None
+                    for _ in range(lanes)
+                ]
+            divergence = batched_differential_check(
+                subject.host, batch, faults=faults
+            )
+            if divergence is not None:
+                return FuzzFailure(
+                    kind,
+                    params,
+                    "batched_differential",
+                    divergence.describe(),
+                    schedule=schedule_to_jsonable(
+                        divergence.schedules[divergence.lane]
+                    ),
+                )
+            worm_batch = random_worm_schedule_batch(subject.host, rng)
+            worm_divergence = batched_wormhole_differential_check(
+                subject.host, worm_batch
+            )
+            if worm_divergence is not None:
+                return FuzzFailure(
+                    kind,
+                    params,
+                    "batched_differential",
+                    worm_divergence.describe(),
+                )
 
         if "flow" in self.checks:
             for check in max_flow_width_check(

@@ -20,7 +20,7 @@ then normalize release steps to 1.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterator, List, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Sequence, Tuple
 
 __all__ = [
     "all_host_paths",
@@ -29,6 +29,9 @@ __all__ = [
     "embedding_schedule",
     "shrink_schedule",
     "shrink_worm_schedule",
+    "random_schedule_batch",
+    "random_worm_schedule_batch",
+    "shrink_batch",
     "schedule_to_jsonable",
     "schedule_from_jsonable",
 ]
@@ -144,6 +147,81 @@ def shrink_worm_schedule(schedule: Sequence[Tuple[Tuple[int, ...], int, int]]) -
         yield [(p, m, 1) for p, m, _ in items]
     if any(m > 1 for _, m, _ in items):
         yield [(p, max(1, m // 2), r) for p, m, r in items]
+
+
+def random_schedule_batch(
+    host: Any,
+    rng: random.Random,
+    max_lanes: int = 4,
+    max_packets: int = 12,
+    max_release: int = 5,
+) -> List[Schedule]:
+    """A batch of independent random schedules — one lane per simulation.
+
+    The batched engines advance every lane in the same tensor step loop;
+    the batched differential replays each lane through the scalar fast
+    engine and demands identical results, so a batch is the natural fuzz
+    subject for cross-lane interference bugs (a lane's packets leaking
+    into another lane's arbitration).
+    """
+    lanes = rng.randint(1, max_lanes)
+    return [
+        random_schedule(
+            host, rng, max_packets=max_packets, max_release=max_release
+        )
+        for _ in range(lanes)
+    ]
+
+
+def random_worm_schedule_batch(
+    host: Any,
+    rng: random.Random,
+    max_lanes: int = 3,
+    max_worms: int = 8,
+    max_flits: int = 6,
+) -> List[WormSchedule]:
+    """A batch of independent worm schedules, some deadlock-prone.
+
+    Roughly half the lanes draw rotated (cyclically dependent) routes so
+    batched per-lane deadlock freezing gets exercised next to lanes that
+    run to completion.
+    """
+    lanes = rng.randint(1, max_lanes)
+    return [
+        random_worm_schedule(
+            host,
+            rng,
+            max_worms=max_worms,
+            max_flits=max_flits,
+            rotate=bool(rng.random() < 0.5),
+        )
+        for _ in range(lanes)
+    ]
+
+
+def shrink_batch(
+    batch: Sequence[Sequence],
+    shrink_lane: Callable[[Sequence], Iterator[List]],
+) -> Iterator[List[List]]:
+    """Strictly smaller/simpler batches, biggest cuts first.
+
+    Mirrors :func:`shrink_schedule` one level up: drop half the lanes,
+    drop single lanes, then shrink one lane at a time with the supplied
+    per-lane shrinker (:func:`shrink_schedule` or
+    :func:`shrink_worm_schedule`).  Lane order is preserved throughout so
+    a diverging lane index stays meaningful while shrinking.
+    """
+    lanes = [list(lane) for lane in batch]
+    n = len(lanes)
+    if n > 1:
+        half = n // 2
+        yield lanes[half:]
+        yield lanes[:half]
+        for i in range(n):
+            yield lanes[:i] + lanes[i + 1 :]
+    for i in range(n):
+        for candidate in shrink_lane(lanes[i]):
+            yield lanes[:i] + [list(candidate)] + lanes[i + 1 :]
 
 
 def embedding_schedule(

@@ -11,6 +11,8 @@ send one message packet over each outgoing link.  This subpackage provides
 * :mod:`repro.routing.wormhole` — cut-through/wormhole routing (Section 7);
 * :mod:`repro.routing.permutation` — randomized permutation routing on the
   embedded CCC/butterfly copies (Section 7);
+* :mod:`repro.routing.batched` — batched tensor engines that advance B
+  independent runs per tick in a few numpy ops (fleet campaigns, sweeps);
 * :mod:`repro.routing.api` — the unified :class:`Simulator` protocol shared
   by the reference and vectorized engines: ``run(schedule, max_steps=...,
   recorder=...) -> SimResult``, with optional per-link instrumentation via
@@ -22,6 +24,11 @@ from repro.routing.api import (
     SimResult,
     Simulator,
     normalize_schedule,
+)
+from repro.routing.batched import (
+    BatchedStoreForward,
+    BatchedWormhole,
+    WormLaneOutcome,
 )
 from repro.routing.fast_simulator import FastStoreForward
 from repro.routing.fast_wormhole import FastWormhole
@@ -35,6 +42,9 @@ from repro.routing.simulator import StoreForwardSimulator
 from repro.routing.wormhole import Worm, WormholeDeadlock, WormholeSimulator
 
 __all__ = [
+    "BatchedStoreForward",
+    "BatchedWormhole",
+    "WormLaneOutcome",
     "FastStoreForward",
     "FastWormhole",
     "Worm",

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.fault.faults import FaultModel
 from repro.fault.ida import disperse, reconstruct
 from repro.hypercube.graph import Hypercube
+from repro.routing.batched import BatchedStoreForward
 from repro.routing.fast_simulator import FastStoreForward
 from repro.routing.pathutils import edge_disjoint_paths
 from repro.routing.permutation import dimension_order_path
@@ -54,15 +55,16 @@ class CampaignConfig:
     width: Optional[int] = None  # disjoint paths per message (default n)
     pieces: Optional[int] = None  # IDA threshold m (default ceil(w/2))
     seed: Any = 0
-    engine: str = "fast"  # "fast" | "reference"
+    engine: str = "fast"  # "fast" | "reference" | "batched"
     payload: bytes = b"routing multiple paths in hypercubes"
     payload_checks: int = 64  # real IDA reconstructions per run (cap)
     scenario_params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.engine not in ("fast", "reference"):
+        if self.engine not in ("fast", "reference", "batched"):
             raise ValueError(
-                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+                "engine must be 'fast', 'reference' or 'batched', "
+                f"got {self.engine!r}"
             )
         if self.kill_links < 0 or self.kill_nodes < 0:
             raise ValueError("kill counts must be >= 0")
@@ -185,6 +187,22 @@ def _simulator(config: CampaignConfig, host: Hypercube):
     return FastStoreForward(host)
 
 
+def _run_arms(config: CampaignConfig, host: Hypercube, schedules, faults=None):
+    """Run both arms' schedules — one batched call, or a per-arm loop.
+
+    With ``engine="batched"`` the single-path and IDA arms advance as two
+    lanes of one :class:`~repro.routing.batched.BatchedStoreForward` step
+    loop (a shared fault model broadcasts to both lanes); results are
+    field-identical to the per-arm loop.
+    """
+    if config.engine == "batched":
+        return BatchedStoreForward(host).run_many(schedules, faults=faults)
+    return [
+        _simulator(config, host).run(schedule, faults=faults)
+        for schedule in schedules
+    ]
+
+
 def _build_faults(config: CampaignConfig, host: Hypercube) -> FaultModel:
     if config.fault_prob is not None:
         return FaultModel.random(
@@ -234,8 +252,9 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
             ida_schedule.append((path, release))
             ida_owner.append(mi)
 
-    single_clean = _simulator(config, host).run(single_schedule)
-    ida_clean = _simulator(config, host).run(ida_schedule)
+    single_clean, ida_clean = _run_arms(
+        config, host, [single_schedule, ida_schedule]
+    )
     kill_step = (
         config.kill_step
         if config.kill_step is not None
@@ -244,8 +263,9 @@ def run_campaign(config: CampaignConfig) -> CampaignReport:
 
     faults = _build_faults(config, host)
     faults.active_from = kill_step
-    single_faulty = _simulator(config, host).run(single_schedule, faults=faults)
-    ida_faulty = _simulator(config, host).run(ida_schedule, faults=faults)
+    single_faulty, ida_faulty = _run_arms(
+        config, host, [single_schedule, ida_schedule], faults=faults
+    )
 
     # per-message surviving piece indices in the IDA arm
     alive_pieces: Dict[int, List[int]] = {mi: [] for mi in range(len(messages))}

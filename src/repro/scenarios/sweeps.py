@@ -10,6 +10,12 @@ past the horizon once queues saturate), so the accepted-load curve
 flattens at the saturation throughput while p99 latency turns upward —
 the classical open-loop saturation picture, per scenario.
 
+With ``engine="batched"`` every load point becomes one lane of a single
+:class:`repro.routing.batched.BatchedStoreForward` run — the whole sweep
+advances in one tensor step loop with per-lane recorders, producing the
+same rows as the per-point loop (the batched differential in
+:mod:`repro.qa` holds the engines to field identity).
+
 Results are plain row dicts (the :mod:`repro.analysis.sweep` convention)
 and can additionally be labeled into a
 :class:`repro.obs.MetricsRegistry` by scenario name.
@@ -21,11 +27,14 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.hypercube.graph import Hypercube
 from repro.obs.recorder import LinkRecorder
+from repro.routing.batched import BatchedStoreForward
 from repro.routing.fast_simulator import FastStoreForward
 from repro.routing.simulator import StoreForwardSimulator
 from repro.scenarios.registry import build_schedule
 
-__all__ = ["saturation_sweep", "format_sweep_rows"]
+__all__ = ["saturation_sweep", "format_sweep_rows", "SWEEP_ENGINES"]
+
+SWEEP_ENGINES = ("fast", "reference", "batched")
 
 
 def _percentile(values: Sequence[int], q: float) -> float:
@@ -56,13 +65,18 @@ def saturation_sweep(
     directed link).  Deterministic given ``seed``; each load point draws
     from its own namespaced stream.  ``metrics`` (a
     :class:`repro.obs.MetricsRegistry`) gains scenario-labeled series.
+
+    ``engine`` selects ``"fast"`` (per-point vectorized), ``"reference"``
+    (per-point scalar), or ``"batched"`` (every load point as one lane of
+    a single batched run — identical rows, one tensor step loop).
     """
-    if engine not in ("fast", "reference"):
-        raise ValueError(f"engine must be 'fast' or 'reference', got {engine!r}")
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(
+            f"engine must be one of {SWEEP_ENGINES}, got {engine!r}"
+        )
     host = Hypercube(n)
-    rows: List[Dict[str, Any]] = []
-    for load in loads:
-        schedule = build_schedule(
+    schedules = [
+        build_schedule(
             scenario,
             host,
             load=load,
@@ -70,13 +84,29 @@ def saturation_sweep(
             seed=f"{seed}:{scenario}:{load}",
             **params,
         )
-        sim = (
-            StoreForwardSimulator(host, tie_break="priority")
-            if engine == "reference"
-            else FastStoreForward(host)
+        for load in loads
+    ]
+    if engine == "batched":
+        recorders = [LinkRecorder(host) for _ in schedules]
+        results = BatchedStoreForward(host).run_many(
+            schedules, recorders=recorders
         )
-        recorder = LinkRecorder(host)
-        result = sim.run(schedule, recorder=recorder)
+    else:
+        recorders, results = [], []
+        for schedule in schedules:
+            sim = (
+                StoreForwardSimulator(host, tie_break="priority")
+                if engine == "reference"
+                else FastStoreForward(host)
+            )
+            recorder = LinkRecorder(host)
+            results.append(sim.run(schedule, recorder=recorder))
+            recorders.append(recorder)
+
+    rows: List[Dict[str, Any]] = []
+    for load, schedule, result, recorder in zip(
+        loads, schedules, results, recorders
+    ):
         latencies = sorted(
             done - release
             for (path, release), done in zip(schedule, result.done_steps)

@@ -136,10 +136,17 @@ class BatchingFrontend:
             deadline = time.perf_counter() + self.max_wait_s
             while len(batch) < self.max_batch:
                 budget = deadline - time.perf_counter()
-                if budget <= 0:
-                    break
                 try:
-                    nxt = self._queue.get(timeout=budget)
+                    # the deadline bounds how long we *wait*, not how much
+                    # we coalesce: an exhausted budget (incl. max_wait_s=0)
+                    # still drains whatever is already queued, so a zero
+                    # deadline means "flush immediately with everything
+                    # that has arrived", not "batches of one"
+                    nxt = (
+                        self._queue.get(timeout=budget)
+                        if budget > 0
+                        else self._queue.get_nowait()
+                    )
                 except queue.Empty:
                     break
                 if nxt is None:

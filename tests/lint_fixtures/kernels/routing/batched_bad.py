@@ -1,0 +1,23 @@
+"""R4/R5 positive fixture: a batched engine that drifts off the protocol.
+
+Mirrors the ``routing/batched*`` layout so the tests can prove the real
+module's directory is inside both rules' scope: the class advertises an
+``engine`` tag but only exposes ``run_many`` (R4), and the lane setup
+reads the clock for a seed (R5, ``routing`` is a kernel dir).
+"""
+
+import time
+
+
+class SimResult:
+    pass
+
+
+class DriftingBatchedEngine:
+    """Batch-only surface: no scalar run(), results are bare lists."""
+
+    engine = "batched-drifting"
+
+    def run_many(self, schedules, recorders=None):
+        seed = int(time.time())
+        return [[seed] for _ in schedules]

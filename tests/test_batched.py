@@ -1,0 +1,349 @@
+"""Tests for the batched tensor engines and their differential harness.
+
+Three layers:
+
+* engine semantics — protocol conformance, empty/degenerate lanes,
+  per-lane fault drops and wormhole deadlock freezing;
+* metamorphic properties — permuting a batch permutes results, a batch
+  of one equals the scalar engine, splitting a batch and concatenating
+  the results is the identity;
+* the QA harness — seeded ``batched_differential`` fuzz smoke, the
+  fault-activation edge matrix across all three store-and-forward
+  engines, and a mutation test proving an injected arbitration bug is
+  caught and shrunk to a minimal batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro._compat import resolve_rng
+from repro.fault.faults import FaultModel
+from repro.hypercube.graph import Hypercube
+from repro.obs.recorder import LinkRecorder
+from repro.qa.differential import (
+    batched_differential_check,
+    batched_wormhole_differential_check,
+)
+from repro.qa.fuzzer import STAGES, Fuzzer
+from repro.qa.schedules import (
+    random_schedule_batch,
+    random_worm_schedule_batch,
+)
+from repro.routing import (
+    BatchedStoreForward,
+    BatchedWormhole,
+    FastStoreForward,
+    FastWormhole,
+    Simulator,
+    StoreForwardSimulator,
+    WormholeDeadlock,
+)
+
+
+def _measured(results):
+    return [r.measured() for r in results]
+
+
+def _scalar(host, schedule, faults=None):
+    rec = LinkRecorder(host=host)
+    res = FastStoreForward(host).run(schedule, recorder=rec, faults=faults)
+    return res.measured(), rec.snapshot()
+
+
+def _worm_observable(out, recorder):
+    return {
+        "makespan": None if out.deadlocked else out.makespan,
+        "deadlock": out.deadlock,
+        "worms": tuple(
+            (w.done_step, w.head_link, tuple(w.flits_crossed))
+            for w in out.worms
+        ),
+        "owner": out.owner,
+        "recorder": recorder.snapshot(),
+    }
+
+
+class TestProtocol:
+    def test_both_engines_satisfy_simulator_protocol(self):
+        host = Hypercube(3)
+        assert isinstance(BatchedStoreForward(host), Simulator)
+        assert isinstance(BatchedWormhole(host), Simulator)
+
+    def test_run_is_run_many_of_one(self):
+        host = Hypercube(3)
+        schedule = [((0, 1, 3), 1), ((5, 1, 3), 1)]
+        single = BatchedStoreForward(host).run(schedule)
+        [batched] = BatchedStoreForward(host).run_many([schedule])
+        assert single.measured() == batched.measured()
+
+    def test_run_requires_a_schedule(self):
+        with pytest.raises(ValueError):
+            BatchedStoreForward(Hypercube(3)).run(None)
+
+    def test_empty_batch_and_empty_lane(self):
+        host = Hypercube(3)
+        assert BatchedStoreForward(host).run_many([]) == []
+        [res] = BatchedStoreForward(host).run_many([[]])
+        assert res.makespan == 0 and res.delivered == 0
+        [out] = BatchedWormhole(host).run_many([[]])
+        assert out.makespan == 0 and out.deadlock is None
+
+    def test_zero_hop_lane_delivers_at_step_zero(self):
+        host = Hypercube(3)
+        [res] = BatchedStoreForward(host).run_many([[(3,)]])
+        assert res.delivered == 1
+        assert res.done_steps == (0,)
+
+    def test_multi_packet_service_time_rejected(self):
+        from repro.routing.api import SimRequest
+
+        host = Hypercube(3)
+        req = SimRequest(path=(0, 1), release_step=1, service_time=2)
+        with pytest.raises(ValueError, match="unit service time"):
+            BatchedStoreForward(host).run_many([[req]])
+
+    def test_single_recorder_is_not_broadcast(self):
+        host = Hypercube(3)
+        rec = LinkRecorder(host=host)
+        with pytest.raises(ValueError, match="per-lane"):
+            BatchedStoreForward(host).run_many(
+                [[((0, 1), 1)], [((2, 3), 1)]], recorders=rec
+            )
+
+    def test_fault_sequence_length_must_match(self):
+        host = Hypercube(3)
+        fm = FaultModel.random_links(host, k=1, seed=1)
+        with pytest.raises(ValueError):
+            BatchedStoreForward(host).run_many(
+                [[((0, 1), 1)], [((2, 3), 1)]], faults=[fm]
+            )
+
+    def test_wormhole_run_raises_on_deadlock(self):
+        host = Hypercube(2)
+        # 4-cycle of 2-link worms: each holds its first link and waits
+        # forever for the next one, held by the next worm
+        cycle = [(0, 1, 3), (1, 3, 2), (3, 2, 0), (2, 0, 1)]
+        schedule = [(path, 4, 1) for path in cycle]
+        scalar = FastWormhole(host)
+        for path, flits, release in schedule:
+            scalar.inject(path, flits, release)
+        with pytest.raises(WormholeDeadlock) as scalar_err:
+            scalar.run()
+        with pytest.raises(WormholeDeadlock) as batched_err:
+            BatchedWormhole(host).run(schedule)
+        assert str(batched_err.value) == str(scalar_err.value)
+
+    def test_deadlocked_lane_freezes_while_others_finish(self):
+        host = Hypercube(2)
+        cycle = [(0, 1, 3), (1, 3, 2), (3, 2, 0), (2, 0, 1)]
+        dead_lane = [(path, 4, 1) for path in cycle]
+        live_lane = [((0, 1, 3), 6, 1)]
+        dead, live = BatchedWormhole(host).run_many([dead_lane, live_lane])
+        assert dead.deadlocked and "deadlocked" in dead.deadlock
+        assert live.deadlock is None
+        assert live.worms[0].done_step == 2 + 6 - 1
+
+
+class TestMetamorphic:
+    def _batch(self, host, seed, lanes=5):
+        rng = resolve_rng(f"meta:{seed}")
+        batch = random_schedule_batch(host, rng, max_lanes=1)
+        while len(batch) < lanes:
+            batch += random_schedule_batch(host, rng, max_lanes=1)
+        return batch[:lanes]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_permutation_permutes_results(self, seed):
+        host = Hypercube(3)
+        batch = self._batch(host, seed)
+        rng = resolve_rng(f"perm:{seed}")
+        order = list(range(len(batch)))
+        rng.shuffle(order)
+        base = _measured(BatchedStoreForward(host).run_many(batch))
+        shuffled = _measured(
+            BatchedStoreForward(host).run_many([batch[i] for i in order])
+        )
+        assert shuffled == [base[i] for i in order]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_of_one_equals_scalar_engine(self, seed):
+        host = Hypercube(3)
+        for lane in self._batch(host, seed, lanes=3):
+            rec = LinkRecorder(host=host)
+            [res] = BatchedStoreForward(host).run_many(
+                [lane], recorders=[rec]
+            )
+            scalar, scalar_snap = _scalar(host, lane)
+            assert res.measured() == scalar
+            assert rec.snapshot() == scalar_snap
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_split_batch_and_concat_is_identity(self, seed):
+        host = Hypercube(3)
+        batch = self._batch(host, seed)
+        whole = _measured(BatchedStoreForward(host).run_many(batch))
+        half = len(batch) // 2
+        left = _measured(BatchedStoreForward(host).run_many(batch[:half]))
+        right = _measured(BatchedStoreForward(host).run_many(batch[half:]))
+        assert left + right == whole
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_wormhole_batch_metamorphics(self, seed):
+        host = Hypercube(3)
+        rng = resolve_rng(f"worm-meta:{seed}")
+        batch = random_worm_schedule_batch(host, rng, max_lanes=3)
+        recs = [LinkRecorder(host=host) for _ in batch]
+        outs = BatchedWormhole(host).run_many(batch, recorders=recs)
+        whole = [_worm_observable(o, r) for o, r in zip(outs, recs)]
+        # batch of one equals the scalar fast engine, lane for lane
+        for lane, expect in zip(batch, whole):
+            rec = LinkRecorder(host=host)
+            [out] = BatchedWormhole(host).run_many([lane], recorders=[rec])
+            assert _worm_observable(out, rec) == expect
+        # reversing the batch reverses the outcomes
+        recs_r = [LinkRecorder(host=host) for _ in batch]
+        outs_r = BatchedWormhole(host).run_many(batch[::-1], recorders=recs_r)
+        reversed_obs = [
+            _worm_observable(o, r) for o, r in zip(outs_r, recs_r)
+        ]
+        assert reversed_obs == whole[::-1]
+
+
+class TestFaultActivationEdges:
+    """``active_from`` at step 0, the final step, and past ``max_steps``
+    must drop the same packets in all three store-and-forward engines."""
+
+    def _all_engines(self, host, schedule, faults):
+        reference = StoreForwardSimulator(host, tie_break="priority").run(
+            schedule, faults=faults
+        )
+        fast = FastStoreForward(host).run(schedule, faults=faults)
+        [batched] = BatchedStoreForward(host).run_many(
+            [schedule], faults=faults
+        )
+        return reference, fast, batched
+
+    def _schedule_and_fault(self, seed):
+        host = Hypercube(3)
+        rng = resolve_rng(f"fault-edge:{seed}")
+        [schedule] = random_schedule_batch(host, rng, max_lanes=1)
+        fault = FaultModel.random_links(host, k=2, rng=rng)
+        return host, schedule, fault
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_active_from_step_zero(self, seed):
+        host, schedule, fault = self._schedule_and_fault(seed)
+        models = FaultModel(
+            host, fault.failed, fault.failed_nodes, active_from=0
+        )
+        ref, fast, batched = self._all_engines(host, schedule, models)
+        assert ref.measured() == fast.measured() == batched.measured()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_active_from_final_step(self, seed):
+        host, schedule, fault = self._schedule_and_fault(seed)
+        clean = FastStoreForward(host).run(schedule)
+        final = max(1, clean.makespan)
+        models = FaultModel(
+            host, fault.failed, fault.failed_nodes, active_from=final
+        )
+        ref, fast, batched = self._all_engines(host, schedule, models)
+        assert ref.measured() == fast.measured() == batched.measured()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_active_from_past_max_steps_is_a_clean_run(self, seed):
+        host, schedule, fault = self._schedule_and_fault(seed)
+        models = FaultModel(
+            host, fault.failed, fault.failed_nodes, active_from=10**9
+        )
+        ref, fast, batched = self._all_engines(host, schedule, models)
+        clean = FastStoreForward(host).run(schedule)
+        assert ref.measured() == fast.measured() == batched.measured()
+        assert batched.measured() == clean.measured()
+        assert -1 not in batched.done_steps
+
+
+class TestBatchedDifferential:
+    def test_stage_is_registered(self):
+        assert "batched_differential" in STAGES
+
+    def test_hundred_seed_smoke(self):
+        host = Hypercube(3)
+        for i in range(100):
+            rng = resolve_rng(f"batched-smoke:{i}")
+            batch = random_schedule_batch(host, rng, max_lanes=3)
+            faults = None
+            if rng.random() < 0.4:
+                faults = [
+                    FaultModel.random_links(
+                        host, k=1, rng=rng,
+                        active_from=rng.choice([0, 1, 3]),
+                    )
+                    if rng.random() < 0.5
+                    else None
+                    for _ in batch
+                ]
+            assert (
+                batched_differential_check(host, batch, faults=faults)
+                is None
+            )
+
+    def test_wormhole_smoke(self):
+        host = Hypercube(3)
+        for i in range(40):
+            rng = resolve_rng(f"batched-worm-smoke:{i}")
+            batch = random_worm_schedule_batch(host, rng)
+            assert batched_wormhole_differential_check(host, batch) is None
+
+    def test_fuzzer_runs_the_stage(self):
+        fuzzer = Fuzzer(checks=("build", "batched_differential"))
+        report = fuzzer.run(seeds=5)
+        assert report.points == 5
+        assert not report.failures
+
+
+class _ReversedArbitration(BatchedStoreForward):
+    """Sabotage: highest injection index wins links instead of lowest."""
+
+    def _priorities(self, total):
+        return np.arange(total - 1, -1, -1, dtype=np.int64)
+
+
+class TestMutation:
+    def _colliding_batch(self):
+        # lane 0: three packets contending for node 1's outgoing links;
+        # lane 1: a decoy that never collides
+        return [
+            [((0, 1, 3), 1), ((2, 0, 1), 1), ((4, 0, 1, 5), 1)],
+            [((6, 7), 1), ((5, 4), 2)],
+        ]
+
+    def test_injected_arbitration_bug_is_caught_and_shrunk(self):
+        host = Hypercube(3)
+        divergence = batched_differential_check(
+            host, self._colliding_batch(), batched_cls=_ReversedArbitration
+        )
+        assert divergence is not None
+        assert "done_steps" in divergence.fields or "makespan" in (
+            divergence.fields
+        )
+        # shrunk to a minimal reproducer: one lane, at most two packets
+        assert len(divergence.schedules) == 1
+        assert len(divergence.schedules[divergence.lane]) <= 2
+
+    def test_monkeypatched_engine_is_picked_up(self, monkeypatch):
+        import repro.qa.differential as differential
+
+        monkeypatch.setattr(
+            differential, "BatchedStoreForward", _ReversedArbitration
+        )
+        divergence = differential.batched_differential_check(
+            Hypercube(3), self._colliding_batch()
+        )
+        assert divergence is not None
+
+    def test_clean_engine_passes_the_same_batch(self):
+        host = Hypercube(3)
+        assert (
+            batched_differential_check(host, self._colliding_batch()) is None
+        )

@@ -154,6 +154,27 @@ class TestSimulatorProtocol:
         report = lint("protocol_good.py", "R4")
         assert rule_findings(report, "R4") == []
 
+    def test_batched_engine_without_scalar_run_is_flagged(self):
+        # a batch-only surface (run_many, no run) is still an engine:
+        # the protocol requires the scalar run() entry point
+        report = lint("kernels/routing/batched_bad.py", "R4")
+        messages = [f.message for f in rule_findings(report, "R4")]
+        assert any(
+            "batched-drifting" in m and "no run() method" in m
+            for m in messages
+        )
+
+    def test_real_batched_engines_conform(self):
+        # the shipping batched module is in R4 scope (two engine tags)
+        # and clean; a protocol drift there fails here before CI lint
+        source = (REPO_SRC / "routing" / "batched.py").read_text()
+        assert source.count('engine = "batched-') == 2
+        report = run_lint(
+            [REPO_SRC / "routing" / "batched.py"],
+            LintConfig(select=("R4",)),
+        )
+        assert report.findings == [] and report.files_scanned == 1
+
 
 class TestDeterminism:
     def test_flags_clock_and_entropy_in_kernel_dirs(self):
@@ -171,6 +192,18 @@ class TestDeterminism:
         # same nondeterministic calls outside core//routing/ are fine
         report = lint("deprecation_good.py", "R5")
         assert rule_findings(report, "R5") == []
+
+    def test_routing_batched_modules_are_kernel_scope(self):
+        # routing/ is a kernel dir, so batched engines inherit the
+        # determinism discipline: clock-derived seeds are flagged
+        report = lint("kernels/routing/batched_bad.py", "R5")
+        messages = [f.message for f in rule_findings(report, "R5")]
+        assert any("time.time()" in m for m in messages)
+        clean = run_lint(
+            [REPO_SRC / "routing" / "batched.py"],
+            LintConfig(select=("R5",)),
+        )
+        assert clean.findings == []
 
 
 class TestServiceRaces:

@@ -2,12 +2,14 @@
 
 import json
 import random
+import threading
 
 import pytest
 
 from repro.fault.faults import FaultModel
 from repro.obs import MetricsRegistry
 from repro.service import (
+    BatchingFrontend,
     BatchRouteResult,
     BuildEngine,
     EmbeddingRegistry,
@@ -436,3 +438,101 @@ class TestMetrics:
         gauges = reg.metrics.snapshot()["gauges"]
         assert gauges["embedding_load{kind=cycle}"] == 1
         assert gauges["embedding_width{kind=cycle}"] >= 3
+
+
+class _GatedService:
+    """Stub service: echoes requests; ``route_batch`` can block on a gate.
+
+    Lets the frontend tests park the drainer thread inside a batch call
+    (``gate``) and observe exactly which requests coalesced into which
+    batch (``batch_sizes``), with ``entered`` signalling that the drainer
+    has actually started resolving.
+    """
+
+    def __init__(self, blocked=False):
+        self.metrics = MetricsRegistry()
+        self.batch_sizes = []
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+        self._lock = threading.Lock()
+        if not blocked:
+            self.gate.set()
+
+    def shard_for(self, spec):
+        return None
+
+    def route_batch(self, spec, requests):
+        self.entered.set()
+        assert requests, "frontend must never issue an empty batch"
+        assert self.gate.wait(timeout=5.0), "gate never released"
+        with self._lock:
+            self.batch_sizes.append(len(requests))
+        return [req.guest_edge for req in requests]
+
+
+class TestBatchingFrontend:
+    # regression tests for the deadline-coalescing fix: max_wait_s bounds
+    # how long the drainer *waits*, not how much it coalesces
+
+    def test_zero_deadline_coalesces_queued_requests(self):
+        svc = _GatedService(blocked=True)
+        with BatchingFrontend(svc, spec=None, max_wait_s=0.0) as frontend:
+            first = frontend.submit((0, 1))
+            assert svc.entered.wait(timeout=5.0)
+            # drainer is parked inside route_batch; these five pile up
+            later = [frontend.submit((i, i + 1)) for i in range(1, 6)]
+            svc.gate.set()
+            assert first.result(timeout=5.0) == (0, 1)
+            assert [f.result(timeout=5.0) for f in later] == [
+                (i, i + 1) for i in range(1, 6)
+            ]
+        # one singleton batch (nothing else had arrived), then ONE batch
+        # of five — not five batches of one, despite the zero deadline
+        assert svc.batch_sizes == [1, 5]
+        assert frontend.stats() == {
+            "batches": 2, "served": 6, "mean_batch": 3.0,
+        }
+
+    def test_zero_deadline_lone_request_flushes_immediately(self):
+        svc = _GatedService()
+        with BatchingFrontend(svc, spec=None, max_wait_s=0.0) as frontend:
+            assert frontend.submit((3, 4)).result(timeout=5.0) == (3, 4)
+        assert svc.batch_sizes == [1]
+
+    def test_zero_deadline_respects_max_batch(self):
+        svc = _GatedService(blocked=True)
+        with BatchingFrontend(
+            svc, spec=None, max_batch=2, max_wait_s=0.0
+        ) as frontend:
+            first = frontend.submit((0, 1))
+            assert svc.entered.wait(timeout=5.0)
+            later = [frontend.submit((1, 2)) for _ in range(5)]
+            svc.gate.set()
+            for f in [first, *later]:
+                f.result(timeout=5.0)
+        assert svc.batch_sizes == [1, 2, 2, 1]
+
+    def test_empty_queue_flush_on_stop(self):
+        svc = _GatedService()
+        frontend = BatchingFrontend(svc, spec=None).start()
+        frontend.stop()
+        # nothing was pending: no batch call, clean stats, restartable
+        assert svc.batch_sizes == []
+        assert frontend.stats() == {
+            "batches": 0, "served": 0, "mean_batch": 0.0,
+        }
+        with frontend:
+            assert frontend.submit((0, 1)).result(timeout=5.0) == (0, 1)
+        assert svc.batch_sizes == [1]
+
+    def test_stop_flushes_pending_requests(self):
+        svc = _GatedService(blocked=True)
+        frontend = BatchingFrontend(svc, spec=None, max_wait_s=0.0).start()
+        first = frontend.submit((0, 1))
+        assert svc.entered.wait(timeout=5.0)
+        pending = [frontend.submit((1, 2)) for _ in range(3)]
+        svc.gate.set()
+        frontend.stop()
+        for f in [first, *pending]:
+            assert f.result(timeout=5.0) is not None
+        assert sum(svc.batch_sizes) == 4
