@@ -215,11 +215,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     for name, help_text in [
         ("ls", "list cached artifacts"),
-        ("clear", "remove every cached artifact"),
+        ("clear", "remove every cached artifact (and sweep orphans)"),
         ("stats", "print registry counters, timers and tier occupancy"),
     ]:
         p = cache_sub.add_parser(name, help=help_text)
         p.add_argument("--cache-dir", type=str, default=None)
+    cm = cache_sub.add_parser(
+        "migrate", help="upgrade legacy JSON artifacts to memmapped store files"
+    )
+    cm.add_argument("--cache-dir", type=str, default=None)
+    cm.add_argument(
+        "--verify", action="store_true",
+        help="re-hash each freshly written payload after migration",
+    )
 
     rt = sub.add_parser(
         "route", help="serve the disjoint host paths for one guest edge"
@@ -739,10 +747,19 @@ def _cmd_cache(args) -> int:
         for row in rows:
             print(
                 f"  {row['key']:<14} {row['construction']:<36} "
-                f"v{row['package_version']:<8} {row['bytes']:>9} B"
+                f"v{row['package_version']:<8} {row['tier']:<12} "
+                f"{row['bytes']:>9} B"
             )
         print(f"{len(rows)} artifact(s) in {registry.cache_dir}")
         return 0
+    if args.cache_command == "migrate":
+        out = registry.migrate(verify_payload=args.verify)
+        print(
+            f"migrated {out['migrated']}, skipped {out['skipped']} "
+            f"(already binary), failed {out['failed']} "
+            f"under {registry.cache_dir}"
+        )
+        return 0 if out["failed"] == 0 else 1
     if args.cache_command == "clear":
         removed = registry.clear()
         print(f"removed {removed} artifact(s) from {registry.cache_dir}")

@@ -47,7 +47,9 @@ from repro.hypercube.pathcode import (
 from repro.obs.profile import profile_span
 
 __all__ = [
+    "EdgeLookup",
     "PathCSR",
+    "build_edge_lookup",
     "embedding_csr",
     "verify_embedding",
     "verify_multipath",
@@ -490,6 +492,88 @@ def _rev(edge: Any) -> Any:
 
 
 @dataclass(frozen=True)
+class EdgeLookup:
+    """Vectorized guest-edge resolver for integer-vertex embeddings.
+
+    Packs each orientation of every bundle's canonical edge into one
+    ``u * base + v`` key and answers a whole request batch with a single
+    ``searchsorted`` — no per-request dict lookups and, crucially, no
+    upfront Python loop over a million edges.  The three arrays are plain
+    contract-dtype vectors, so the artifact store serializes them next to
+    the CSR payload and a memmapped embedding resolves requests O(ms)
+    after open.  Semantics match :attr:`PathCSR.edge_index`: stored
+    orientations always win over reverse fallbacks.
+    """
+
+    base: int  # vertex ids live in [0, base)
+    keys: np.ndarray  # sorted packed keys, CSR_NODE_DTYPE
+    gids: np.ndarray  # bundle id per key, CSR_OFFSET_DTYPE
+    flips: np.ndarray  # reverse-orientation flag per key, CSR_FLAG_DTYPE
+
+    def resolve_packed(
+        self, us: np.ndarray, vs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(gids, flips, known)`` for endpoint arrays ``us -> vs``."""
+        known = (us >= 0) & (us < self.base) & (vs >= 0) & (vs < self.base)
+        # out-of-range endpoints can alias another edge's key, so mask
+        # them to a key no edge packs to before the binary search
+        k = np.where(known, us * np.int64(self.base) + vs, np.int64(-1))
+        if self.keys.size == 0:
+            return (
+                np.zeros(us.size, dtype=CSR_OFFSET_DTYPE),
+                np.zeros(us.size, dtype=CSR_FLAG_DTYPE),
+                np.zeros(us.size, dtype=bool),
+            )
+        idx = np.minimum(
+            np.searchsorted(self.keys, k), self.keys.size - 1
+        )
+        known &= self.keys[idx] == k
+        return self.gids[idx], self.flips[idx], known
+
+
+def build_edge_lookup(edge_uv: np.ndarray) -> EdgeLookup:
+    """The :class:`EdgeLookup` of a ``(num_bundles, 2)`` endpoint array.
+
+    Forward orientations win ties against reverse fallbacks (the stable
+    sort keeps the forward block first), and among several reverse
+    claims on one key the lowest bundle id wins — both exactly as the
+    dict-based :attr:`PathCSR.edge_index` resolves them.
+    """
+    edge_uv = np.ascontiguousarray(edge_uv, dtype=np.int64)
+    count = edge_uv.shape[0]
+    if count == 0:
+        return EdgeLookup(
+            base=1,
+            keys=np.zeros(0, dtype=CSR_NODE_DTYPE),
+            gids=np.zeros(0, dtype=CSR_OFFSET_DTYPE),
+            flips=np.zeros(0, dtype=CSR_FLAG_DTYPE),
+        )
+    us, vs = edge_uv[:, 0], edge_uv[:, 1]
+    if int(min(us.min(), vs.min())) < 0:
+        raise ValueError("edge lookup requires non-negative vertex ids")
+    base = int(max(us.max(), vs.max())) + 1
+    ids = np.arange(count, dtype=CSR_OFFSET_DTYPE)
+    keys = np.concatenate([us * base + vs, vs * base + us])
+    gids = np.concatenate([ids, ids])
+    flips = np.concatenate(
+        [
+            np.zeros(count, dtype=CSR_FLAG_DTYPE),
+            np.ones(count, dtype=CSR_FLAG_DTYPE),
+        ]
+    )
+    order = np.argsort(keys, kind="stable")
+    keys, gids, flips = keys[order], gids[order], flips[order]
+    keep = np.ones(keys.size, dtype=bool)
+    keep[1:] = keys[1:] != keys[:-1]
+    return EdgeLookup(
+        base=base,
+        keys=np.ascontiguousarray(keys[keep], dtype=CSR_NODE_DTYPE),
+        gids=np.ascontiguousarray(gids[keep], dtype=CSR_OFFSET_DTYPE),
+        flips=np.ascontiguousarray(flips[keep], dtype=CSR_FLAG_DTYPE),
+    )
+
+
+@dataclass(frozen=True)
 class PathCSR:
     """The flat, shareable form of an embedding's routing answer.
 
@@ -514,6 +598,10 @@ class PathCSR:
     path_offsets: np.ndarray  # CSR_OFFSET_DTYPE, num_paths + 1
     bundle_offsets: np.ndarray  # CSR_OFFSET_DTYPE, num_bundles + 1
     path_reversed: np.ndarray = field(repr=False)  # CSR_FLAG_DTYPE
+    # optional vectorized resolver (integer-vertex guests only); the
+    # artifact store attaches one from memmapped arrays so resolution
+    # never walks a million-edge Python loop
+    lookup: Optional[EdgeLookup] = field(default=None, repr=False)
 
     @property
     def num_paths(self) -> int:
@@ -552,19 +640,23 @@ class PathCSR:
         orientations.
         """
         count = len(guest_edges)
-        gids = np.empty(count, dtype=CSR_OFFSET_DTYPE)
-        flips = np.empty(count, dtype=CSR_FLAG_DTYPE)
-        index = self.edge_index
-        for i, edge in enumerate(guest_edges):
-            hit = index.get(edge)
-            if hit is None:
-                sample = self.edges[0] if self.edges else None
-                raise KeyError(
-                    f"guest edge {edge!r} not in embedding "
-                    f"(edges look like {sample!r})"
-                )
-            gids[i] = hit[0]
-            flips[i] = hit[1]
+        resolved = (
+            self._resolve_vectorized(guest_edges)
+            if self.lookup is not None
+            else None
+        )
+        if resolved is not None:
+            gids, flips = resolved
+        else:
+            gids = np.empty(count, dtype=CSR_OFFSET_DTYPE)
+            flips = np.empty(count, dtype=CSR_FLAG_DTYPE)
+            index = self.edge_index
+            for i, edge in enumerate(guest_edges):
+                hit = index.get(edge)
+                if hit is None:
+                    self._raise_unknown(edge)
+                gids[i] = hit[0]
+                flips[i] = hit[1]
         starts = self.bundle_offsets[gids]
         widths = self.bundle_offsets[gids + 1] - starts
         request_offsets = np.zeros(count + 1, dtype=CSR_OFFSET_DTYPE)
@@ -578,6 +670,35 @@ class PathCSR:
             flips, widths
         ).astype(bool)
         return path_ids, flip, request_offsets
+
+    def _raise_unknown(self, edge: Any) -> None:
+        sample = self.edges[0] if len(self.edges) else None
+        raise KeyError(
+            f"guest edge {edge!r} not in embedding "
+            f"(edges look like {sample!r})"
+        )
+
+    def _resolve_vectorized(
+        self, guest_edges: Sequence[Any]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """``(gids, flips)`` via the packed lookup; None if not packable."""
+        lookup = self.lookup
+        if lookup is None:
+            return None
+        try:
+            batch = np.asarray(guest_edges, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            return None
+        if batch.ndim != 2 or batch.shape[1] != 2:
+            return None
+        gids, flips, known = lookup.resolve_packed(batch[:, 0], batch[:, 1])
+        if not bool(known.all()):
+            bad = int(np.argmin(known))
+            self._raise_unknown(guest_edges[bad])
+        return (
+            np.ascontiguousarray(gids, dtype=CSR_OFFSET_DTYPE),
+            np.ascontiguousarray(flips, dtype=CSR_FLAG_DTYPE),
+        )
 
     def take(
         self, guest_edges: Sequence[Any]

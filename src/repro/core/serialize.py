@@ -27,14 +27,16 @@ def _package_version() -> str:
 
 
 def _encode_vertex(v: Any):
+    # recursive: a vertex like (level, (b0, b1)) must round-trip exactly,
+    # not decode into a tuple holding an unhashable list
     if isinstance(v, tuple):
-        return list(v)
+        return [_encode_vertex(x) for x in v]
     return v
 
 
 def _decode_vertex(v: Any):
     if isinstance(v, list):
-        return tuple(v)
+        return tuple(_decode_vertex(x) for x in v)
     return v
 
 

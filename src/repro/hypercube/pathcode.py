@@ -33,9 +33,12 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "CSR_ALIGN",
+    "CSR_ARRAYS",
     "CSR_FLAG_DTYPE",
     "CSR_NODE_DTYPE",
     "CSR_OFFSET_DTYPE",
+    "csr_aligned",
     "gather_paths",
     "hop_dimensions",
     "hop_endpoints",
@@ -45,13 +48,32 @@ __all__ = [
 ]
 
 # The dtype contract of every flat CSR path batch in the package.  The
-# shared-memory shard layer serializes these names into its segment headers
-# and refuses to map a segment whose arrays disagree — keeping one producer
-# (this module) and many consumers (verification kernels, batch routing,
-# worker processes) byte-compatible.
+# shared-memory shard layer and the on-disk artifact store serialize these
+# names into their headers and refuse to map bytes whose arrays disagree —
+# keeping one producer (this module) and many consumers (verification
+# kernels, batch routing, worker processes, memmapped artifacts)
+# byte-compatible.
 CSR_NODE_DTYPE = np.dtype(np.int64)  #: concatenated path nodes
 CSR_OFFSET_DTYPE = np.dtype(np.int64)  #: path / bundle offset vectors
 CSR_FLAG_DTYPE = np.dtype(np.uint8)  #: per-path orientation flags
+
+# (field name, contract dtype) in on-bytes order — the serialized form of
+# the contract, shared by the shared-memory shards and the artifact store.
+CSR_ARRAYS: Tuple[Tuple[str, np.dtype], ...] = (
+    ("nodes", CSR_NODE_DTYPE),
+    ("path_offsets", CSR_OFFSET_DTYPE),
+    ("bundle_offsets", CSR_OFFSET_DTYPE),
+    ("path_reversed", CSR_FLAG_DTYPE),
+)
+
+# Every serialized CSR array starts on an 8-byte boundary so int64 views
+# map without copies or misalignment, in shm segments and files alike.
+CSR_ALIGN = 8
+
+
+def csr_aligned(n: int) -> int:
+    """``n`` rounded up to the serialized-CSR alignment boundary."""
+    return (n + CSR_ALIGN - 1) // CSR_ALIGN * CSR_ALIGN
 
 
 def _first_bad_hop(us: np.ndarray, vs: np.ndarray, bad: np.ndarray) -> Tuple[int, int]:

@@ -84,6 +84,7 @@ class LintConfig:
         "service/engine.py",
         "service/shards.py",
         "service/frontend.py",
+        "service/store.py",
     )
     # R3: the files defining the construction contract
     contract_api: str = "core/__init__.py"

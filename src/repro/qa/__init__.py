@@ -22,6 +22,7 @@ from repro.qa.corpus import Corpus, CorpusEntry, default_corpus_dir
 from repro.qa.differential import (
     Divergence,
     WormDivergence,
+    cold_start_differential,
     differential_check,
     max_flow_width_check,
     route_batch_differential,
@@ -52,6 +53,7 @@ __all__ = [
     "default_corpus_dir",
     "Divergence",
     "WormDivergence",
+    "cold_start_differential",
     "differential_check",
     "max_flow_width_check",
     "route_batch_differential",

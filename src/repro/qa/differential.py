@@ -73,6 +73,7 @@ __all__ = [
     "batched_wormhole_differential_check",
     "verification_differential",
     "route_batch_differential",
+    "cold_start_differential",
     "max_flow_width_check",
 ]
 
@@ -557,6 +558,94 @@ def route_batch_differential(
             else f"{len(batch)} batched request(s) agree with per-call routing",
         )
     )
+    return checks
+
+
+def cold_start_differential(
+    emb: Any, rng: random.Random, requests: int = 16
+) -> List[InvariantCheck]:
+    """Referee the memmapped store tier against the freshly built CSR.
+
+    Serializes the embedding's CSR through a real store file (tmp
+    directory, full write/fsync/rename path), re-opens it with eager
+    payload verification, and demands the hydrated
+    :class:`~repro.core.fast_verify.PathCSR` be **field-identical** to
+    the in-memory export — every contract array byte-for-byte, the edge
+    table, and the resolved answer for a fuzzed batch of requests in
+    both orientations.  This is the proof obligation behind the
+    instant-start tier: serving off the file must be indistinguishable
+    from serving off a fresh build.  Non-embedding subjects contribute
+    no checks.
+    """
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.core.embedding import (
+        Embedding,
+        MultiCopyEmbedding,
+        MultiPathEmbedding,
+    )
+    from repro.core.fast_verify import embedding_csr
+    from repro.service.store import open_store, write_store
+
+    if not isinstance(emb, (Embedding, MultiCopyEmbedding, MultiPathEmbedding)):
+        return []
+    fresh = embedding_csr(emb)
+    if not len(fresh.edges):
+        return []
+    checks: List[InvariantCheck] = []
+    with tempfile.TemporaryDirectory(prefix="repro-coldstart-") as tmp:
+        path = Path(tmp) / "subject.rpstore"
+        write_store(
+            path, fresh, "{}", spec_key="cold-start-qa", kind="qa"
+        )
+        view = open_store(path, payload_verify="eager")
+        try:
+            mapped = view.csr
+            fields = ("nodes", "path_offsets", "bundle_offsets", "path_reversed")
+            identical = mapped.host_n == fresh.host_n and all(
+                np.array_equal(getattr(mapped, f), getattr(fresh, f))
+                for f in fields
+            )
+            checks.append(
+                InvariantCheck(
+                    "diff:coldstart:fields",
+                    identical,
+                    "memmapped CSR fields diverge from the fresh export"
+                    if not identical
+                    else "memmapped CSR is field-identical to the fresh export",
+                )
+            )
+            edges_equal = list(mapped.edges) == list(fresh.edges)
+            checks.append(
+                InvariantCheck(
+                    "diff:coldstart:edges",
+                    edges_equal,
+                    "memmapped edge table diverges from the fresh export"
+                    if not edges_equal
+                    else f"{len(fresh.edges)} edge(s) round-tripped exactly",
+                )
+            )
+            batch = []
+            for _ in range(requests):
+                u, v = fresh.edges[rng.randrange(len(fresh.edges))]
+                batch.append((v, u) if rng.random() < 0.5 else (u, v))
+            got = mapped.take(batch)
+            want = fresh.take(batch)
+            routed = all(np.array_equal(g, w) for g, w in zip(got, want))
+            checks.append(
+                InvariantCheck(
+                    "diff:coldstart:routing",
+                    routed,
+                    "memmapped resolve diverges from the fresh CSR"
+                    if not routed
+                    else f"{len(batch)} request(s) resolve identically off the file",
+                )
+            )
+        finally:
+            view.close()
     return checks
 
 

@@ -24,7 +24,11 @@ For each point the fuzzer runs, in order:
    field (including ``done_steps=-1`` fault drops under per-lane
    ``FaultModel``s) and the full wormhole observable (including
    per-lane deadlock state), with shrinking to a minimal failing batch;
-7. **flow** — networkx max-flow cross-examination of claimed widths.
+7. **cold_start_differential** — the embedding's CSR serialized through
+   a real memmapped store file must hydrate field-identical to the
+   fresh in-memory export and resolve fuzzed requests identically
+   (:func:`repro.qa.differential.cold_start_differential`);
+8. **flow** — networkx max-flow cross-examination of claimed widths.
 
 A failing point is shrunk against the construction's own ``shrink``
 candidates (greedily, preserving the failing stage) and saved to the
@@ -48,6 +52,7 @@ from repro.fault.faults import FaultModel
 from repro.qa.differential import (
     batched_differential_check,
     batched_wormhole_differential_check,
+    cold_start_differential,
     differential_check,
     max_flow_width_check,
     route_batch_differential,
@@ -70,6 +75,7 @@ STAGES = (
     "metamorphic",
     "differential",
     "batched_differential",
+    "cold_start_differential",
     "flow",
 )
 
@@ -262,6 +268,14 @@ class Fuzzer:
                     "batched_differential",
                     worm_divergence.describe(),
                 )
+
+        if "cold_start_differential" in self.checks:
+            for check in cold_start_differential(subject, rng):
+                if not check.passed:
+                    return FuzzFailure(
+                        kind, params, "cold_start_differential",
+                        f"{check.name}: {check.detail}",
+                    )
 
         if "flow" in self.checks:
             for check in max_flow_width_check(

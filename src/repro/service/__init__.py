@@ -24,7 +24,8 @@ Quickstart::
 Modules:
 
 * :mod:`repro.service.specs`    — request/response vocabulary + cache keys;
-* :mod:`repro.service.registry` — two-tier content-addressed cache;
+* :mod:`repro.service.registry` — content-addressed cache tiers;
+* :mod:`repro.service.store`    — binary memmapped artifact files;
 * :mod:`repro.service.engine`   — concurrent batch construction;
 * :mod:`repro.service.shards`   — shared-memory CSR shards + manager;
 * :mod:`repro.service.frontend` — batching ``serve()`` loop + load harness;
@@ -52,6 +53,12 @@ from repro.service.shards import (
     ShardView,
     attach_shard,
 )
+from repro.service.store import (
+    StoreIntegrityError,
+    StoreView,
+    open_store,
+    write_store,
+)
 from repro.service.specs import (
     CONSTRUCTION_VERSION,
     BatchRouteResult,
@@ -78,6 +85,8 @@ __all__ = [
     "ShardIntegrityError",
     "ShardManager",
     "ShardView",
+    "StoreIntegrityError",
+    "StoreView",
     "attach_shard",
     "build_spec",
     "decode_embedding",
@@ -85,7 +94,9 @@ __all__ = [
     "disjoint_paths",
     "encode_embedding",
     "open_loop_load",
+    "open_store",
     "serve",
+    "write_store",
 ]
 
 

@@ -165,10 +165,29 @@ class RoutingService:
     def shard_for(self, spec: EmbeddingSpec) -> ShardView:
         """The (published-on-first-use) CSR shard serving ``spec``.
 
-        The segment name in ``.info.name`` is what worker processes pass
-        to :meth:`repro.service.shards.ShardManager.attach`.
+        Resolution order is the cold-start story: an already-published
+        shard, else the registry's memmapped store artifact served
+        straight off the file (O(ms), no embedding object, no
+        shared-memory copy), else build + verify + publish to shared
+        memory.  ``.info.name`` is what worker processes pass to
+        :meth:`repro.service.shards.ShardManager.attach` — a segment
+        name for ``"shm"`` shards, the store path for ``"file"`` ones.
         """
         key = spec.cache_key()
+        existing = self.shards.get(key)
+        if existing is not None:
+            self.metrics.incr("shard_hits")
+            return existing
+        store = self.registry.get_store(spec)
+        if store is not None:
+            self.metrics.incr("shard_misses")
+            return self.shards.publish_mapped(
+                key,
+                store.csr,
+                name=store.info.path,
+                nbytes=store.info.nbytes,
+                sha256=store.info.sha256,
+            )
         return self.shards.get_or_publish(
             key, lambda: embedding_csr(self.get_embedding(spec))
         )

@@ -1,18 +1,39 @@
-"""Content-addressed embedding registry: in-memory LRU over a disk tier.
+"""Content-addressed embedding registry: memory LRU over a memmapped disk tier.
 
 Constructions dominate runtime (DESIGN.md profiling) and are fully
 deterministic, so the service memoizes them.  An artifact is keyed by
 :meth:`EmbeddingSpec.cache_key` — ``(guest kind, params, construction
-version)`` hashed to a stable content address — and stored as one JSON
-file built on :mod:`repro.core.serialize`.
+version)`` hashed to a stable content address — and stored as one binary
+*store file* (:mod:`repro.service.store`) under a per-kind shard directory:
+``<cache_dir>/<kind>/<key>.rpstore``.  The store file carries the
+embedding's flat CSR routing arrays 8-byte-aligned for ``numpy.memmap``
+plus the exact verified artifact text as a trailing blob, so the serving
+fast path (:meth:`get_store`) hydrates a routable shard in O(ms) while
+full embedding objects (:meth:`get`) materialize from the checksummed
+blob only on demand.  Pre-store JSON artifacts (``<cache_dir>/<key>.json``)
+remain readable as a compatibility fallback and upgrade in place via
+:meth:`migrate` (``repro cache migrate``).
 
 Safety model: an artifact is only written after the embedding verified at
-build time, and the file carries a SHA-256 checksum of the exact payload
-text that was verified.  On load the registry checks artifact version,
-key, package version and checksum; any mismatch (truncation, corruption,
-stale version) is treated as a cache *miss* — the bad file is removed and
-the caller rebuilds + reverifies.  The registry therefore never serves an
-unverified artifact, and never crashes on a damaged cache directory.
+build time, and the file carries SHA-256 digests of both the array payload
+and the blob, computed from the exact bytes that were verified.  On load
+the registry checks schema, spec key, package version, the dtype contract
+and array extents; small payloads re-hash eagerly and huge ones defer the
+re-hash (see :data:`repro.service.store.EAGER_VERIFY_LIMIT` — hashing a
+378 MB Q_20 payload would cost the very O(s) this tier deletes), while
+blob reads are always digest-checked.  A *corrupt or stale* artifact
+(bad magic, checksum, version or key) is treated as a cache miss — the
+bad file is removed and the caller rebuilds + reverifies.  A *transient*
+read error (``PermissionError``, I/O failure) is also a miss but the file
+is left alone and counted under ``disk_transient`` — deleting a healthy
+13-second artifact over a flaky read would be self-inflicted cache loss.
+
+Tier promotion: every cold (disk) open bumps a per-key counter; once a
+key has been cold-opened ``promote_after`` times its mapped view is
+pinned in the *warm* LRU tier so later lookups skip even the open+header
+parse.  Per-tier hit rates are surfaced as ``cache_hit_rate{tier=...}``
+gauges, and warm occupancy as ``warm_entries`` — the same observability
+feed the service dashboards read.
 """
 
 from __future__ import annotations
@@ -21,16 +42,26 @@ import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.core.embedding import Embedding, MultiCopyEmbedding, MultiPathEmbedding
+from repro.core.fast_verify import embedding_csr
 from repro.core.serialize import from_json, to_json
 from repro.hypercube.graph import Hypercube
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import profile_span
 from repro.service.specs import EmbeddingSpec, build_spec
+from repro.service.store import (
+    STORE_SUFFIX,
+    StoreIntegrityError,
+    StoreView,
+    open_store,
+    read_store_header,
+    write_store,
+)
 
 __all__ = [
     "EmbeddingRegistry",
@@ -100,7 +131,7 @@ def _checksum(text: str) -> str:
 def _package_version() -> str:
     from repro import __version__
 
-    return __version__
+    return str(__version__)
 
 
 def make_artifact(spec: EmbeddingSpec, emb: AnyEmbedding) -> str:
@@ -119,27 +150,80 @@ def make_artifact(spec: EmbeddingSpec, emb: AnyEmbedding) -> str:
     )
 
 
+def _decode_artifact_text(artifact_text: str, key: str) -> AnyEmbedding:
+    """Validate artifact text (version/key/checksum) and decode its payload."""
+    artifact = json.loads(artifact_text)
+    if artifact.get("artifact_version") != ARTIFACT_VERSION:
+        raise ValueError("artifact version mismatch")
+    if artifact.get("key") != key:
+        raise ValueError("artifact key mismatch")
+    payload = artifact["payload"]
+    if artifact.get("checksum") != _checksum(payload):
+        raise ValueError("payload checksum mismatch")
+    # the checksum certifies these are the exact bytes written after the
+    # build-time verify, so decoding skips the re-check
+    return decode_embedding(payload, verify=False)
+
+
 class EmbeddingRegistry:
-    """Two-tier (memory LRU + disk) cache of verified embeddings."""
+    """Three-tier (memory LRU + warm memmap pins + disk) verified-embedding cache.
+
+    ``promote_after`` cold opens of one key pin its memmapped
+    :class:`~repro.service.store.StoreView` in the warm tier (an LRU of
+    ``warm_capacity`` views); ``build_lock_timeout`` bounds how long a
+    process waits on another process's in-flight build of the same key
+    before building itself.
+    """
 
     def __init__(
         self,
         cache_dir: Optional[Union[str, Path]] = None,
         memory_capacity: int = 32,
         metrics: Optional[MetricsRegistry] = None,
+        warm_capacity: int = 8,
+        promote_after: int = 2,
+        build_lock_timeout: float = 600.0,
     ) -> None:
         if memory_capacity < 0:
             raise ValueError("memory_capacity must be >= 0")
+        if warm_capacity < 0:
+            raise ValueError("warm_capacity must be >= 0")
         self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.memory_capacity = memory_capacity
+        self.warm_capacity = warm_capacity
+        self.promote_after = max(1, promote_after)
+        self.build_lock_timeout = build_lock_timeout
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._memory: "OrderedDict[str, AnyEmbedding]" = OrderedDict()
+        self._warm: "OrderedDict[str, StoreView]" = OrderedDict()
+        self._cold_opens: Dict[str, int] = {}
+        self._tier_counts: Dict[str, List[int]] = {}  # tier -> [hits, lookups]
+        self._build_locks: Dict[str, threading.Lock] = {}
 
     # -- paths ---------------------------------------------------------------
 
     def path_for(self, spec: EmbeddingSpec) -> Path:
+        """The binary store artifact path (sharded by construction kind)."""
+        return self.cache_dir / spec.kind / f"{spec.cache_key()}{STORE_SUFFIX}"
+
+    def legacy_path_for(self, spec: EmbeddingSpec) -> Path:
+        """The pre-store JSON artifact path (compatibility fallback)."""
         return self.cache_dir / f"{spec.cache_key()}.json"
+
+    def _lock_path_for(self, spec: EmbeddingSpec) -> Path:
+        return self.cache_dir / spec.kind / f"{spec.cache_key()}.lock"
+
+    # -- observability helpers -----------------------------------------------
+
+    def _note_lookup(self, tier: str, hit: bool) -> None:
+        """Track per-tier hit rate; surfaces as ``cache_hit_rate{tier=..}``."""
+        with self._lock:
+            counts = self._tier_counts.setdefault(tier, [0, 0])
+            counts[0] += 1 if hit else 0
+            counts[1] += 1
+            rate = counts[0] / counts[1]
+        self.metrics.gauge("cache_hit_rate", tier=tier).set(round(rate, 4))
 
     # -- memory tier -----------------------------------------------------------
 
@@ -160,27 +244,60 @@ class EmbeddingRegistry:
                 self._memory.popitem(last=False)
                 self.metrics.incr("memory_evictions")
 
+    # -- warm tier (pinned memmapped views) ------------------------------------
+
+    def _warm_get(self, key: str) -> Optional[StoreView]:
+        with self._lock:
+            view = self._warm.get(key)
+            if view is not None:
+                self._warm.move_to_end(key)
+            return view
+
+    def _promote(self, key: str, view: StoreView) -> None:
+        """Pin a cold-opened view once its open count clears the threshold.
+
+        Eviction only drops the pin: any shard still serving off the
+        evicted view keeps its own references to the mapped arrays.
+        """
+        if self.warm_capacity == 0:
+            return
+        with self._lock:
+            opens = self._cold_opens.get(key, 0) + 1
+            self._cold_opens[key] = opens
+            if opens < self.promote_after:
+                return
+            self._warm[key] = view
+            self._warm.move_to_end(key)
+            evicted: List[StoreView] = []
+            while len(self._warm) > self.warm_capacity:
+                _, old = self._warm.popitem(last=False)
+                evicted.append(old)
+                self.metrics.incr("warm_evictions")
+            occupancy = len(self._warm)
+        for old in evicted:
+            old.close()
+        self.metrics.gauge("warm_entries").set(occupancy)
+        self.metrics.incr("warm_promotions")
+
     # -- disk tier ---------------------------------------------------------------
 
-    def _disk_load(self, spec: EmbeddingSpec) -> Optional[AnyEmbedding]:
+    def _open_store(self, spec: EmbeddingSpec) -> Optional[StoreView]:
+        """Map the binary artifact; None on miss, transient error, or corruption.
+
+        Only decode/validation failures unlink the file; transient
+        filesystem errors leave it in place for the next lookup.
+        """
         path = self.path_for(spec)
-        if not path.exists():
-            return None
         try:
-            artifact = json.loads(path.read_text())
-            if artifact.get("artifact_version") != ARTIFACT_VERSION:
-                raise ValueError("artifact version mismatch")
-            if artifact.get("key") != spec.cache_key():
-                raise ValueError("artifact key mismatch")
-            if artifact.get("package_version") != _package_version():
-                raise ValueError("package version mismatch")
-            payload = artifact["payload"]
-            if artifact.get("checksum") != _checksum(payload):
-                raise ValueError("payload checksum mismatch")
-            # the checksum certifies these are the exact bytes written
-            # after the build-time verify, so decoding skips the re-check
-            return decode_embedding(payload, verify=False)
-        except Exception:
+            return open_store(
+                path,
+                expect_key=spec.cache_key(),
+                expect_package_version=_package_version(),
+                expect_artifact_version=ARTIFACT_VERSION,
+            )
+        except FileNotFoundError:
+            return None
+        except StoreIntegrityError:
             # damaged / stale / truncated: recover by rebuilding, not crashing
             self.metrics.incr("disk_corrupt")
             try:
@@ -188,6 +305,71 @@ class EmbeddingRegistry:
             except OSError:
                 pass
             return None
+        except OSError:
+            # the file may be perfectly healthy — do NOT delete it
+            self.metrics.incr("disk_transient")
+            return None
+
+    def get_store(self, spec: EmbeddingSpec) -> Optional[StoreView]:
+        """The memmapped CSR view for ``spec`` — the O(ms) serving fast path.
+
+        Warm tier first, then a cold ``numpy.memmap`` open of the store
+        file.  Never builds and never materializes the embedding object.
+        """
+        key = spec.cache_key()
+        view = self._warm_get(key)
+        self._note_lookup("warm", view is not None)
+        if view is not None:
+            self.metrics.incr("warm_hits")
+            return view
+        with self.metrics.time("store_open"):
+            view = self._open_store(spec)
+        self._note_lookup("disk", view is not None)
+        if view is None:
+            self.metrics.incr("store_misses")
+            return None
+        self.metrics.incr("store_hits")
+        self._promote(key, view)
+        return view
+
+    def _disk_load(self, spec: EmbeddingSpec) -> Optional[AnyEmbedding]:
+        """Materialize the full embedding object from disk (either tier)."""
+        view = self._open_store(spec)
+        if view is not None:
+            try:
+                return _decode_artifact_text(view.blob_text(), spec.cache_key())
+            except (StoreIntegrityError, ValueError, KeyError, TypeError):
+                self.metrics.incr("disk_corrupt")
+                try:
+                    self.path_for(spec).unlink()
+                except OSError:
+                    pass
+                return None
+        return self._legacy_load(spec)
+
+    def _legacy_load(self, spec: EmbeddingSpec) -> Optional[AnyEmbedding]:
+        path = self.legacy_path_for(spec)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.metrics.incr("disk_transient")
+            return None
+        try:
+            artifact = json.loads(text)
+            if artifact.get("package_version") != _package_version():
+                raise ValueError("package version mismatch")
+            emb = _decode_artifact_text(text, spec.cache_key())
+        except Exception:
+            self.metrics.incr("disk_corrupt")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.metrics.incr("legacy_hits")
+        return emb
 
     # -- public API ------------------------------------------------------------
 
@@ -195,6 +377,7 @@ class EmbeddingRegistry:
         """Cached embedding for ``spec``, or ``None`` on a full miss."""
         key = spec.cache_key()
         emb = self._memory_get(key)
+        self._note_lookup("memory", emb is not None)
         if emb is not None:
             self.metrics.incr("memory_hits")
             return emb
@@ -209,7 +392,7 @@ class EmbeddingRegistry:
         return None
 
     def put(self, spec: EmbeddingSpec, emb: AnyEmbedding) -> AnyEmbedding:
-        """Admit a *verified* embedding: write the artifact atomically."""
+        """Admit a *verified* embedding: write the store artifact atomically."""
         return self.admit_artifact(spec, make_artifact(spec, emb), emb)
 
     def admit_artifact(
@@ -218,22 +401,104 @@ class EmbeddingRegistry:
         artifact_text: str,
         emb: Optional[AnyEmbedding] = None,
     ) -> AnyEmbedding:
-        """Write pre-encoded artifact text (engine workers encode remotely)."""
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(spec)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(artifact_text)
-        os.replace(tmp, path)
+        """Write pre-encoded artifact text (engine workers encode remotely).
+
+        The store file gets the CSR arrays for memmapped serving plus
+        ``artifact_text`` verbatim as its blob; the write is tmp+fsync+
+        rename so concurrent admits and crashes cannot tear it.
+        """
         if emb is None:
-            emb = decode_embedding(
-                json.loads(artifact_text)["payload"], verify=False
+            emb = _decode_artifact_text(artifact_text, spec.cache_key())
+        with self.metrics.time("csr_export"):
+            csr = embedding_csr(emb)
+        with self.metrics.time("store_write"):
+            write_store(
+                self.path_for(spec),
+                csr,
+                artifact_text,
+                spec_key=spec.cache_key(),
+                kind=spec.kind,
+                params=spec.param_dict(),
+                package_version=_package_version(),
+                construction=spec.describe(),
+                artifact_version=ARTIFACT_VERSION,
             )
         self._memory_put(spec.cache_key(), emb)
         self.metrics.incr("artifacts_written")
         return emb
 
+    # -- build single-flight -----------------------------------------------------
+
+    def _key_lock(self, key: str) -> threading.Lock:
+        with self._lock:
+            lock = self._build_locks.get(key)
+            if lock is None:
+                lock = threading.Lock()
+                self._build_locks[key] = lock
+            return lock
+
+    def _acquire_build_lock(self, spec: EmbeddingSpec) -> bool:
+        """Try to claim the cross-process build lock for ``spec``."""
+        path = self._lock_path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return True  # unlockable filesystem: just build
+        try:
+            os.write(fd, str(os.getpid()).encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def _release_build_lock(self, spec: EmbeddingSpec) -> None:
+        try:
+            self._lock_path_for(spec).unlink()
+        except OSError:
+            pass
+
+    def _lock_holder_alive(self, spec: EmbeddingSpec) -> bool:
+        try:
+            pid = int(self._lock_path_for(spec).read_text() or "0")
+        except (OSError, ValueError):
+            return False
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            return False
+        return True
+
+    def _await_other_build(self, spec: EmbeddingSpec) -> Optional[AnyEmbedding]:
+        """Poll while another process builds this key; None on stale/timeout."""
+        deadline = time.monotonic() + self.build_lock_timeout
+        path = self._lock_path_for(spec)
+        while time.monotonic() < deadline:
+            if not path.exists():
+                return self.get(spec)
+            if not self._lock_holder_alive(spec):
+                try:  # steal the dead process's lock
+                    path.unlink()
+                except OSError:
+                    pass
+                return self.get(spec)
+            time.sleep(0.05)
+        self.metrics.incr("build_lock_timeouts")
+        return None
+
     def get_or_build(self, spec: EmbeddingSpec) -> AnyEmbedding:
-        """Serve from cache, else build + verify + admit.
+        """Serve from cache, else build + verify + admit — exactly once.
+
+        Concurrent callers of the same key are single-flighted twice: an
+        in-process keyed lock serializes threads, and an on-disk pid lock
+        file makes a second *process* wait for the first admit instead of
+        burning a duplicate multi-second build (``builds`` counts only
+        real builds, so two racing processes observe one build total).
+        A crashed builder's lock is detected dead and stolen; an
+        unresponsive one is abandoned after ``build_lock_timeout``.
 
         Verification goes through the structured report: a failed invariant
         counts under ``verify_failures`` before raising, and a passing
@@ -244,6 +509,22 @@ class EmbeddingRegistry:
         emb = self.get(spec)
         if emb is not None:
             return emb
+        with self._key_lock(spec.cache_key()):
+            emb = self.get(spec)  # a sibling thread may have just admitted
+            if emb is not None:
+                return emb
+            while not self._acquire_build_lock(spec):
+                emb = self._await_other_build(spec)
+                if emb is not None:
+                    return emb
+                if self._acquire_build_lock(spec):
+                    break  # stale lock stolen (or builder vanished): build here
+            try:
+                return self._build_and_admit(spec)
+            finally:
+                self._release_build_lock(spec)
+
+    def _build_and_admit(self, spec: EmbeddingSpec) -> AnyEmbedding:
         with profile_span("registry.build", kind=spec.kind):
             with self.metrics.time("build"):
                 emb = build_spec(spec)
@@ -264,16 +545,50 @@ class EmbeddingRegistry:
     def __contains__(self, spec: EmbeddingSpec) -> bool:
         key = spec.cache_key()
         with self._lock:
-            if key in self._memory:
+            if key in self._memory or key in self._warm:
                 return True
-        return self.path_for(spec).exists()
+        return self.path_for(spec).exists() or self.legacy_path_for(spec).exists()
+
+    # -- maintenance -------------------------------------------------------------
+
+    def _store_paths(self) -> List[Path]:
+        if not self.cache_dir.exists():
+            return []
+        return sorted(self.cache_dir.glob(f"*/*{STORE_SUFFIX}"))
+
+    def _legacy_paths(self) -> List[Path]:
+        if not self.cache_dir.exists():
+            return []
+        return sorted(self.cache_dir.glob("*.json"))
 
     def ls(self) -> List[Dict[str, Any]]:
         """Metadata of every readable on-disk artifact (unreadable skipped)."""
-        if not self.cache_dir.exists():
-            return []
         rows = []
-        for path in sorted(self.cache_dir.glob("*.json")):
+        for path in self._store_paths():
+            try:
+                header = read_store_header(path)
+                rows.append(
+                    {
+                        "key": header.get("spec_key", path.stem)[:12],
+                        "construction": header.get("construction", "?"),
+                        "package_version": header.get("package_version", "?"),
+                        "tier": "store",
+                        "bytes": path.stat().st_size,
+                        "file": f"{path.parent.name}/{path.name}",
+                    }
+                )
+            except Exception:
+                rows.append(
+                    {
+                        "key": path.stem[:12],
+                        "construction": "<unreadable>",
+                        "package_version": "?",
+                        "tier": "store",
+                        "bytes": path.stat().st_size,
+                        "file": f"{path.parent.name}/{path.name}",
+                    }
+                )
+        for path in self._legacy_paths():
             try:
                 artifact = json.loads(path.read_text())
                 rows.append(
@@ -281,6 +596,7 @@ class EmbeddingRegistry:
                         "key": artifact.get("key", path.stem)[:12],
                         "construction": artifact.get("construction", "?"),
                         "package_version": artifact.get("package_version", "?"),
+                        "tier": "legacy-json",
                         "bytes": path.stat().st_size,
                         "file": path.name,
                     }
@@ -291,6 +607,7 @@ class EmbeddingRegistry:
                         "key": path.stem[:12],
                         "construction": "<unreadable>",
                         "package_version": "?",
+                        "tier": "legacy-json",
                         "bytes": path.stat().st_size,
                         "file": path.name,
                     }
@@ -298,28 +615,91 @@ class EmbeddingRegistry:
         return rows
 
     def clear(self) -> int:
-        """Drop both tiers; returns the number of disk artifacts removed."""
+        """Drop every tier; returns the number of disk artifacts removed.
+
+        Also sweeps the orphans no artifact listing ever showed: ``.tmp``
+        files from writers that crashed between write and rename, and
+        ``.lock`` files from builders that died mid-build.
+        """
         with self._lock:
             self._memory.clear()
+            warm = list(self._warm.values())
+            self._warm.clear()
+            self._cold_opens.clear()
+        for view in warm:
+            view.close()
         removed = 0
+        for path in self._store_paths() + self._legacy_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         if self.cache_dir.exists():
-            for path in self.cache_dir.glob("*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            for pattern in ("*.tmp", "*/*.tmp", "*.lock", "*/*.lock"):
+                for orphan in self.cache_dir.glob(pattern):
+                    try:
+                        orphan.unlink()
+                        self.metrics.incr("orphans_swept")
+                    except OSError:
+                        pass
         return removed
+
+    def migrate(self, *, verify_payload: bool = False) -> Dict[str, int]:
+        """Upgrade legacy JSON artifacts to binary store files in place.
+
+        Each readable legacy artifact is checksum-validated, decoded,
+        CSR-exported and rewritten as ``<kind>/<key>.rpstore``; the JSON
+        file is removed only after its replacement landed.  Artifacts
+        that already have a store file are skipped; unreadable or
+        tampered ones are left in place and counted under ``failed``
+        (a migration must never destroy what it cannot replace).
+        ``verify_payload=True`` re-hashes each freshly written payload.
+        """
+        out = {"migrated": 0, "skipped": 0, "failed": 0}
+        for path in self._legacy_paths():
+            try:
+                artifact = json.loads(path.read_text())
+                key = artifact.get("key", path.stem)
+                kind = artifact.get("spec", {}).get("kind", "")
+                params = artifact.get("spec", {}).get("params", {})
+                if not kind:
+                    raise ValueError("artifact names no construction kind")
+                dest = self.cache_dir / kind / f"{key}{STORE_SUFFIX}"
+                if dest.exists():
+                    out["skipped"] += 1
+                    continue
+                text = path.read_text()
+                emb = _decode_artifact_text(text, key)
+                csr = embedding_csr(emb)
+                write_store(
+                    dest,
+                    csr,
+                    text,
+                    spec_key=key,
+                    kind=kind,
+                    params=params,
+                    package_version=artifact.get("package_version", ""),
+                    construction=artifact.get("construction", ""),
+                    artifact_version=ARTIFACT_VERSION,
+                )
+                if verify_payload:
+                    view = open_store(dest, payload_verify="eager")
+                    view.close()
+                path.unlink()
+                out["migrated"] += 1
+                self.metrics.incr("artifacts_migrated")
+            except Exception:
+                out["failed"] += 1
+                self.metrics.incr("migrate_failures")
+        return out
 
     def stats(self) -> dict:
         """Metrics snapshot plus tier occupancy."""
         snap = self.metrics.snapshot()
         with self._lock:
             snap["memory_entries"] = len(self._memory)
-        snap["disk_entries"] = (
-            len(list(self.cache_dir.glob("*.json")))
-            if self.cache_dir.exists()
-            else 0
-        )
+            snap["warm_entries"] = len(self._warm)
+        snap["disk_entries"] = len(self._store_paths()) + len(self._legacy_paths())
         snap["cache_dir"] = str(self.cache_dir)
         return snap

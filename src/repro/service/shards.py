@@ -36,11 +36,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.fast_verify import PathCSR
-from repro.hypercube.pathcode import (
-    CSR_FLAG_DTYPE,
-    CSR_NODE_DTYPE,
-    CSR_OFFSET_DTYPE,
-)
+from repro.hypercube.pathcode import CSR_ARRAYS, csr_aligned
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
@@ -56,16 +52,12 @@ __all__ = [
 SHARD_SCHEMA = 1
 _MAGIC = b"RPSHARD1"
 _PREFIX = struct.Struct("<8sQ")  # magic, header length
-_ALIGN = 8
 
-# (field name, contract dtype) in on-segment order — the serialized form
-# of the pathcode dtype contract.
-_ARRAY_CONTRACT: Tuple[Tuple[str, np.dtype], ...] = (
-    ("nodes", CSR_NODE_DTYPE),
-    ("path_offsets", CSR_OFFSET_DTYPE),
-    ("bundle_offsets", CSR_OFFSET_DTYPE),
-    ("path_reversed", CSR_FLAG_DTYPE),
-)
+# The serialized array contract and alignment now live in
+# :mod:`repro.hypercube.pathcode` (shared with the on-disk artifact store);
+# these aliases keep the shard module's historical names alive.
+_ARRAY_CONTRACT = CSR_ARRAYS
+_ALIGN = 8  # == pathcode.CSR_ALIGN; kept for introspecting tests
 
 
 class ShardIntegrityError(RuntimeError):
@@ -104,7 +96,7 @@ def _decode_edges(doc: Any) -> Tuple[Any, ...]:
 
 
 def _aligned(n: int) -> int:
-    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+    return csr_aligned(n)
 
 
 def _csr_arrays(csr: PathCSR) -> Tuple[np.ndarray, ...]:
@@ -258,13 +250,38 @@ class ShardView:
 
 
 def attach_shard(name: str) -> ShardView:
-    """Map an existing segment read-only (worker side).
+    """Map an existing shard read-only (worker side).
 
-    Validates magic/schema/dtype contract and re-hashes the payload before
-    returning.  The attachment is unregistered from ``resource_tracker``:
-    attachers are guests, and a guest process dying — even by ``SIGKILL``
-    — must not reap a segment its publisher still serves from.
+    ``name`` is either a shared-memory segment name or — when it points at
+    a file (the ``backend="file"`` shards of the memmapped artifact store)
+    — a store path, which maps through ``numpy.memmap`` so attachers share
+    the publisher's page-cache pages instead of a second copy.
+
+    Segments are validated (magic/schema/dtype contract, payload re-hash)
+    before returning.  The attachment is unregistered from
+    ``resource_tracker``: attachers are guests, and a guest process dying
+    — even by ``SIGKILL`` — must not reap a segment its publisher still
+    serves from.
     """
+    import os
+
+    if os.sep in name or os.path.isfile(name):
+        # a store file, not a segment; import lazily to keep the shard
+        # layer importable without the store (and vice versa)
+        from repro.service.store import open_store
+
+        store = open_store(name)
+        info = ShardInfo(
+            name=name,
+            spec_key=store.info.spec_key,
+            backend="file",
+            nbytes=store.info.nbytes,
+            sha256=store.info.sha256,
+            num_bundles=store.info.num_bundles,
+            num_paths=store.info.num_paths,
+        )
+        return ShardView(store.csr, info)
+
     from multiprocessing import resource_tracker, shared_memory
 
     shm = shared_memory.SharedMemory(name=name)
@@ -339,6 +356,42 @@ class ShardManager:
         if owned is None:
             return None
         return owned.view
+
+    def publish_mapped(
+        self,
+        key: str,
+        csr: PathCSR,
+        *,
+        name: str = "",
+        nbytes: Optional[int] = None,
+        sha256: str = "",
+    ) -> ShardView:
+        """Serve an already-mapped CSR (e.g. a memmapped store file) as a shard.
+
+        The instant-start path: the arrays are already zero-copy views over
+        an artifact file, so copying them into a shared-memory segment
+        would just duplicate hundreds of MB — the shard wraps the mapping
+        as-is, with ``name`` carrying the file path worker processes hand
+        to :meth:`attach`.
+        """
+        info = ShardInfo(
+            name=name,
+            spec_key=key,
+            backend="file",
+            nbytes=csr.nbytes() if nbytes is None else nbytes,
+            sha256=sha256,
+            num_bundles=csr.num_bundles,
+            num_paths=csr.num_paths,
+        )
+        owned = _OwnedShard(None, ShardView(csr, info))
+        with self._lock:
+            winner = self._shards.setdefault(key, owned)
+        if winner is not owned:  # lost a publish race; keep the first mapping
+            owned.unlink()
+        else:
+            self.metrics.incr("shard_file_published")
+        self._refresh_gauges()
+        return winner.view
 
     def get_or_publish(self, key: str, build: Callable[[], PathCSR]) -> ShardView:
         """The mapped shard for ``key``, publishing it on first use."""

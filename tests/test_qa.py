@@ -171,6 +171,33 @@ class TestDifferential:
         assert schedule_from_jsonable(data) == schedule
 
 
+class TestColdStartDifferential:
+    def test_clean_embedding_passes(self):
+        from repro.qa import cold_start_differential
+
+        checks = cold_start_differential(embed_cycle_load1(6), random.Random(0))
+        names = [c.name for c in checks]
+        assert "diff:coldstart:fields" in names
+        assert "diff:coldstart:edges" in names
+        assert "diff:coldstart:routing" in names
+        assert all(c.passed for c in checks), [
+            (c.name, c.detail) for c in checks
+        ]
+
+    def test_non_embedding_contributes_nothing(self):
+        from repro.qa import cold_start_differential
+
+        assert cold_start_differential(object(), random.Random(0)) == []
+
+    def test_stage_is_wired_into_fuzzer(self, tmp_path):
+        report = Fuzzer(
+            corpus=Corpus(str(tmp_path)), seed=5,
+            checks=("build", "cold_start_differential"),
+        ).run(seeds=4)
+        assert report.ok, report.failures
+        assert report.points == 4
+
+
 class TestWormholeDifferential:
     def test_twenty_five_schedules_agree(self):
         # tier-1 smoke: the flit-loop reference and the vectorized frontier

@@ -48,6 +48,28 @@ class TestRoundtrip:
         assert back.dilation == emb.dilation
         assert all(isinstance(v, tuple) for v in back.vertex_map)
 
+    def test_nested_tuple_vertices(self):
+        # regression: the vertex codec only converted the outer level, so a
+        # vertex like (level, (b0, b1)) decoded as a tuple holding a list —
+        # unhashable, and != the original vertex
+        from repro.core.generic import shortest_path_embedding
+        from repro.hypercube.graph import Hypercube
+        from repro.networks.base import ExplicitGraph
+
+        verts = [(0, (0, 0)), (0, (0, 1)), (1, (1, 0)), (1, (1, 1))]
+        guest = ExplicitGraph(
+            verts,
+            [(verts[0], verts[1]), (verts[1], verts[2]), (verts[2], verts[3])],
+            name="nested",
+        )
+        emb = shortest_path_embedding(Hypercube(3), guest)
+        back = from_json(to_json(emb))
+        assert dict(back.vertex_map) == dict(emb.vertex_map)
+        assert set(back.guest.vertices()) == set(verts)
+        assert back.edge_paths == emb.edge_paths
+        for v in back.vertex_map:
+            hash(v)  # every decoded vertex must be hashable
+
     def test_large_copy(self):
         emb = large_cycle_embedding(4)
         back = from_json(to_json(emb))
