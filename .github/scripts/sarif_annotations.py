@@ -1,0 +1,53 @@
+"""Turn a `repro lint --format sarif` log into GitHub check annotations.
+
+    python .github/scripts/sarif_annotations.py lint.sarif
+
+Each SARIF result becomes one `::error`/`::warning` workflow command, so
+findings land inline on the PR diff without any marketplace action.
+Exits 0 regardless of findings — the gating happens in the lint step
+itself; this script only decorates the run.
+"""
+
+import json
+import sys
+
+
+def escape(text):
+    # workflow-command data: %, CR and LF must be escaped
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} LOG.sarif", file=sys.stderr)
+        return 2
+    try:
+        sarif = json.loads(open(argv[1]).read())
+    except FileNotFoundError:
+        print(f"{argv[1]} not found; nothing to annotate", file=sys.stderr)
+        return 0
+    emitted = 0
+    for run in sarif.get("runs", []):
+        for result in run.get("results", []):
+            level = "error" if result.get("level") == "error" else "warning"
+            message = result.get("message", {}).get("text", "")
+            rule = result.get("ruleId", "lint")
+            for loc in result.get("locations", []):
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri", "")
+                region = phys.get("region", {})
+                line = region.get("startLine", 1)
+                col = region.get("startColumn", 1)
+                print(
+                    f"::{level} file={uri},line={line},col={col},"
+                    f"title=repro-lint {rule}::{escape(message)}"
+                )
+                emitted += 1
+    print(f"{emitted} annotation(s) emitted", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

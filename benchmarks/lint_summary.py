@@ -71,9 +71,18 @@ def main(argv=None):
         "--check", action="store_true",
         help="exit 1 if the tree drifted from the snapshot (timing ignored)",
     )
+    parser.add_argument(
+        "--output", type=str, default=None, metavar="FILE",
+        help="also write the freshly measured summary to FILE (CI uploads "
+        "it as the drift-diff artifact when --check fails)",
+    )
     args = parser.parse_args(argv)
 
     summary = build_summary([REPO / "src" / "repro"])
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
     if args.write:
         SNAPSHOT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
         print(f"wrote {SNAPSHOT.relative_to(REPO)}")

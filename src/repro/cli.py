@@ -390,7 +390,8 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="domain-aware static analysis (RNG discipline, deprecations, "
-        "construction contract, simulator protocol, determinism, races)",
+        "construction contract, simulator protocol, determinism, races, "
+        "index-domain dataflow, dtype overflow, kernel-parity coverage)",
     )
     lint.add_argument(
         "paths", nargs="*", default=None,
@@ -401,12 +402,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply mechanical fixes (deprecated-import rewrites) in place",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (json is the stable schema in EXPERIMENTS.md)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (json is the stable schema in EXPERIMENTS.md; "
+        "sarif is the 2.1.0 log CI turns into annotations)",
     )
     lint.add_argument(
         "--select", type=str, default=None,
         help="comma-separated rule ids to run, e.g. R1,R6 (default: all)",
+    )
+    lint.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
+        help="only report findings in files changed vs BASE (git diff; "
+        "default HEAD) plus untracked files — project-scoped rules still "
+        "reason over the full module set",
+    )
+    lint.add_argument(
+        "--output", type=str, default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     lint.add_argument(
         "--list-rules", action="store_true",
@@ -1166,6 +1178,29 @@ def _cmd_qa(args) -> int:
     return 0
 
 
+def _changed_py_files(base: str) -> Optional[List[str]]:
+    """Changed-vs-``base`` plus untracked .py files, absolute; None = no git."""
+    import subprocess
+
+    def git(*argv: str) -> List[str]:
+        proc = subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=True
+        )
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    try:
+        top = git("rev-parse", "--show-toplevel")[0]
+        names = git("diff", "--name-only", "--diff-filter=d", base, "--")
+        names += git("ls-files", "--others", "--exclude-standard")
+    except (OSError, IndexError, subprocess.CalledProcessError):
+        return None
+    from pathlib import Path
+
+    return sorted(
+        {str(Path(top) / n) for n in names if n.endswith(".py")}
+    )
+
+
 def _cmd_lint(args) -> int:
     import json
     from pathlib import Path
@@ -1181,7 +1216,12 @@ def _cmd_lint(args) -> int:
 
     paths = args.paths or [str(Path(__file__).resolve().parent)]
     select = tuple(args.select.split(",")) if args.select else None
-    report = run_lint(paths, LintConfig(select=select))
+    focus = None
+    if args.changed is not None:
+        focus = _changed_py_files(args.changed)
+        if focus is None and args.format == "text":
+            print("--changed: not a git checkout, linting everything")
+    report = run_lint(paths, LintConfig(select=select), focus=focus)
 
     if args.fix:
         applied, report = apply_fixes(report)
@@ -1189,11 +1229,19 @@ def _cmd_lint(args) -> int:
             print(f"applied {applied} fix(es)")
 
     if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    elif args.format == "sarif":
+        rendered = json.dumps(report.to_sarif(), indent=2, sort_keys=True)
     else:
-        for finding in report.findings:
-            print(finding.format())
-        print(report.summary())
+        lines = [finding.format() for finding in report.findings]
+        if focus is not None:
+            lines.append(f"(changed-file scope: {len(focus)} file(s))")
+        lines.append(report.summary())
+        rendered = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+    else:
+        print(rendered)
     return 0 if report.ok else 1
 
 

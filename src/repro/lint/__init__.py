@@ -15,10 +15,20 @@ R3        construction-contract  ``# lint: no-oracle(reason)``
 R4        simulator-protocol     ``# lint: protocol-exempt(reason)``
 R5        determinism            ``# lint: nondet-ok(reason)``
 R6        service-races          ``# lint: race-ok(reason)``
+R7        domain-confusion       ``# lint: domain-ok(reason)``
+R8        dtype-overflow         ``# lint: dtype-ok(reason)``
+R9        kernel-parity          ``# lint: no-parity(reason)``
 ========  =====================  ==========================================
 
-Run via ``repro lint [--fix] [--format json|text] [paths]``, or
-programmatically::
+R7 and R8 run a shared abstract interpretation over the index-domain
+lattice in :mod:`repro.lint.domains` (NodeId, LinkId, LaneLinkId,
+PackedEdgeKey, CsrOffset, ByteOffset, FlitPos) — see
+``docs/architecture.md`` for the lattice and its pack/unpack algebra.
+R9 makes the fast-kernel/QA-differential pairing structural the same way
+R3 ties builders to oracles.
+
+Run via ``repro lint [--fix] [--format json|text|sarif] [--changed
+[BASE]] [--output FILE] [paths]``, or programmatically::
 
     from repro.lint import run_lint
     report = run_lint(["src/repro"])

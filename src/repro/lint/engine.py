@@ -46,8 +46,11 @@ __all__ = [
     "apply_fixes",
 ]
 
-# token(reason) — reason must be non-empty
-_PRAGMA_RE = re.compile(r"#\s*lint:\s*([a-z][a-z0-9-]*)\(([^)]*)\)")
+# the "lint:" marker inside a comment; tokens and reasons are parsed by
+# hand after it so reasons may contain balanced parentheses and one line
+# may carry several pragmas (see _parse_pragmas)
+_PRAGMA_HEAD_RE = re.compile(r"lint:\s*")
+_PRAGMA_TOKEN_RE = re.compile(r"[a-z][a-z0-9-]*")
 
 # every waiver token a rule may consult; unknown tokens are findings
 KNOWN_PRAGMAS = frozenset(
@@ -58,6 +61,9 @@ KNOWN_PRAGMAS = frozenset(
         "protocol-exempt",  # R4
         "nondet-ok",  # R5
         "race-ok",  # R6
+        "domain-ok",  # R7
+        "dtype-ok",  # R8
+        "no-parity",  # R9
     }
 )
 
@@ -92,6 +98,11 @@ class LintConfig:
     contract_oracles: str = "qa/oracles.py"
     # R3: the scenario registry; every @register_scenario kind needs an oracle
     contract_scenarios: str = "scenarios/generators.py"
+    # R9: the QA modules that prove kernel parity, and the serving kernels
+    # (beyond engine classes) that must appear in the differential module
+    parity_differential: str = "qa/differential.py"
+    parity_fuzzer: str = "qa/fuzzer.py"
+    parity_kernels: Tuple[str, ...] = ("embedding_csr", "open_store")
 
 
 @dataclass
@@ -183,11 +194,70 @@ def _load_builtin_rules() -> None:
     from repro.lint import races  # noqa: F401
     from repro.lint import rules_contract  # noqa: F401
     from repro.lint import rules_deprecation  # noqa: F401
+    from repro.lint import rules_domain  # noqa: F401
+    from repro.lint import rules_dtype  # noqa: F401
+    from repro.lint import rules_parity  # noqa: F401
     from repro.lint import rules_protocol  # noqa: F401
     from repro.lint import rules_rng  # noqa: F401
 
 
 # -- parsing -------------------------------------------------------------------
+
+
+def _parse_pragmas(text: str) -> List[Tuple[int, str, Optional[str], str]]:
+    """Parse every pragma on one line: ``(col, token, reason, problem)``.
+
+    ``reason`` is ``None`` when missing/empty, and ``problem`` names what
+    went wrong (``""`` when well-formed).  The parser is a single cursor
+    walk so that reasons containing balanced parentheses — or the text
+    ``lint:`` itself — never confuse later pragmas, and one comment may
+    stack several pragmas: ``# lint: race-ok(drain() owns it) dtype-ok(…)``.
+    """
+    hash_pos = text.find("#")
+    if hash_pos < 0:
+        return []
+    out: List[Tuple[int, str, Optional[str], str]] = []
+    pos = hash_pos
+    while True:
+        head = _PRAGMA_HEAD_RE.search(text, pos)
+        if head is None:
+            return out
+        pos = head.end()
+        first = True
+        while True:
+            while pos < len(text) and text[pos] in " \t,":
+                pos += 1
+            token_match = _PRAGMA_TOKEN_RE.match(text, pos)
+            if token_match is None:
+                break
+            token = token_match.group(0)
+            after = token_match.end()
+            if after >= len(text) or text[after] != "(":
+                # a bare token right after "lint:" is a malformed pragma;
+                # later bare words are just prose trailing a pragma
+                if first:
+                    out.append((token_match.start(), token, None, "no-reason"))
+                    pos = after
+                break
+            depth, cursor = 1, after + 1
+            while cursor < len(text) and depth:
+                if text[cursor] == "(":
+                    depth += 1
+                elif text[cursor] == ")":
+                    depth -= 1
+                cursor += 1
+            if depth:
+                out.append(
+                    (token_match.start(), token, None, "unterminated")
+                )
+                return out
+            reason = text[after + 1:cursor - 1].strip()
+            out.append(
+                (token_match.start(), token, reason or None,
+                 "" if reason else "no-reason")
+            )
+            pos = cursor
+            first = False
 
 
 def _collect_pragmas(
@@ -198,21 +268,29 @@ def _collect_pragmas(
     for i, text in enumerate(lines, start=1):
         if "lint:" not in text:
             continue
-        for match in _PRAGMA_RE.finditer(text):
-            token, reason = match.group(1), match.group(2).strip()
+        for col, token, reason, problem in _parse_pragmas(text):
             if token not in KNOWN_PRAGMAS:
                 problems.append(
                     Finding(
-                        "pragma", "error", rel, i, match.start() + 1,
+                        "pragma", "error", rel, i, col + 1,
                         f"unknown lint pragma {token!r}",
                         suggestion=f"known: {', '.join(sorted(KNOWN_PRAGMAS))}",
                     )
                 )
                 continue
-            if not reason:
+            if problem == "unterminated":
                 problems.append(
                     Finding(
-                        "pragma", "error", rel, i, match.start() + 1,
+                        "pragma", "error", rel, i, col + 1,
+                        f"pragma {token!r} has an unterminated reason: "
+                        f"missing ')'",
+                    )
+                )
+                continue
+            if reason is None:
+                problems.append(
+                    Finding(
+                        "pragma", "error", rel, i, col + 1,
                         f"pragma {token!r} needs a reason: # lint: {token}(why)",
                     )
                 )
@@ -278,13 +356,23 @@ def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
 def run_lint(
     paths: Sequence[Union[str, Path]],
     config: Optional[LintConfig] = None,
+    *,
+    focus: Optional[Iterable[Union[str, Path]]] = None,
 ) -> LintReport:
     """Run every selected rule over ``paths``; returns a :class:`LintReport`.
 
     Unparseable files surface as ``parse`` errors rather than crashing the
     run — a syntax error in one module must not hide findings in others.
+
+    ``focus`` (``repro lint --changed``) restricts the *reported* findings
+    to the given files while every rule still reasons over the full module
+    set — project-scoped rules like the construction contract and kernel
+    parity are only sound with the whole picture in front of them.
     """
     config = config or LintConfig()
+    focus_set: Optional[Set[Path]] = None
+    if focus is not None:
+        focus_set = {Path(p).resolve() for p in focus}
     rules = [
         r
         for r in all_rules()
@@ -316,6 +404,10 @@ def run_lint(
         else:
             findings.extend(rule.fn(modules, config))
 
+    if focus_set is not None:
+        findings = [
+            f for f in findings if Path(f.path).resolve() in focus_set
+        ]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return LintReport(
         findings=findings,

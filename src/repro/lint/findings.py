@@ -103,3 +103,49 @@ class LintReport:
             f"{self.files_scanned} file(s) scanned, "
             f"{self.errors} error(s), {self.warnings} warning(s)"
         )
+
+    def to_sarif(self) -> Dict[str, Any]:
+        """SARIF 2.1.0 log for CI annotation / code-scanning upload.
+
+        Rule ids come from the run (so a ``--select`` run advertises only
+        what it checked, plus any ad-hoc ids like ``pragma``/``parse``
+        that produced findings).
+        """
+        rule_ids = sorted(set(self.rules_run) | {f.rule for f in self.findings})
+        results = [
+            {
+                "ruleId": f.rule,
+                "level": "error" if f.severity == "error" else "warning",
+                "message": {
+                    "text": f.message + (f"\n{f.suggestion}" if f.suggestion else "")
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {
+                                "startLine": f.line,
+                                "startColumn": f.col,
+                            },
+                        }
+                    }
+                ],
+            }
+            for f in self.findings
+        ]
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "version": str(LINT_OUTPUT_VERSION),
+                            "rules": [{"id": rid} for rid in rule_ids],
+                        }
+                    },
+                    "results": results,
+                }
+            ],
+        }

@@ -1,0 +1,914 @@
+"""Per-function abstract interpretation over index domains.
+
+This is the engine under rules R7 (domain confusion) and R8
+(dtype/overflow).  For every function in the scanned module set it runs
+a structural abstract interpreter over the function's control flow —
+statements in order, both arms of an ``if`` joined afterwards, loop
+bodies iterated to a fixpoint — tracking, per local variable, an
+:class:`AbstractValue`: which index domain the value inhabits (see
+:mod:`repro.lint.domains`), which domain indexes it when it is an
+array, and its numpy dtype when one was declared.
+
+Domains enter the analysis at the seed tables (attribute loads like
+``host.num_edges``, header-field subscripts, calls to ``gather_paths``
+and friends) and propagate through the packing algebra
+(``lane * L + link`` is a ``LaneLinkId``; ``x % L`` recovers the
+``LinkId``).  The interpreter never *reports* anything itself — it emits
+:class:`Observation` records at consumption sites (call arguments,
+comparisons, subscripts, ``searchsorted``, dtype narrowings) and the
+rules decide which observations are findings.
+
+Cross-function reasoning is one level deep, as two passes:
+
+* **pass 1** gives every parameter a fresh anonymous value tagged with
+  its name; when such an untouched parameter flows straight into a
+  seeded consumer slot the function's *summary* records the requirement
+  (``_record(recorder, eids, ...)`` forwarding ``eids`` into
+  ``add_link_counts`` makes ``eids: LinkId`` part of the signature), and
+  return statements record the returned domains;
+* **pass 2** re-interprets every function with the summary table
+  available, so a call site handing a lane-major id to ``_record`` is
+  an observation even though ``_record`` itself is polymorphic.
+
+False-positive discipline: INT (unknown) is compatible with everything,
+joins of disagreeing branches degrade to INT, and comparisons against
+count/stride domains are bounds checks, never findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lint import domains as D
+from repro.lint.engine import LintConfig, LintModule, import_tables, resolve_call
+
+__all__ = ["AbstractValue", "Observation", "Summary", "analyze"]
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """What the interpreter knows about one value."""
+
+    domain: str = D.INT
+    index: Optional[str] = None  # domain of the first-axis index, arrays only
+    dtype: Optional[str] = None  # numpy dtype name when declared
+    param: Optional[str] = None  # set while the value IS an untouched param
+
+    def named(self) -> bool:
+        return self.domain in D.NAMED
+
+
+BOTTOM = AbstractValue()
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One consumption site the rules may turn into a finding.
+
+    kinds: ``arg`` (call argument vs declared domain), ``compare``
+    (two distinct named domains compared), ``index`` (subscript index
+    domain vs the array's index domain), ``searchsorted`` (needle vs
+    haystack), ``dtype`` (named domain flowing into a too-narrow dtype).
+    """
+
+    kind: str
+    line: int
+    col: int
+    detail: str
+    expected: str = ""
+    actual: str = ""
+    callee: str = ""
+
+
+@dataclass
+class Summary:
+    """One function's one-level call summary."""
+
+    params: Dict[int, str]  # positional index -> required domain
+    returns: Optional[Tuple[Tuple[str, Optional[str]], ...]]
+    name: str = ""
+
+
+# numpy constructors whose dtype= kw declares the array dtype
+_NP_CTORS = frozenset(
+    {"zeros", "ones", "empty", "full", "arange", "fromiter", "asarray",
+     "array", "ascontiguousarray", "zeros_like", "ones_like", "full_like",
+     "empty_like"}
+)
+# numpy scalar-type calls: np.int32(x) both casts and declares
+_NP_SCALARS = {
+    "int8": "int8", "int16": "int16", "int32": "int32", "int64": "int64",
+    "uint8": "uint8", "uint16": "uint16", "uint32": "uint32",
+    "uint64": "uint64", "intp": "int64",
+}
+# unary passthroughs: result has arg0's domain
+_PASSTHROUGH = frozenset(
+    {"sort", "unique", "ravel", "flatten", "copy", "abs", "minimum",
+     "maximum", "ascontiguousarray", "asarray", "array", "repeat", "tile",
+     "int", "atleast_1d"}
+)
+
+
+def _dtype_name(node: ast.AST) -> Optional[str]:
+    """Resolve a dtype expression to a numpy dtype name, best effort."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Attribute):
+        if node.attr in _NP_SCALARS:
+            return _NP_SCALARS[node.attr]
+        # module-level contract constants: pathcode.CSR_OFFSET_DTYPE etc.
+        if node.attr.endswith("_DTYPE"):
+            return _contract_dtype(node.attr)
+    if isinstance(node, ast.Name):
+        if node.id in _NP_SCALARS:
+            return _NP_SCALARS[node.id]
+        if node.id.endswith("_DTYPE"):
+            return _contract_dtype(node.id)
+    if isinstance(node, ast.Call):
+        # np.dtype(np.int64)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "dtype"
+            and node.args
+        ):
+            return _dtype_name(node.args[0])
+    return None
+
+
+def _contract_dtype(name: str) -> Optional[str]:
+    from repro.hypercube import pathcode
+
+    value = getattr(pathcode, name, None)
+    return value.name if isinstance(value, np.dtype) else None
+
+
+def _wider(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Approximate numpy promotion: the wider of two integer dtypes."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    try:
+        return a if np.iinfo(a).max >= np.iinfo(b).max else b
+    except ValueError:
+        return None
+
+
+def _join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    return AbstractValue(
+        domain=a.domain if a.domain == b.domain else D.INT,
+        index=a.index if a.index == b.index else None,
+        dtype=a.dtype if a.dtype == b.dtype else None,
+        param=a.param if a.param == b.param else None,
+    )
+
+
+def _join_env(a: Dict[str, AbstractValue], b: Dict[str, AbstractValue]):
+    out: Dict[str, AbstractValue] = {}
+    for key in a.keys() & b.keys():
+        out[key] = _join(a[key], b[key])
+    return out
+
+
+class _FunctionFlow:
+    """Interprets one function body; shared by both analysis passes."""
+
+    def __init__(
+        self,
+        func: ast.AST,
+        module: LintModule,
+        mod_aliases: Dict[str, str],
+        member_aliases: Dict[str, str],
+        summaries: Dict[str, Summary],
+        collect: Optional[Summary],
+    ) -> None:
+        self.func = func
+        self.module = module
+        self.mod_aliases = mod_aliases
+        self.member_aliases = member_aliases
+        self.summaries = summaries
+        self.collect = collect  # pass 1: requirements land here, no obs
+        self.obs: List[Observation] = []
+        self.env: Dict[str, AbstractValue] = {}
+        args = func.args
+        params = list(args.posonlyargs) + list(args.args)
+        self.param_index = {
+            a.arg: i for i, a in enumerate(params) if a.arg != "self"
+        }
+        for a in params + list(args.kwonlyargs):
+            if a.arg != "self":
+                self.env[a.arg] = AbstractValue(param=a.arg)
+
+    def run(self) -> List[Observation]:
+        self._stmts(self.func.body)
+        return self.obs
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmts(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            value = self._eval(node.value)
+            for target in node.targets:
+                self._bind(target, value, node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._bind(node.target, self._eval(node.value), node.value)
+        elif isinstance(node, ast.AugAssign):
+            current = self._target_value(node.target)
+            value = self._binop_value(
+                node.op, current, self._eval(node.value), node
+            )
+            self._bind(node.target, value, node)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._record_return(self._eval(node.value), node.value)
+        elif isinstance(node, ast.If):
+            self._eval(node.test)
+            before = dict(self.env)
+            self._stmts(node.body)
+            after_body = self.env
+            self.env = dict(before)
+            self._stmts(node.orelse)
+            self.env = _join_env(after_body, self.env)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._bind(node.target, self._iter_element(node.iter), node.iter)
+            self._fixpoint(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, ast.While):
+            self._eval(node.test)
+            self._fixpoint(node.body)
+            self._stmts(node.orelse)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                value = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value, item.context_expr)
+            self._stmts(node.body)
+        elif isinstance(node, ast.Try):
+            before = dict(self.env)
+            self._stmts(node.body)
+            merged = self.env
+            for handler in node.handlers:
+                self.env = dict(before)
+                self._stmts(handler.body)
+                merged = _join_env(merged, self.env)
+            self.env = merged
+            self._stmts(node.orelse)
+            self._stmts(node.finalbody)
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            pass  # nested defs analyzed separately (closures untracked)
+        elif isinstance(node, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+
+    def _fixpoint(self, body: Sequence[ast.stmt]) -> None:
+        """Iterate a loop body until the env stabilizes (bounded)."""
+        emitted = len(self.obs)
+        for _ in range(4):
+            before = dict(self.env)
+            self._stmts(body)
+            self.env = _join_env(before, self.env) | {
+                k: v for k, v in self.env.items() if k not in before
+            }
+            if self.env == before:
+                break
+            del self.obs[emitted:]  # only keep the stable iteration's obs
+            emitted = len(self.obs)
+        # re-run once on the stable env so observations reflect it
+        self._stmts(body)
+        dedup = {
+            (o.kind, o.line, o.col, o.detail): o for o in self.obs
+        }
+        self.obs = list(dedup.values())
+
+    # -- binding and lookup ----------------------------------------------------
+
+    def _bind(self, target: ast.AST, value: AbstractValue, src: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Attribute):
+            key = self._attr_key(target)
+            if key is not None:
+                self.env[key] = value
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, BOTTOM, src)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            parts = self._tuple_parts(value, src, len(target.elts))
+            for elt, part in zip(target.elts, parts):
+                self._bind(elt, part, src)
+        elif isinstance(target, ast.Subscript):
+            container = self._eval(target.value)
+            self._check_subscript(container, target)
+            if (
+                container.dtype is not None
+                and value.named()
+                and not D.fits(value.domain, container.dtype)
+            ):
+                self._observe(
+                    "dtype", target,
+                    f"storing a {value.domain} into a {container.dtype} "
+                    f"array (max extent {D.EXTENT[value.domain]:,})",
+                    expected=value.domain, actual=container.dtype,
+                )
+
+    def _tuple_parts(
+        self, value: AbstractValue, src: ast.AST, count: int
+    ) -> List[AbstractValue]:
+        if isinstance(src, ast.Tuple) and len(src.elts) == count:
+            return [self._eval(e) for e in src.elts]
+        if isinstance(src, ast.Call):
+            returns = self._call_returns(src)
+            if returns is not None and len(returns) == count:
+                return [
+                    AbstractValue(domain=dom, index=idx)
+                    for dom, idx in returns
+                ]
+        return [BOTTOM] * count
+
+    def _attr_key(self, node: ast.Attribute) -> Optional[str]:
+        if isinstance(node.value, ast.Name):
+            return f"{node.value.id}.{node.attr}"
+        return None
+
+    def _target_value(self, target: ast.AST) -> AbstractValue:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id, BOTTOM)
+        if isinstance(target, ast.Attribute):
+            return self._eval(target)
+        return BOTTOM
+
+    # -- expressions -----------------------------------------------------------
+
+    def _eval(self, node: ast.AST) -> AbstractValue:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, BOTTOM)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            return self._binop(node.op, left, right, node)
+        if isinstance(node, ast.UnaryOp):
+            return replace(self._eval(node.operand), param=None)
+        if isinstance(node, ast.Compare):
+            self._eval_compare(node)
+            return BOTTOM
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._eval(value)
+            return BOTTOM
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return _join(self._eval(node.body), self._eval(node.orelse))
+        if isinstance(node, (ast.Tuple, ast.List)):
+            values = [self._eval(e) for e in node.elts]
+            if values and all(v.domain == values[0].domain for v in values):
+                return AbstractValue(domain=values[0].domain)
+            return BOTTOM
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._bind(node.target, value, node.value)
+            return value
+        if isinstance(node, ast.Constant):
+            return BOTTOM
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child)
+        return BOTTOM
+
+    def _eval_attribute(self, node: ast.Attribute) -> AbstractValue:
+        key = self._attr_key(node)
+        if key is not None and key in self.env:
+            return self.env[key]
+        self._eval(node.value)
+        info = D.ATTR_INFO.get(node.attr)
+        if info is not None:
+            domain, index = info
+            return AbstractValue(domain=domain, index=index)
+        return BOTTOM
+
+    def _eval_subscript(self, node: ast.Subscript) -> AbstractValue:
+        container = self._eval(node.value)
+        index_node = node.slice
+        if (
+            isinstance(index_node, ast.Constant)
+            and isinstance(index_node.value, str)
+        ):
+            if index_node.value in D.HEADER_FIELDS:
+                return AbstractValue(domain=D.BYTE_OFFSET)
+            return BOTTOM
+        self._check_subscript(container, node)
+        return AbstractValue(domain=container.domain, dtype=container.dtype)
+
+    def _check_subscript(
+        self, container: AbstractValue, node: ast.Subscript
+    ) -> None:
+        """Flag a named index domain that disagrees with the array's."""
+        index_node = node.slice
+        bounds: List[ast.expr] = []
+        if isinstance(index_node, ast.Slice):
+            bounds = [b for b in (index_node.lower, index_node.upper) if b]
+        elif isinstance(index_node, ast.Tuple):
+            bounds = [e for e in index_node.elts if not isinstance(e, ast.Slice)][:1]
+        elif isinstance(index_node, ast.expr):
+            bounds = [index_node]
+        for bound in bounds:
+            value = self._eval(bound)
+            if (
+                container.index in D.NAMED
+                and value.domain in D.NAMED
+                and value.domain != container.index
+                and D.INDEX_OF.get(value.domain, value.domain)
+                != container.index
+            ):
+                self._observe(
+                    "index", bound,
+                    f"{value.domain} used to index a "
+                    f"{container.index}-indexed array",
+                    expected=container.index, actual=value.domain,
+                )
+
+    def _eval_compare(self, node: ast.Compare) -> None:
+        left = self._eval(node.left)
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self._eval(comparator)
+            if not isinstance(op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE,
+                                   ast.Gt, ast.GtE)):
+                left = right
+                continue
+            ld, rd = left.domain, right.domain
+            if (
+                ld in D.NAMED and rd in D.NAMED and ld != rd
+                and ld not in D.SCALES and rd not in D.SCALES
+            ):
+                self._observe(
+                    "compare", node,
+                    f"comparing a {ld} to a {rd}",
+                    expected=ld, actual=rd,
+                )
+            left = right
+
+    def _binop(
+        self,
+        op: ast.operator,
+        left: AbstractValue,
+        right: AbstractValue,
+        node: ast.AST,
+    ) -> AbstractValue:
+        return self._binop_value(op, left, right, node)
+
+    def _binop_value(
+        self,
+        op: ast.operator,
+        left: AbstractValue,
+        right: AbstractValue,
+        node: ast.AST,
+    ) -> AbstractValue:
+        dtype = _wider(left.dtype, right.dtype)
+        if isinstance(op, ast.Mult):
+            product = D.SCALE_PRODUCT.get((left.domain, right.domain))
+            if product is not None:
+                return AbstractValue(domain=product, dtype=dtype)
+            scale = None
+            if left.domain in D.PACK:
+                scale = left.domain
+            elif right.domain in D.PACK:
+                scale = right.domain
+            if scale is not None:
+                packed = D.PACK[scale]
+                value = AbstractValue(domain=packed, dtype=dtype)
+                self._check_pack_dtype(value, node)
+                return value
+            return AbstractValue(dtype=dtype)
+        if isinstance(op, ast.Add):
+            domain = D.add_domains(left.domain, right.domain)
+            value = AbstractValue(domain=domain, dtype=dtype)
+            if domain in (D.LANE_LINK, D.PACKED_EDGE):
+                self._check_pack_dtype(value, node)
+            return value
+        if isinstance(op, ast.Sub):
+            return AbstractValue(
+                domain=D.sub_domains(left.domain, right.domain), dtype=dtype
+            )
+        if isinstance(op, ast.Mod):
+            if right.domain in D.MOD_UNPACK:
+                return AbstractValue(
+                    domain=D.MOD_UNPACK[right.domain], dtype=dtype
+                )
+            return AbstractValue(dtype=dtype)
+        if isinstance(op, ast.FloorDiv):
+            result = D.DIV_UNPACK.get((left.domain, right.domain))
+            if result is not None:
+                return AbstractValue(domain=result, dtype=dtype)
+            if right.domain == D.INT and left.named():
+                # alignment arithmetic keeps the domain: (x + 7) // 8 * 8
+                return AbstractValue(domain=left.domain, dtype=dtype)
+            return AbstractValue(dtype=dtype)
+        if isinstance(op, (ast.BitOr, ast.BitXor, ast.BitAnd,
+                           ast.LShift, ast.RShift)):
+            return AbstractValue(
+                domain=D.add_domains(left.domain, right.domain), dtype=dtype
+            )
+        return AbstractValue(dtype=dtype)
+
+    def _check_pack_dtype(self, value: AbstractValue, node: ast.AST) -> None:
+        if value.dtype is not None and not D.fits(value.domain, value.dtype):
+            self._observe(
+                "dtype", node,
+                f"{value.domain} arithmetic in {value.dtype} — worst-case "
+                f"extent {D.EXTENT[value.domain]:,} overflows",
+                expected=value.domain, actual=value.dtype,
+            )
+
+    def _eval_comprehension(self, node: ast.AST) -> AbstractValue:
+        saved = dict(self.env)
+        for gen in node.generators:
+            self._bind(gen.target, self._iter_element(gen.iter), gen.iter)
+            for cond in gen.ifs:
+                self._eval(cond)
+        element = self._eval(node.elt)
+        self.env = saved
+        return AbstractValue(domain=element.domain, index=D.INT)
+
+    def _iter_element(self, iter_node: ast.AST) -> AbstractValue:
+        if isinstance(iter_node, ast.Call):
+            name = _call_attr_or_name(iter_node.func)
+            if name == "range" and iter_node.args:
+                stop = self._eval(iter_node.args[-1 if len(iter_node.args) == 1 else 1])
+                domain = D.INDEX_OF.get(stop.domain, D.INT)
+                return AbstractValue(domain=domain)
+            if name == "enumerate" and iter_node.args:
+                return BOTTOM  # tuple target handled imprecisely
+            return self._eval_call(iter_node)
+        value = self._eval(iter_node)
+        return AbstractValue(domain=value.domain, dtype=value.dtype)
+
+    # -- calls -----------------------------------------------------------------
+
+    def _call_sig(self, node: ast.Call) -> Tuple[Optional[D.Sig], str]:
+        dotted = resolve_call(node.func, self.mod_aliases, self.member_aliases)
+        if dotted is not None and dotted in D.FUNC_SIGS:
+            return D.FUNC_SIGS[dotted], dotted.rsplit(".", 1)[-1]
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in D.METHOD_SIGS:
+                return D.METHOD_SIGS[attr], attr
+        return None, ""
+
+    def _call_summary(self, node: ast.Call) -> Optional[Summary]:
+        dotted = resolve_call(node.func, self.mod_aliases, self.member_aliases)
+        if dotted is not None and dotted in self.summaries:
+            return self.summaries[dotted]
+        name = _call_attr_or_name(node.func)
+        if name:
+            return self.summaries.get(f"{self.module.rel}::{name}")
+        return None
+
+    def _call_returns(
+        self, node: ast.Call
+    ) -> Optional[Tuple[Tuple[str, Optional[str]], ...]]:
+        sig, _ = self._call_sig(node)
+        if sig is not None and sig.returns is not None:
+            return sig.returns
+        summary = self._call_summary(node)
+        if summary is not None and summary.returns is not None:
+            return summary.returns
+        return None
+
+    def _eval_call(self, node: ast.Call) -> AbstractValue:
+        args = [self._eval(a) for a in node.args]
+        kwargs = {kw.arg: self._eval(kw.value) for kw in node.keywords}
+        name = _call_attr_or_name(node.func)
+
+        # seeded consumers and one-level summaries
+        sig, callee = self._call_sig(node)
+        if sig is not None:
+            self._check_args(sig.params, args, node, callee)
+            if sig.returns is not None:
+                dom, idx = sig.returns[0]
+                if len(sig.returns) == 1:
+                    return AbstractValue(domain=dom, index=idx)
+                return BOTTOM  # tuple returns materialize at unpack sites
+        else:
+            summary = self._call_summary(node)
+            if summary is not None:
+                params = tuple(
+                    summary.params.get(i, D.INT) for i in range(len(args))
+                )
+                self._check_args(params, args, node, summary.name or name)
+                if summary.returns is not None and len(summary.returns) == 1:
+                    dom, idx = summary.returns[0]
+                    return AbstractValue(domain=dom, index=idx)
+
+        # numpy / builtin modelling
+        if name in _NP_SCALARS:
+            base = args[0] if args else BOTTOM
+            value = AbstractValue(
+                domain=base.domain, index=base.index, dtype=_NP_SCALARS[name]
+            )
+            self._check_cast(value, node)
+            return value
+        if name == "astype" and isinstance(node.func, ast.Attribute):
+            receiver = self._eval(node.func.value)
+            dtype = _dtype_name(node.args[0]) if node.args else None
+            if dtype is None and "dtype" in {k.arg for k in node.keywords}:
+                dtype = _first_kw_dtype(node)
+            value = AbstractValue(
+                domain=receiver.domain, index=receiver.index, dtype=dtype
+            )
+            self._check_cast(value, node)
+            return value
+        if name in _NP_CTORS:
+            return self._eval_np_ctor(name, node, args, kwargs)
+        if name == "where" and len(args) == 3:
+            return _join(args[1], args[2])
+        if name == "searchsorted" or (
+            isinstance(node.func, ast.Attribute) and name == "searchsorted"
+        ):
+            return self._eval_searchsorted(node, args)
+        if name == "nonzero":
+            target = args[0] if args else (
+                self._eval(node.func.value)
+                if isinstance(node.func, ast.Attribute)
+                else BOTTOM
+            )
+            if target.index in D.NAMED:
+                return AbstractValue(domain=target.index, index=D.INT)
+            return BOTTOM
+        if name == "concatenate" and args:
+            return AbstractValue(domain=args[0].domain)
+        if name in _PASSTHROUGH:
+            if args:
+                return replace(args[0], param=None)
+            if isinstance(node.func, ast.Attribute):
+                receiver = self._eval(node.func.value)
+                return replace(receiver, param=None)
+        if name == "len":
+            return BOTTOM
+        return BOTTOM
+
+    def _eval_np_ctor(
+        self,
+        name: str,
+        node: ast.Call,
+        args: List[AbstractValue],
+        kwargs: Dict[Optional[str], AbstractValue],
+    ) -> AbstractValue:
+        dtype: Optional[str] = None
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dtype = _dtype_name(kw.value)
+        if dtype is None and name in ("asarray", "array", "fromiter") and len(
+            node.args
+        ) > 1:
+            dtype = _dtype_name(node.args[1])
+        index: Optional[str] = None
+        domain = D.INT
+        if name in ("zeros", "ones", "empty", "full", "arange"):
+            shape = args[0] if args else BOTTOM
+            if isinstance(node.args[0] if node.args else None, ast.Tuple):
+                first = self._eval(node.args[0].elts[0]) if node.args[0].elts else BOTTOM
+                shape = first
+            index = D.INDEX_OF.get(shape.domain)
+            if name == "arange":
+                domain = D.INDEX_OF.get(shape.domain, D.INT)
+                index = domain if domain != D.INT else None
+            if name == "full" and len(args) > 1:
+                domain = args[1].domain
+        elif name in ("asarray", "array", "ascontiguousarray", "fromiter"):
+            base = args[0] if args else BOTTOM
+            domain, index = base.domain, base.index
+        elif name.endswith("_like"):
+            base = args[0] if args else BOTTOM
+            domain, index = base.domain, base.index
+            if dtype is None:
+                dtype = base.dtype
+        value = AbstractValue(domain=domain, index=index, dtype=dtype)
+        self._check_cast(value, node)
+        return value
+
+    def _eval_searchsorted(
+        self, node: ast.Call, args: List[AbstractValue]
+    ) -> AbstractValue:
+        if isinstance(node.func, ast.Attribute) and not _is_np(
+            node.func.value, self.mod_aliases
+        ):
+            haystack = self._eval(node.func.value)
+            needle = args[0] if args else BOTTOM
+        else:
+            haystack = args[0] if args else BOTTOM
+            needle = args[1] if len(args) > 1 else BOTTOM
+        hd, nd = haystack.domain, needle.domain
+        if hd in D.NAMED and nd in D.NAMED and hd != nd:
+            self._observe(
+                "searchsorted", node,
+                f"searchsorted over {hd} keys with {nd} needles",
+                expected=hd, actual=nd,
+            )
+        elif (
+            nd in D.NAMED
+            and nd not in D.SCALES
+            and hd == D.INT
+            and needle.param is None
+        ):
+            # needles carry a domain the haystack provably lacks only when
+            # the haystack is known; stay silent on unknown haystacks
+            pass
+        if haystack.index in D.NAMED:
+            return AbstractValue(domain=haystack.index)
+        return BOTTOM
+
+    def _check_args(
+        self,
+        params: Sequence[str],
+        args: List[AbstractValue],
+        node: ast.Call,
+        callee: str,
+    ) -> None:
+        for i, (expected, actual) in enumerate(zip(params, args)):
+            if expected == D.INT or expected not in D.NAMED:
+                continue
+            if (
+                self.collect is not None
+                and actual.param is not None
+                and actual.domain == D.INT
+            ):
+                # pass 1: an untouched param forwarded into a seeded slot
+                # becomes a requirement of *this* function's signature
+                pos = self.param_index.get(actual.param)
+                if pos is not None:
+                    self.collect.params[pos] = expected
+                continue
+            if actual.domain in D.NAMED and actual.domain != expected:
+                arg_node = node.args[i]
+                self._observe(
+                    "arg", arg_node,
+                    f"{actual.domain} passed to {callee}() where "
+                    f"{expected} is consumed (argument {i + 1})",
+                    expected=expected, actual=actual.domain, callee=callee,
+                )
+
+    def _check_cast(self, value: AbstractValue, node: ast.AST) -> None:
+        if (
+            value.dtype is not None
+            and value.named()
+            and not D.fits(value.domain, value.dtype)
+        ):
+            self._observe(
+                "dtype", node,
+                f"{value.domain} values narrowed to {value.dtype} — "
+                f"worst-case extent {D.EXTENT[value.domain]:,} overflows",
+                expected=value.domain, actual=value.dtype,
+            )
+
+    def _record_return(self, value: AbstractValue, node: ast.AST) -> None:
+        if self.collect is None:
+            return
+        if isinstance(node, ast.Tuple):
+            spec = tuple(
+                (v.domain, v.index) for v in (self._eval(e) for e in node.elts)
+            )
+        else:
+            spec = ((value.domain, value.index),)
+        if self.collect.returns is None:
+            self.collect.returns = spec
+        elif self.collect.returns != spec:
+            joined = []
+            for (ad, ai), (bd, bi) in zip(self.collect.returns, spec):
+                joined.append((ad if ad == bd else D.INT, ai if ai == bi else None))
+            if len(self.collect.returns) == len(spec):
+                self.collect.returns = tuple(joined)
+            else:
+                self.collect.returns = None
+
+    def _observe(self, kind: str, node: ast.AST, detail: str, **fields) -> None:
+        if self.collect is not None:
+            return  # pass 1 collects summaries, never observations
+        self.obs.append(
+            Observation(
+                kind=kind,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                detail=detail,
+                **fields,
+            )
+        )
+
+
+def _call_attr_or_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_np(node: ast.AST, mod_aliases: Dict[str, str]) -> bool:
+    return (
+        isinstance(node, ast.Name)
+        and mod_aliases.get(node.id, "").startswith("numpy")
+    )
+
+
+# -- module drivers ------------------------------------------------------------
+
+
+def _functions(module: LintModule) -> Iterable[Tuple[str, ast.AST]]:
+    """(qualified-ish name, node) for every def, methods included."""
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item.name, item
+
+
+def _dotted_module(rel: str) -> Optional[str]:
+    """``src/repro/core/x.py`` -> ``repro.core.x`` (None off-tree)."""
+    parts = rel.replace("\\", "/").split("/")
+    if "repro" not in parts:
+        return None
+    tail = parts[parts.index("repro"):]
+    if not tail[-1].endswith(".py"):
+        return None
+    tail[-1] = tail[-1][:-3]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail)
+
+
+_CACHE: List[Tuple[Tuple, List]] = []  # single-entry memo across R7/R8
+
+
+def analyze(
+    modules: Sequence[LintModule], config: LintConfig
+) -> List[Tuple[LintModule, List[Observation]]]:
+    """Two-pass domain analysis over the whole scanned module set."""
+    key = tuple((m.rel, m.source) for m in modules)
+    if _CACHE and _CACHE[0][0] == key:
+        return _CACHE[0][1]
+
+    # pass 1: summaries
+    summaries: Dict[str, Summary] = {}
+    ambiguous: set = set()
+    for module in modules:
+        mod_aliases, member_aliases = import_tables(module.tree)
+        dotted = _dotted_module(module.rel)
+        for name, func in _functions(module):
+            summary = Summary(params={}, returns=None, name=name)
+            flow = _FunctionFlow(
+                func, module, mod_aliases, member_aliases, {}, summary
+            )
+            flow.run()
+            if not summary.params and summary.returns is None:
+                continue
+            local_key = f"{module.rel}::{name}"
+            summaries[local_key] = summary
+            if dotted is not None:
+                full = f"{dotted}.{name}"
+                if full in summaries or full in ambiguous:
+                    ambiguous.add(full)
+                    summaries.pop(full, None)
+                else:
+                    summaries[full] = summary
+
+    # pass 2: observations, with summaries in scope
+    out: List[Tuple[LintModule, List[Observation]]] = []
+    for module in modules:
+        mod_aliases, member_aliases = import_tables(module.tree)
+        collected: Dict[Tuple[str, int, int, str], Observation] = {}
+        for _, func in _functions(module):
+            flow = _FunctionFlow(
+                func, module, mod_aliases, member_aliases, summaries, None
+            )
+            for ob in flow.run():
+                collected.setdefault((ob.kind, ob.line, ob.col, ob.detail), ob)
+        out.append((module, list(collected.values())))
+
+    _CACHE.clear()
+    _CACHE.append((key, out))
+    return out

@@ -17,9 +17,16 @@ the holes, statically:
 
 One delegation idiom is recognized as synchronized: a call that receives
 *both* the lock and the guarded attribute (``teardown(self._lock,
-self._shards)``) hands synchronization to the callee — the shard
-lifecycle's ``weakref.finalize`` teardown helper is the motivating case,
-since the finalizer must own the map without keeping the manager alive.
+self._shards)``, positionally or by keyword) hands synchronization to
+the callee — the shard lifecycle's ``weakref.finalize`` teardown helper
+is the motivating case, since the finalizer must own the map without
+keeping the manager alive.
+
+``async def`` methods are analyzed exactly like threads: the batching
+frontend's asyncio paths (``serve()`` handing work to the drain loop
+through the queue) share instance state with the drain thread, so an
+await point between a guarded read and write is the same hazard as a
+thread switch.
 
 This is deliberately intraprocedural: a private helper that relies on
 *its caller* holding the lock is flagged, because nothing stops a future
@@ -95,7 +102,10 @@ def _self_attr(node: ast.AST) -> str:
     return ""
 
 
-def _write_targets(method: ast.FunctionDef) -> Set[int]:
+_MethodDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _write_targets(method: ast.AST) -> Set[int]:
     """ids of ``self.x`` Attribute nodes that are writes in this method."""
     writes: Set[int] = set()
 
@@ -134,7 +144,7 @@ _Access = Tuple[str, str, int, int, str, bool]
 
 
 def _accesses(
-    method: ast.FunctionDef, locks: Set[str]
+    method: ast.AST, locks: Set[str]
 ) -> List[_Access]:
     writes = _write_targets(method)
     out: List[_Access] = []
@@ -153,7 +163,12 @@ def _accesses(
         if isinstance(node, ast.Call):
             # lock handoff: a callee given the lock itself is trusted to
             # synchronize the guarded arguments it receives alongside it
-            hands_lock = any(_self_attr(arg) in locks for arg in node.args)
+            # (whether the lock travels positionally or as a keyword)
+            hands_lock = any(
+                _self_attr(arg) in locks for arg in node.args
+            ) or any(
+                _self_attr(kw.value) in locks for kw in node.keywords
+            )
             scan(node.func, locked)
             for arg in node.args:
                 scan(arg, locked or hands_lock)
@@ -188,7 +203,7 @@ def service_races(module: LintModule, config: LintConfig) -> Iterator[Finding]:
         methods = [
             n
             for n in cls.body
-            if isinstance(n, ast.FunctionDef) and n.name != "__init__"
+            if isinstance(n, _MethodDef) and n.name != "__init__"
         ]
         per_method: Dict[str, List[_Access]] = {
             m.name: _accesses(m, locks) for m in methods

@@ -1,0 +1,56 @@
+"""R7: index-domain confusion — ids from one domain consumed as another.
+
+Built on :mod:`repro.lint.flow`: every function is abstractly
+interpreted over the index-domain lattice in :mod:`repro.lint.domains`,
+and four kinds of consumption-site mismatch become findings:
+
+* a call argument whose inferred domain contradicts the seeded (or
+  one-level-summarized) signature — the motivating bug is a lane-major
+  ``lane * L + link`` id handed to a scalar-link API like
+  ``LinkRecorder.add_link_counts``;
+* a comparison between two distinct named domains (a ``PackedEdgeKey``
+  against a ``NodeId`` can only be coincidentally equal);
+* a subscript whose index domain contradicts the array's — a
+  ``LaneLinkId`` into a ``num_edges``-sized per-link array reads lane 0's
+  tail as other lanes' data;
+* ``searchsorted`` needles from a different domain than the sorted keys.
+
+Unknown (INT) values are always compatible, so the rule only speaks when
+both sides of a site carry evidence.  Waive with
+``# lint: domain-ok(reason)`` — the legitimate cases are deliberate
+reinterpretations (e.g. disjointness keys built *like* lane ids purely
+for uniqueness).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.lint.engine import LintConfig, LintModule, register_rule
+from repro.lint.findings import Finding
+from repro.lint.flow import analyze
+
+__all__ = ["domain_confusion"]
+
+_KINDS = frozenset({"arg", "compare", "index", "searchsorted"})
+
+
+@register_rule("R7", "domain-confusion", scope="project")
+def domain_confusion(
+    modules: Sequence[LintModule], config: LintConfig
+) -> Iterator[Finding]:
+    """Ids must stay in their index domain from producer to consumer."""
+    for module, observations in analyze(modules, config):
+        for ob in observations:
+            if ob.kind not in _KINDS:
+                continue
+            if module.waived("domain-ok", ob.line):
+                continue
+            yield Finding(
+                "R7", "error", module.rel, ob.line, ob.col,
+                ob.detail,
+                suggestion="unpack first (e.g. '% num_edges' recovers the "
+                "LinkId from a LaneLinkId) or waive with "
+                "# lint: domain-ok(reason) for a deliberate "
+                "reinterpretation",
+            )

@@ -1,0 +1,53 @@
+"""R8: dtype/overflow — packed ids narrowed below their worst-case extent.
+
+The repo's scaling point is ``Q_20`` with ``B = 4096`` batched lanes
+(see ``EXTENT`` in :mod:`repro.lint.domains`, whose offset floors come
+from the declared contract dtypes in ``hypercube/pathcode.py``).  At
+that point a ``u * base + v`` packed edge key reaches ``~1.1e12`` and a
+lane-major link id ``lane * L + link`` reaches ``~8.6e10`` — both
+silently wrap in ``int32``.  This rule flags every site where a value
+whose domain has a known extent meets a dtype that cannot hold it:
+
+* ``.astype(np.int32)`` / ``np.asarray(x, dtype=...)`` / ``np.int32(x)``
+  casts of packed or offset values;
+* pack arithmetic carried out *in* a narrow dtype (the multiply itself
+  overflows before any store);
+* stores into arrays created with a declared narrow dtype.
+
+Values that provably fit stay silent: a plain ``LinkId`` tops out at
+``20 * 2^20`` and a ``FlitPos`` at ``2^20``, which is exactly why the
+``int32`` flit tensors in ``routing/batched.py`` are sound.  Waive with
+``# lint: dtype-ok(reason)`` when a site's real bound is tighter than
+the domain's worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.lint.engine import LintConfig, LintModule, register_rule
+from repro.lint.findings import Finding
+from repro.lint.flow import analyze
+
+__all__ = ["dtype_overflow"]
+
+
+@register_rule("R8", "dtype-overflow", scope="project")
+def dtype_overflow(
+    modules: Sequence[LintModule], config: LintConfig
+) -> Iterator[Finding]:
+    """Array dtypes must hold their domain's worst-case extent at Q_20/B=4096."""
+    for module, observations in analyze(modules, config):
+        for ob in observations:
+            if ob.kind != "dtype":
+                continue
+            if module.waived("dtype-ok", ob.line):
+                continue
+            yield Finding(
+                "R8", "error", module.rel, ob.line, ob.col,
+                ob.detail,
+                suggestion="use int64 (the pathcode.py contract dtype for "
+                "packed ids and offsets) or waive with "
+                "# lint: dtype-ok(reason) if this site's bound is "
+                "provably tighter",
+            )

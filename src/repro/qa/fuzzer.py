@@ -12,9 +12,12 @@ For each point the fuzzer runs, in order:
    (:mod:`repro.qa.oracles` via :mod:`repro.core.verification`);
 4. **metamorphic** — random automorphism images must preserve the
    verification report and simulated metrics (:mod:`repro.qa.metamorphic`);
-5. **differential** — both simulator engines must agree field-for-field
-   on a schedule drawn from the embedding's paths
+5. **differential** — both store-and-forward engines must agree
+   field-for-field on a schedule drawn from the embedding's paths
    (:mod:`repro.qa.differential`), which also shrinks any divergence,
+   the wormhole pair (reference vs :class:`FastWormhole`) must agree on
+   a random e-cube worm schedule
+   (:func:`repro.qa.differential.wormhole_differential_check`),
    and the serving layer's batched CSR gather must be field-identical
    to per-call routing on a fuzzed request batch
    (:func:`repro.qa.differential.route_batch_differential`);
@@ -57,10 +60,12 @@ from repro.qa.differential import (
     max_flow_width_check,
     route_batch_differential,
     verification_differential,
+    wormhole_differential_check,
 )
 from repro.qa.metamorphic import metamorphic_check
 from repro.qa.schedules import (
     embedding_schedule,
+    random_worm_schedule,
     random_worm_schedule_batch,
     schedule_from_jsonable,
     schedule_to_jsonable,
@@ -219,6 +224,15 @@ class Fuzzer:
                         kind, params, "differential",
                         f"{check.name}: {check.detail}",
                     )
+            worm_schedule = random_worm_schedule(subject.host, rng)
+            worm_divergence = wormhole_differential_check(
+                subject.host, worm_schedule
+            )
+            if worm_divergence is not None:
+                return FuzzFailure(
+                    kind, params, "differential",
+                    worm_divergence.describe(),
+                )
 
         if "batched_differential" in self.checks:
             lanes = rng.randint(2, 4)

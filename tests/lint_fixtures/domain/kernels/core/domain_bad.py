@@ -1,0 +1,47 @@
+"""R7 fixture: lane-major ids leaking into scalar-link territory."""
+
+import numpy as np
+
+
+def lane_into_scalar_api(host, recorder, lane, eid, counts):
+    # the motivating bug: a LaneLinkId handed to a per-link recorder API
+    links = host.num_edges
+    flat = lane * links + eid
+    recorder.add_link_counts(flat, counts)
+
+
+def lane_into_per_link_array(host, lane, eid):
+    # a num_edges-sized array indexed with a lane-major id reads garbage
+    row = np.zeros(host.num_edges, dtype=np.int64)
+    flat = lane * host.num_edges + eid
+    row[flat] += 1
+    return row
+
+
+def packed_key_vs_node(lookup, csr, us, vs):
+    # a PackedEdgeKey can only coincidentally equal a NodeId
+    key = us * np.int64(lookup.base) + vs
+    return key == csr.nodes[0]
+
+
+def packed_needles_in_node_keys(csr, lookup, us, vs):
+    # searchsorted needles must share the haystack's domain
+    key = us * np.int64(lookup.base) + vs
+    return np.searchsorted(csr.nodes, key)
+
+
+def _forward(recorder, eids, counts):
+    # one-level summary: eids is a LinkId because it flows into the
+    # seeded consumer untouched
+    recorder.add_link_counts(eids, counts)
+
+
+def lane_through_helper(host, recorder, lane, eid, counts):
+    flat = lane * host.num_edges + eid
+    _forward(recorder, flat, counts)
+
+
+def waived_reinterpretation(host, recorder, lane, eid, counts):
+    flat = lane * host.num_edges + eid
+    # lint: domain-ok(disjointness key, uniqueness only)
+    recorder.add_link_counts(flat, counts)

@@ -1,0 +1,27 @@
+"""R7 fixture: the same flows done right — unpack before consuming."""
+
+import numpy as np
+
+
+def unpacked_into_scalar_api(host, recorder, lane, eid, counts):
+    links = host.num_edges
+    flat = lane * links + eid
+    recorder.add_link_counts(flat % links, counts)
+
+
+def lane_major_array_indexed_lane_major(host, lane, eid):
+    links = host.num_edges
+    flat_state = np.zeros(4096 * links, dtype=np.int64)
+    flat = lane * links + eid
+    flat_state[flat] += 1
+    return flat_state
+
+
+def packed_key_vs_packed_key(lookup, us, vs):
+    key = us * np.int64(lookup.base) + vs
+    return np.searchsorted(lookup.keys, key)
+
+
+def plain_ints_stay_silent(recorder, eids, counts):
+    # unknown domains are compatible with every consumer
+    recorder.add_link_counts(eids, counts)

@@ -1,0 +1,34 @@
+"""R8 fixture: packed ids narrowed below their Q_20/B=4096 extent."""
+
+import numpy as np
+
+
+def packed_keys_as_int32(lookup, us, vs):
+    # ~1.1e12 at Q_20 — wraps in int32
+    key = us * np.int64(lookup.base) + vs
+    return key.astype(np.int32)
+
+
+def lane_ids_packed_in_int32(host, lane, eids):
+    # the multiply itself overflows before any store
+    lanes32 = lane.astype(np.int32)
+    links32 = np.int32(host.num_edges)
+    return lanes32 * links32 + eids.astype(np.int32)
+
+
+def offsets_narrowed(csr):
+    # CSR offsets are int64 by the pathcode.py contract
+    return np.asarray(csr.path_offsets, dtype=np.int32)
+
+
+def store_into_narrow_array(host, lane, eid, out32):
+    flat = lane * np.int64(host.num_edges) + eid
+    sink = np.zeros(8, dtype=np.int32)
+    sink[0] = flat
+    return sink
+
+
+def waived_tight_bound(host, lane, eid):
+    flat = lane * np.int64(host.num_edges) + eid
+    # lint: dtype-ok(callers cap lanes at 4 so this fits comfortably)
+    return flat.astype(np.int32)

@@ -1,0 +1,20 @@
+"""R8 fixture: domains that provably fit, and contract-width packs."""
+
+import numpy as np
+
+
+def packed_keys_as_int64(lookup, us, vs):
+    key = us * np.int64(lookup.base) + vs
+    return key.astype(np.int64)
+
+
+def plain_links_fit_int32(host, heads, dims):
+    # LinkId tops out at 20 * 2^20 — int32 holds it with room to spare
+    eids = heads * np.int64(host.n) + dims
+    return eids.astype(np.int32)
+
+
+def flit_positions_fit_int32(worms):
+    # FlitPos extent is 2^20: the batched engine's int32 flit tensors
+    positions = np.fromiter((w.num_flits for w in worms), dtype=np.int32)
+    return positions

@@ -1,0 +1,9 @@
+"""R9 fixture: a serving kernel the differential module never touches."""
+
+
+def embedding_csr(emb):
+    return emb
+
+
+def helper_not_a_kernel(emb):
+    return emb

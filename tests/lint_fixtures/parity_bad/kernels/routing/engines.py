@@ -1,0 +1,28 @@
+"""R9 fixture: two optimized engines, one with no differential coverage."""
+
+
+class FastThing:
+    """Covered: the differential module references it."""
+
+    engine = "fast-thing"
+
+    def run(self, schedule):
+        return schedule
+
+
+class BatchedThing:
+    """Uncovered: nothing in qa/differential.py mentions it."""
+
+    engine = "batched-thing"
+
+    def run_many(self, schedules):
+        return schedules
+
+
+class ReferenceThing:
+    """Reference engines owe nobody a differential."""
+
+    engine = "reference-thing"
+
+    def run(self, schedule):
+        return schedule

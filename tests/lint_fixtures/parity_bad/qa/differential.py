@@ -1,0 +1,13 @@
+"""R9 fixture differential module: covers FastThing only, and defines a
+check the fuzzer never registers."""
+
+from kernels.routing.engines import FastThing
+
+
+def fast_thing_differential_check(host, schedule):
+    return FastThing().run(schedule)
+
+
+def orphan_differential_check(host, schedule):
+    # defined but never referenced by qa/fuzzer.py
+    return None

@@ -1,0 +1,9 @@
+"""R9 fixture fuzzer: registers only one of the differential checks."""
+
+from qa.differential import fast_thing_differential_check
+
+STAGES = ("differential",)
+
+
+def run(host, schedule):
+    return fast_thing_differential_check(host, schedule)

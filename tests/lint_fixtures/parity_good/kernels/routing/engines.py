@@ -1,0 +1,23 @@
+"""R9 fixture: every optimized engine is covered (or waived)."""
+
+
+class FastThing:
+    engine = "fast-thing"
+
+    def run(self, schedule):
+        return schedule
+
+
+class BatchedThing:
+    engine = "batched-thing"
+
+    def run_many(self, schedules):
+        return schedules
+
+
+# lint: no-parity(parity proven via BatchedThing, which wraps it lane 0)
+class BatchedWrapped:
+    engine = "batched-wrapped"
+
+    def run_many(self, schedules):
+        return schedules

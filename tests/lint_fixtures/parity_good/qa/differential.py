@@ -1,0 +1,11 @@
+"""R9 fixture differential module covering both engines."""
+
+from kernels.routing.engines import BatchedThing, FastThing
+
+
+def fast_thing_differential_check(host, schedule):
+    return FastThing().run(schedule)
+
+
+def batched_thing_differential_check(host, schedules):
+    return BatchedThing().run_many(schedules)

@@ -1,0 +1,13 @@
+"""R9 fixture fuzzer registering every differential check."""
+
+from qa.differential import (
+    batched_thing_differential_check,
+    fast_thing_differential_check,
+)
+
+STAGES = ("differential", "batched_differential")
+
+
+def run(host, schedule):
+    fast_thing_differential_check(host, schedule)
+    batched_thing_differential_check(host, [schedule])

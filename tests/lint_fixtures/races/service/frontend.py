@@ -1,0 +1,66 @@
+"""R6 fixture: asyncio paths and delegation edge cases.
+
+Mirrors the batching frontend's shape: a drain loop and async serve
+paths sharing instance state, plus the two delegation idioms the
+detector must recognize — the lock passed through a *keyword* argument,
+and the ``weakref.finalize`` teardown registration.
+"""
+
+import threading
+import weakref
+
+
+class AsyncFrontend:
+    """Async methods are analyzed exactly like threads."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._queue = []
+
+    def drain(self):
+        with self._lock:
+            self._batches += 1  # declares _batches shared
+
+    async def serve(self):
+        return self._batches  # unsynchronized read from the async path
+
+    async def serve_locked(self):
+        with self._lock:
+            return self._batches  # disciplined async read
+
+
+def _teardown(lock, store):
+    with lock:
+        store.clear()
+
+
+class KeywordHandoff:
+    """The lock travels as a keyword argument: still a handoff."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._store = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._store[key] = value
+
+    def close(self):
+        _teardown(store=self._store, lock=self._lock)  # synchronized
+
+
+class FinalizeHandoff:
+    """finalize(self, cb, lock, map): teardown owns the map at GC time."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._store = {}
+        weakref.finalize(self, _teardown, self._lock, self._store)
+
+    def put(self, key, value):
+        with self._lock:
+            self._store[key] = value
+
+    def register(self):
+        weakref.finalize(self, _teardown, self._lock, self._store)

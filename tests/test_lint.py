@@ -2,6 +2,7 @@
 machinery (pragmas, fixes, JSON schema), and the clean-repo gate."""
 
 import json
+import shutil
 from pathlib import Path
 
 from repro.cli import main as cli_main
@@ -12,6 +13,8 @@ from repro.lint import (
     apply_fixes,
     run_lint,
 )
+from repro.lint.engine import _parse_pragmas, parse_module
+from repro.lint.findings import Finding, LintReport
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 REPO_SRC = Path(__file__).parents[1] / "src" / "repro"
@@ -28,13 +31,15 @@ def rule_findings(report, rule):
 
 
 class TestRuleRegistry:
-    def test_all_six_rules_register(self):
+    def test_all_nine_rules_register(self):
         ids = [r.id for r in all_rules()]
-        assert ids == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert ids == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+        ]
 
     def test_every_rule_documents_a_waiver(self):
         # one pragma token per rule, all known to the engine
-        assert len(KNOWN_PRAGMAS) == 6
+        assert len(KNOWN_PRAGMAS) == 9
 
     def test_select_restricts_rules_run(self):
         report = lint("rng_bad.py", "R2")
@@ -309,8 +314,364 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert cli_main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+        for rule_id in (
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+        ):
             assert rule_id in out
+
+
+class TestPragmaParser:
+    def test_reason_may_contain_balanced_parens(self):
+        out = _parse_pragmas("x = 1  # lint: race-ok(drain() owns it (fully))")
+        assert len(out) == 1
+        _, token, reason, problem = out[0]
+        assert token == "race-ok"
+        assert reason == "drain() owns it (fully)"
+        assert problem == ""
+
+    def test_two_pragmas_one_line(self):
+        out = _parse_pragmas(
+            "y = p(x)  # lint: domain-ok(key reuse) dtype-ok(capped at 4)"
+        )
+        assert [(t, r) for _, t, r, _ in out] == [
+            ("domain-ok", "key reuse"),
+            ("dtype-ok", "capped at 4"),
+        ]
+
+    def test_stacked_pragmas_both_waive(self, tmp_path):
+        target = tmp_path / "stacked.py"
+        target.write_text(
+            "flat = 1  # lint: domain-ok(key reuse) dtype-ok(capped)\n"
+        )
+        module = parse_module(target)
+        assert module.waived("domain-ok", 1)
+        assert module.waived("dtype-ok", 1)
+        assert not module.waived("rng-ok", 1)
+
+    def test_lint_marker_inside_a_reason_is_inert(self):
+        out = _parse_pragmas(
+            "x = 1  # lint: rng-ok(the lint: prefix here is prose)"
+        )
+        assert len(out) == 1
+        assert out[0][1] == "rng-ok"
+        assert out[0][2] == "the lint: prefix here is prose"
+
+    def test_unterminated_reason_is_a_finding(self, tmp_path):
+        target = tmp_path / "odd.py"
+        target.write_text("x = 1  # lint: rng-ok(never closed\n")
+        report = run_lint([target])
+        assert any(
+            f.rule == "pragma" and "unterminated" in f.message
+            for f in report.findings
+        )
+
+    def test_unknown_token_in_a_stack_is_still_caught(self, tmp_path):
+        target = tmp_path / "odd.py"
+        target.write_text("x = 1  # lint: rng-ok(fine) bogus-tok(huh)\n")
+        report = run_lint([target])
+        assert any(
+            f.rule == "pragma" and "bogus-tok" in f.message
+            for f in report.findings
+        )
+        # the well-formed pragma before it still waives
+        assert parse_module(target).waived("rng-ok", 1)
+
+    def test_prose_after_a_pragma_is_not_a_token(self):
+        # trailing words without parens are comment prose, not pragmas
+        out = _parse_pragmas("x = 1  # lint: rng-ok(fine) see the docs")
+        assert [(t, p) for _, t, _, p in out] == [("rng-ok", "")]
+
+
+class TestDomainConfusion:
+    BAD = "domain/kernels/core/domain_bad.py"
+    GOOD = "domain/kernels/core/domain_good.py"
+
+    def test_flags_every_confusion_kind(self):
+        report = lint(self.BAD, "R7")
+        messages = [f.message for f in rule_findings(report, "R7")]
+        assert len(messages) == 5
+        # seeded consumer API
+        assert any(
+            "LaneLinkId passed to add_link_counts()" in m for m in messages
+        )
+        # subscript into a per-link array
+        assert any(
+            "LaneLinkId used to index a LinkId-indexed array" in m
+            for m in messages
+        )
+        # cross-domain comparison and searchsorted needles
+        assert any(
+            "comparing a PackedEdgeKey to a NodeId" in m for m in messages
+        )
+        assert any(
+            "searchsorted over NodeId keys with PackedEdgeKey needles" in m
+            for m in messages
+        )
+
+    def test_one_level_call_summary_propagates(self):
+        # _forward() has no seed entry: its requirement that eids is a
+        # LinkId comes from summarizing its own body (one level deep)
+        report = lint(self.BAD, "R7")
+        assert any(
+            "LaneLinkId passed to _forward() where LinkId is consumed "
+            "(argument 2)" in f.message
+            for f in rule_findings(report, "R7")
+        )
+
+    def test_waiver_is_honored(self):
+        report = lint(self.BAD, "R7")
+        lines = [f.line for f in rule_findings(report, "R7")]
+        assert 47 not in lines  # waived_reinterpretation's consumer call
+
+    def test_clean_fixture_passes(self):
+        report = lint(self.GOOD, "R7")
+        assert rule_findings(report, "R7") == []
+
+
+class TestDtypeOverflow:
+    BAD = "domain/kernels/core/dtype_bad.py"
+    GOOD = "domain/kernels/core/dtype_good.py"
+
+    def test_flags_cast_arithmetic_and_store_sites(self):
+        report = lint(self.BAD, "R8")
+        messages = [f.message for f in rule_findings(report, "R8")]
+        assert len(messages) == 4
+        assert any(
+            "PackedEdgeKey values narrowed to int32" in m for m in messages
+        )
+        assert any(
+            "LaneLinkId arithmetic in int32" in m for m in messages
+        )
+        assert any(
+            "CsrOffset values narrowed to int32" in m for m in messages
+        )
+        assert any(
+            "storing a LaneLinkId into a int32 array" in m for m in messages
+        )
+
+    def test_extents_are_quoted_for_triage(self):
+        report = lint(self.BAD, "R8")
+        assert all(
+            "overflows" in f.message or "max extent" in f.message
+            for f in rule_findings(report, "R8")
+        )
+
+    def test_waiver_is_honored(self):
+        report = lint(self.BAD, "R8")
+        assert not any(
+            f.line == 34 for f in rule_findings(report, "R8")
+        )  # waived_tight_bound's astype
+
+    def test_clean_fixture_passes(self):
+        # int64 packs, int32-safe LinkId/FlitPos tensors
+        report = lint(self.GOOD, "R8")
+        assert rule_findings(report, "R8") == []
+
+
+class TestKernelParity:
+    def test_flags_all_three_coverage_legs(self):
+        report = lint("parity_bad", "R9")
+        messages = [f.message for f in rule_findings(report, "R9")]
+        assert len(messages) == 3
+        assert any(
+            "BatchedThing" in m and "has no QA differential" in m
+            for m in messages
+        )
+        assert any(
+            "embedding_csr() is never referenced" in m for m in messages
+        )
+        assert any(
+            "orphan_differential_check() is not registered as a fuzzer "
+            "stage" in m
+            for m in messages
+        )
+
+    def test_reference_engines_are_exempt(self):
+        report = lint("parity_bad", "R9")
+        assert not any(
+            "ReferenceThing" in f.message for f in rule_findings(report, "R9")
+        )
+
+    def test_covered_and_waived_engines_pass(self):
+        report = lint("parity_good", "R9")
+        assert rule_findings(report, "R9") == []
+
+    def test_partial_scan_stays_silent(self):
+        # without qa/differential.py in the scan, coverage is unjudgeable
+        report = run_lint(
+            [FIXTURES / "parity_bad" / "kernels" / "routing" / "engines.py"],
+            LintConfig(select=("R9",)),
+        )
+        assert report.findings == []
+
+    def test_deleting_a_real_registration_fails_r9(self, tmp_path):
+        # mutation check against the shipping sources: copy the batched
+        # engines + QA pair, drop one stage registration from the fuzzer,
+        # and the parity rule must notice
+        for rel in (
+            "routing/batched.py", "qa/differential.py", "qa/fuzzer.py"
+        ):
+            dest = tmp_path / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(REPO_SRC / rel, dest)
+        baseline = run_lint([tmp_path], LintConfig(select=("R9",)))
+        assert baseline.findings == []
+
+        fuzzer = tmp_path / "qa" / "fuzzer.py"
+        mutated = fuzzer.read_text().replace(
+            "wormhole_differential_check", "wormhole_parity_probe"
+        )
+        assert mutated != fuzzer.read_text()
+        fuzzer.write_text(mutated)
+        report = run_lint([tmp_path], LintConfig(select=("R9",)))
+        assert any(
+            "wormhole_differential_check() is not registered" in f.message
+            for f in rule_findings(report, "R9")
+        )
+
+
+class TestApplyFixes:
+    def _fix_finding(self, target, message, new):
+        old = target.read_text().splitlines()[0]
+        return Finding(
+            "R2", "error", str(target), 1, 1, message,
+            fix=(old, new),
+        )
+
+    def test_overlapping_fixes_on_one_line_apply_once(self, tmp_path):
+        target = tmp_path / "adopter.py"
+        target.write_text("from repro.service import FaultSet\n")
+        first = self._fix_finding(
+            target, "first", "from repro.fault.faults import FaultModel"
+        )
+        second = self._fix_finding(
+            target, "second", "from repro.elsewhere import Other"
+        )
+        report = LintReport(
+            findings=[first, second], files_scanned=1, rules_run=("R2",)
+        )
+        applied, remaining = apply_fixes(report)
+        # the first rewrite wins; the second no longer matches the line
+        assert applied == 1
+        assert target.read_text() == (
+            "from repro.fault.faults import FaultModel\n"
+        )
+        assert [f.message for f in remaining.findings] == ["second"]
+
+    def test_apply_fixes_is_idempotent(self, tmp_path):
+        target = tmp_path / "adopter.py"
+        target.write_text(
+            "from repro.service.metrics import ServiceMetrics\n"
+            "m = ServiceMetrics()\n"
+        )
+        report = run_lint([target], LintConfig(select=("R2",)))
+        applied, _ = apply_fixes(report)
+        assert applied == 1
+        after_first = target.read_text()
+        # replaying the stale report must not touch the file again
+        applied_again, _ = apply_fixes(report)
+        assert applied_again == 0
+        assert target.read_text() == after_first
+
+    def test_unknown_pragma_in_nested_scope_is_a_finding(self, tmp_path):
+        target = tmp_path / "odd.py"
+        target.write_text(
+            "class Outer:\n"
+            "    def inner(self):\n"
+            "        x = 1  # lint: not-a-token(deep down)\n"
+            "        return x\n"
+        )
+        report = run_lint([target])
+        assert any(
+            f.rule == "pragma"
+            and "not-a-token" in f.message
+            and f.line == 3
+            for f in report.findings
+        )
+
+
+class TestAsyncRaces:
+    FIXTURE = "races/service/frontend.py"
+
+    def test_async_method_reads_are_analyzed(self):
+        report = lint(self.FIXTURE, "R6")
+        findings = rule_findings(report, "R6")
+        assert any(
+            "serve()" in f.message and "read" in f.message for f in findings
+        )
+        # the locked async read is disciplined
+        assert not any("serve_locked" in f.message for f in findings)
+
+    def test_keyword_lock_handoff_is_synchronized(self):
+        report = lint(self.FIXTURE, "R6")
+        assert not any(
+            "close()" in f.message for f in rule_findings(report, "R6")
+        )
+
+    def test_finalize_handoff_is_synchronized(self):
+        report = lint(self.FIXTURE, "R6")
+        findings = rule_findings(report, "R6")
+        assert not any("register()" in f.message for f in findings)
+        assert not any("FinalizeHandoff" in f.message for f in findings)
+
+
+class TestChangedScope:
+    def test_focus_filters_findings_not_analysis(self):
+        engines = (
+            FIXTURES / "parity_bad" / "kernels" / "routing" / "engines.py"
+        )
+        report = run_lint(
+            [FIXTURES / "parity_bad"],
+            LintConfig(select=("R9",)),
+            focus=[engines],
+        )
+        # the uncovered engine lives in the focused file and survives...
+        assert any(
+            "BatchedThing" in f.message for f in rule_findings(report, "R9")
+        )
+        # ...while the qa-module findings are filtered, not un-found
+        assert all(f.path.endswith("engines.py") for f in report.findings)
+        full = run_lint([FIXTURES / "parity_bad"], LintConfig(select=("R9",)))
+        assert len(full.findings) > len(report.findings)
+
+    def test_empty_focus_reports_nothing_but_scans(self):
+        report = run_lint(
+            [FIXTURES / "rng_bad.py"],
+            LintConfig(select=("R1",)),
+            focus=[],
+        )
+        assert report.findings == []
+        assert report.files_scanned == 1
+
+
+class TestSarif:
+    def test_sarif_shape(self):
+        report = lint("rng_bad.py", "R1")
+        sarif = report.to_sarif()
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} >= {"R1"}
+        assert len(run["results"]) == len(report.findings) > 0
+        for result in run["results"]:
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"]
+            assert loc["region"]["startLine"] >= 1
+        json.dumps(sarif)  # round-trippable
+
+    def test_cli_sarif_to_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "lint.sarif"
+        code = cli_main(
+            [
+                "lint", "--format", "sarif", "--select", "R1",
+                "--output", str(out_file),
+                str(FIXTURES / "rng_bad.py"),
+            ]
+        )
+        assert code == 1
+        assert capsys.readouterr().out == ""
+        sarif = json.loads(out_file.read_text())
+        assert sarif["runs"][0]["results"]
 
 
 class TestRepositoryIsClean:
@@ -319,6 +680,8 @@ class TestRepositoryIsClean:
         assert report.ok, "\n".join(
             f.format() for f in report.findings
         )
-        # all six rules actually ran over a substantial file set
-        assert report.rules_run == ("R1", "R2", "R3", "R4", "R5", "R6")
+        # all nine rules actually ran over a substantial file set
+        assert report.rules_run == (
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+        )
         assert report.files_scanned > 50
